@@ -1,0 +1,16 @@
+//! Developer probe: prints the Table 4 reduction trend at a glance.
+
+use rma_apps::{run_minivite, Method, MethodRun, MiniViteCfg};
+
+fn main() {
+    for nranks in [4u32, 8, 16, 24, 32] {
+        let cfg = MiniViteCfg { nranks, nv: 16_000, ..MiniViteCfg::default() };
+        let legacy = MethodRun::new(Method::Legacy, nranks);
+        run_minivite(&cfg, &legacy);
+        let merged = MethodRun::new(Method::Contribution, nranks);
+        run_minivite(&cfg, &merged);
+        let l = legacy.analyzer.as_ref().unwrap().total_peak_nodes();
+        let m = merged.analyzer.as_ref().unwrap().total_peak_nodes();
+        println!("P={nranks:3}  legacy={l:7}  merged={m:7}  reduction={:.2}%", (l - m) as f64 / l as f64 * 100.0);
+    }
+}

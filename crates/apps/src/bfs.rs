@@ -1,0 +1,304 @@
+//! Graph500-style breadth-first search over MPI-RMA.
+//!
+//! The paper's Section 2.1 motivates one-sided communication with the
+//! Graph500 benchmark's RMA redesign (Li et al., CLUSTER'14, "got a
+//! speedup of 200%"). This app reproduces that communication style as a
+//! third detector workload: a level-synchronized distributed BFS whose
+//! frontier expansion pushes remote discoveries with **atomic
+//! `MPI_Accumulate(BOR)`** operations into per-owner bitmap windows —
+//! many origins may discover the same remote vertex in the same epoch,
+//! and only the atomicity property keeps that race-free.
+//!
+//! Access-pattern characteristics (different from both MiniVite-sim and
+//! CFD-Proxy-sim): concurrent same-location accumulates from *multiple*
+//! origins, word-granular bitmap writes with data-dependent spatial
+//! locality, and one epoch per BFS level.
+
+use crate::graph::Graph;
+use crate::method::MethodRun;
+use rma_sim::{AccumOp, RankCtx, RankId, RunOutcome, World, WorldCfg};
+use std::time::Instant;
+
+/// BFS configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BfsCfg {
+    /// MPI ranks.
+    pub nranks: u32,
+    /// Vertices.
+    pub nv: u64,
+    /// Graph out-degree.
+    pub degree: u32,
+    /// Search root.
+    pub root: u64,
+    /// Graph seed.
+    pub seed: u64,
+}
+
+impl Default for BfsCfg {
+    fn default() -> Self {
+        BfsCfg { nranks: 8, nv: 4096, degree: 8, root: 0, seed: 0xBF5 }
+    }
+}
+
+/// Per-rank result.
+#[derive(Clone, Copy, Debug)]
+pub struct BfsRankReport {
+    /// Local vertices reached.
+    pub reached: u64,
+    /// Largest BFS level of a local vertex.
+    pub max_level: u64,
+    /// Order-independent checksum over (vertex, level).
+    pub checksum: u64,
+    /// Cumulative wall time in the exchange epochs.
+    pub epoch_secs: f64,
+}
+
+/// Aggregated result.
+#[derive(Clone, Debug)]
+pub struct BfsReport {
+    /// Per-rank data.
+    pub ranks: Vec<BfsRankReport>,
+    /// Did the attached tool report a race?
+    pub raced: bool,
+}
+
+impl BfsReport {
+    /// Total vertices reached from the root.
+    pub fn reached(&self) -> u64 {
+        self.ranks.iter().map(|r| r.reached).sum()
+    }
+
+    /// BFS eccentricity of the root (within the reached set).
+    pub fn max_level(&self) -> u64 {
+        self.ranks.iter().map(|r| r.max_level).max().unwrap_or(0)
+    }
+
+    /// Checksum folded over ranks.
+    pub fn checksum(&self) -> u64 {
+        self.ranks.iter().fold(0, |a, r| a ^ r.checksum)
+    }
+
+    /// Max per-rank epoch time.
+    pub fn epoch_secs(&self) -> f64 {
+        self.ranks.iter().map(|r| r.epoch_secs).fold(0.0, f64::max)
+    }
+}
+
+fn rank_body(ctx: &mut RankCtx<'_>, cfg: &BfsCfg) -> BfsRankReport {
+    let me = ctx.rank();
+    let nranks = ctx.nranks();
+    let g = Graph::new(cfg.nv, cfg.degree, cfg.seed);
+    let (lo, hi) = g.local_range(me.0, nranks);
+    let words = g.max_local(nranks).div_ceil(64).max(1);
+
+    // The next-frontier bitmap window: remote discoveries are OR-ed in.
+    let win = ctx.win_allocate(words * 8);
+    // Per-owner staged bitmaps (Graph500-style local aggregation): the
+    // operands are written *before* the epoch opens — reusing a single
+    // operand buffer across accumulates inside one epoch would be a
+    // genuine MPI buffer-reuse race, which every detector here flags.
+    let staging = ctx.alloc(u64::from(nranks) * words * 8);
+    let mut staged: Vec<u64> = vec![0; (u64::from(nranks) * words) as usize];
+
+    let mut level = vec![u64::MAX; (hi - lo) as usize];
+    let mut frontier: Vec<u64> = Vec::new();
+    if g.owner(cfg.root, nranks) == me.0 {
+        level[(cfg.root - lo) as usize] = 0;
+        frontier.push(cfg.root);
+    }
+    ctx.barrier();
+
+    let mut epoch_secs = 0.0;
+    let mut depth = 0u64;
+    loop {
+        ctx.poll_abort();
+        // ------- aggregate locally, then stage the operand words ------
+        for w in staged.iter_mut() {
+            *w = 0;
+        }
+        for &u in &frontier {
+            for v in g.neighbors(u) {
+                let owner = g.owner(v, nranks);
+                let ix = g.local_index(v, nranks);
+                staged[(u64::from(owner) * words + ix / 64) as usize] |= 1 << (ix % 64);
+            }
+        }
+        for (slot, &bits) in staged.iter().enumerate() {
+            if bits != 0 {
+                ctx.store_u64(&staging, slot as u64 * 8, bits);
+            }
+        }
+
+        // ------- exchange epoch: push discoveries to the owners -------
+        let t0 = Instant::now();
+        ctx.win_lock_all(win);
+        for owner in 0..nranks {
+            for w in 0..words {
+                let slot = u64::from(owner) * words + w;
+                if staged[slot as usize] != 0 {
+                    ctx.accumulate(&staging, slot * 8, 8, RankId(owner), w * 8, win, AccumOp::Bor);
+                }
+            }
+        }
+        ctx.win_unlock_all(win);
+        epoch_secs += t0.elapsed().as_secs_f64();
+        ctx.barrier();
+
+        // ------- absorb the received bitmap into the next frontier ----
+        depth += 1;
+        frontier.clear();
+        let wb = ctx.win_buf(win);
+        for w in 0..words {
+            let bits = ctx.load_u64(&wb, w * 8);
+            if bits == 0 {
+                continue;
+            }
+            for b in 0..64u64 {
+                if bits & (1 << b) != 0 {
+                    let ix = w * 64 + b;
+                    if ix < hi - lo && level[ix as usize] == u64::MAX {
+                        level[ix as usize] = depth;
+                        frontier.push(lo + ix);
+                    }
+                }
+            }
+            // Reset the word for the next round (local store: the epoch
+            // is closed and a barrier passed, so this is ordered; the
+            // next epoch's remote accumulates are ordered by the barrier
+            // below).
+            ctx.store_u64(&wb, w * 8, 0);
+        }
+
+        // Level-synchronized termination: stop when every rank's new
+        // frontier is empty.
+        let total = ctx.allreduce_sum_u64(&[frontier.len() as u64])[0];
+        ctx.barrier();
+        if total == 0 {
+            break;
+        }
+    }
+
+    let mut reached = 0;
+    let mut max_level = 0;
+    let mut checksum = 0u64;
+    for (ix, &l) in level.iter().enumerate() {
+        if l != u64::MAX {
+            reached += 1;
+            max_level = max_level.max(l);
+            checksum ^= (lo + ix as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ l;
+        }
+    }
+    BfsRankReport { reached, max_level, checksum, epoch_secs }
+}
+
+/// Runs the BFS under the given method.
+pub fn run_bfs(cfg: &BfsCfg, method: &MethodRun) -> BfsReport {
+    assert!(cfg.root < cfg.nv, "root out of range");
+    let world = WorldCfg::with_ranks(cfg.nranks);
+    let out: RunOutcome<BfsRankReport> =
+        World::run(world, method.monitor.clone(), |ctx| rank_body(ctx, cfg));
+    let raced = out.raced() || !method.races().is_empty();
+    let ranks = out.results.into_iter().flatten().collect();
+    BfsReport { ranks, raced }
+}
+
+/// Sequential reference BFS (levels per vertex), for validation.
+pub fn reference_levels(cfg: &BfsCfg) -> Vec<u64> {
+    let g = Graph::new(cfg.nv, cfg.degree, cfg.seed);
+    let mut level = vec![u64::MAX; cfg.nv as usize];
+    let mut frontier = vec![cfg.root];
+    level[cfg.root as usize] = 0;
+    let mut depth = 0;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for v in g.neighbors(u) {
+                if level[v as usize] == u64::MAX {
+                    level[v as usize] = depth;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::Method;
+
+    fn small() -> BfsCfg {
+        BfsCfg { nranks: 4, nv: 512, degree: 4, ..BfsCfg::default() }
+    }
+
+    /// Distributed levels match the sequential reference exactly.
+    #[test]
+    fn matches_sequential_reference() {
+        let cfg = small();
+        let reference = reference_levels(&cfg);
+        let want_reached = reference.iter().filter(|&&l| l != u64::MAX).count() as u64;
+        let want_ecc = reference.iter().filter(|&&l| l != u64::MAX).max().copied().unwrap();
+        let report = run_bfs(&cfg, &MethodRun::new(Method::Baseline, cfg.nranks));
+        assert!(!report.raced);
+        assert_eq!(report.reached(), want_reached);
+        assert_eq!(report.max_level(), want_ecc);
+        // Checksum equals the reference's fold.
+        let want_sum = reference
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l != u64::MAX)
+            .fold(0u64, |a, (v, &l)| a ^ (v as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ l);
+        assert_eq!(report.checksum(), want_sum);
+    }
+
+    /// Rank count does not change the answer.
+    #[test]
+    fn rank_count_invariant() {
+        let base = run_bfs(&small(), &MethodRun::new(Method::Baseline, 4));
+        for nranks in [1u32, 2, 7] {
+            let cfg = BfsCfg { nranks, ..small() };
+            let r = run_bfs(&cfg, &MethodRun::new(Method::Baseline, nranks));
+            assert_eq!(r.checksum(), base.checksum(), "nranks={nranks}");
+            assert_eq!(r.reached(), base.reached());
+        }
+    }
+
+    /// Race-free under every detector — the atomicity property at work:
+    /// multiple origins OR into the same bitmap words concurrently.
+    #[test]
+    fn race_free_under_all_detectors() {
+        for method in [
+            Method::Legacy,
+            Method::Must,
+            Method::Contribution,
+            Method::StrideExtension,
+        ] {
+            let run = MethodRun::new(method, 4);
+            let report = run_bfs(&small(), &run);
+            assert!(!report.raced, "{method:?} flagged the atomic BFS");
+            assert_eq!(
+                report.checksum(),
+                run_bfs(&small(), &MethodRun::new(Method::Baseline, 4)).checksum(),
+                "{method:?} changed the result"
+            );
+        }
+    }
+
+    /// An unreachable root component: BFS touches only that component.
+    #[test]
+    fn partial_reachability_is_possible() {
+        // Degree-1 graphs are mostly forests of small components.
+        let cfg = BfsCfg { nranks: 3, nv: 300, degree: 1, root: 5, ..BfsCfg::default() };
+        let report = run_bfs(&cfg, &MethodRun::new(Method::Baseline, 3));
+        assert!(report.reached() >= 1);
+        assert!(report.reached() < cfg.nv, "degree-1 graph cannot be fully connected");
+        let reference = reference_levels(&cfg);
+        assert_eq!(
+            report.reached(),
+            reference.iter().filter(|&&l| l != u64::MAX).count() as u64
+        );
+    }
+}

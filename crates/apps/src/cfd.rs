@@ -1,0 +1,262 @@
+//! CFD-Proxy-sim: the halo (ghost-cell) exchange proxy of the paper's
+//! Figure 10 experiment.
+//!
+//! Mirrors the structural facts the experiment depends on (Section 5.3):
+//!
+//! * passive-target synchronization, **two windows** per process and one
+//!   epoch per window per sweep;
+//! * every window is **partitioned per peer** — each rank owns a
+//!   dedicated slot in every other rank's window — so all remote accesses
+//!   a rank performs towards one target land in the same contiguous
+//!   region and (with the same source line) merge into a *single* BST
+//!   node under the paper's algorithm, while the legacy tool keeps one
+//!   node per transferred cell: the 99.94% node reduction;
+//! * halo payloads are written cell by cell (one put per halo cell), as
+//!   the proxy's gather/scatter loops do;
+//! * the interior compute sweep runs **inside the epoch**, overlapping
+//!   with the asynchronous puts (the whole point of one-sided
+//!   communication). Its accesses are alias-filtered (untracked):
+//!   RMA-Analyzer skips them while a ThreadSanitizer-based tool must
+//!   process every one — the paper's explanation for MUST-RMA's epoch
+//!   slowdown.
+
+use crate::method::MethodRun;
+use rma_sim::{RankCtx, RankId, RunOutcome, World, WorldCfg};
+use std::time::Instant;
+
+/// CFD-Proxy-sim configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CfdCfg {
+    /// MPI ranks (the paper runs 12 on one node).
+    pub nranks: u32,
+    /// Jacobi-like sweeps (the paper runs 50).
+    pub iterations: u32,
+    /// Halo cells exchanged with each neighbour per sweep.
+    pub halo_cells: u32,
+    /// Neighbours per rank (`None` = all-to-all, the window is divided
+    /// into `nranks` slots either way).
+    pub neighbors: Option<u32>,
+    /// Inject the Figure 9 duplicated-put race.
+    pub inject_race: bool,
+    /// Interior cells per rank (compute-phase workload).
+    pub interior_cells: u32,
+}
+
+impl Default for CfdCfg {
+    fn default() -> Self {
+        CfdCfg {
+            nranks: 12,
+            iterations: 50,
+            halo_cells: 48,
+            neighbors: None,
+            inject_race: false,
+            interior_cells: 2048,
+        }
+    }
+}
+
+/// Per-rank result of a run.
+#[derive(Clone, Copy, Debug)]
+pub struct CfdRankReport {
+    /// Cumulative wall time spent inside epochs (the Figure 10 metric).
+    pub epoch_secs: f64,
+    /// Checksum of the final field (correctness witness).
+    pub checksum: u64,
+}
+
+/// Aggregated report.
+#[derive(Clone, Debug)]
+pub struct CfdReport {
+    /// Per-rank data (empty when the run aborted).
+    pub ranks: Vec<CfdRankReport>,
+    /// Did the attached tool report a race?
+    pub raced: bool,
+}
+
+impl CfdReport {
+    /// Maximum per-rank cumulative epoch time — "time spent in the
+    /// epochs".
+    pub fn epoch_secs(&self) -> f64 {
+        self.ranks.iter().map(|r| r.epoch_secs).fold(0.0, f64::max)
+    }
+
+    /// Field checksum folded over ranks.
+    pub fn checksum(&self) -> u64 {
+        self.ranks.iter().fold(0u64, |acc, r| acc ^ r.checksum)
+    }
+}
+
+fn neighbors_of(rank: u32, cfg: &CfdCfg) -> Vec<RankId> {
+    match cfg.neighbors {
+        None => (0..cfg.nranks).filter(|&r| r != rank).map(RankId).collect(),
+        Some(k) => (1..=k)
+            .flat_map(|d| {
+                [
+                    RankId((rank + d) % cfg.nranks),
+                    RankId((rank + cfg.nranks - d % cfg.nranks) % cfg.nranks),
+                ]
+            })
+            .filter(|r| r.0 != rank)
+            .collect(),
+    }
+}
+
+fn rank_body(ctx: &mut RankCtx<'_>, cfg: &CfdCfg) -> CfdRankReport {
+    let me = ctx.rank();
+    let slot_bytes = u64::from(cfg.halo_cells) * 8;
+    let win_bytes = u64::from(cfg.nranks) * slot_bytes;
+
+    // Two windows, like the proxy: gradients and fluxes.
+    let win_grad = ctx.win_allocate(win_bytes);
+    let win_flux = ctx.win_allocate(win_bytes);
+
+    // Interior field (compute phase) and per-peer staging buffers.
+    let field = ctx.alloc(u64::from(cfg.interior_cells) * 8);
+    let staging = ctx.alloc(slot_bytes);
+    for c in 0..cfg.interior_cells {
+        ctx.store_u64_untracked(&field, u64::from(c) * 8, u64::from(me.0) * 1000 + u64::from(c));
+    }
+    ctx.barrier();
+
+    let neighbors = neighbors_of(me.0, cfg);
+    let mut epoch_secs = 0.0f64;
+    let mut checksum = 0u64;
+
+    for iter in 0..cfg.iterations {
+        ctx.poll_abort();
+        for win in [win_grad, win_flux] {
+            // Gather: fill the staging buffer from the interior field
+            // (before the epoch, like the proxy's gather kernels).
+            for c in 0..cfg.halo_cells {
+                let v = u64::from(me.0) ^ u64::from(iter) ^ u64::from(c);
+                ctx.store_u64(&staging, u64::from(c) * 8, v);
+            }
+
+            // Halo exchange epoch: issue the puts, then overlap the
+            // interior sweep with the in-flight communication.
+            let t0 = Instant::now();
+            ctx.win_lock_all(win);
+            for &peer in &neighbors {
+                let slot = u64::from(me.0) * slot_bytes;
+                for c in 0..cfg.halo_cells {
+                    let off = u64::from(c) * 8;
+                    ctx.put(&staging, off, 8, peer, slot + off, win);
+                }
+                if cfg.inject_race && iter == 0 {
+                    // Figure 9a: the duplicated MPI_Put.
+                    ctx.put(&staging, 0, 8, peer, slot, win);
+                }
+            }
+            // Overlapped interior compute: alias-filtered accesses that
+            // only ThreadSanitizer-style tools pay for.
+            for c in 0..cfg.interior_cells {
+                let off = u64::from(c) * 8;
+                let v = ctx.load_u64_untracked(&field, off);
+                ctx.store_u64_untracked(&field, off, v.rotate_left(1) ^ u64::from(iter));
+            }
+            ctx.win_unlock_all(win);
+            epoch_secs += t0.elapsed().as_secs_f64();
+            ctx.barrier();
+
+            // Scatter: read received halos (the epoch closed and a
+            // barrier passed, so these are ordered).
+            let wb = ctx.win_buf(win);
+            for &peer in &neighbors {
+                let slot = u64::from(peer.0) * slot_bytes;
+                for c in (0..cfg.halo_cells).step_by(8) {
+                    checksum ^= ctx.load_u64(&wb, slot + u64::from(c) * 8);
+                }
+            }
+        }
+    }
+    for c in 0..cfg.interior_cells {
+        checksum ^= ctx.load_u64_untracked(&field, u64::from(c) * 8);
+    }
+    CfdRankReport { epoch_secs, checksum }
+}
+
+/// Runs CFD-Proxy-sim under the given method.
+pub fn run_cfd(cfg: &CfdCfg, method: &MethodRun) -> CfdReport {
+    let world = WorldCfg::with_ranks(cfg.nranks);
+    let out: RunOutcome<CfdRankReport> =
+        World::run(world, method.monitor.clone(), |ctx| rank_body(ctx, cfg));
+    let raced = out.raced() || !method.races().is_empty();
+    let ranks = out.results.into_iter().flatten().collect();
+    CfdReport { ranks, raced }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::Method;
+
+    fn small() -> CfdCfg {
+        CfdCfg {
+            nranks: 4,
+            iterations: 3,
+            halo_cells: 8,
+            interior_cells: 32,
+            ..CfdCfg::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_is_race_free_under_all_methods() {
+        for method in Method::PAPER_SET {
+            let run = MethodRun::new(method, small().nranks);
+            let report = run_cfd(&small(), &run);
+            assert!(!report.raced, "{method:?} flagged a race in a correct program");
+            assert_eq!(report.ranks.len(), 4);
+        }
+    }
+
+    #[test]
+    fn checksum_is_method_independent() {
+        let base = run_cfd(&small(), &MethodRun::new(Method::Baseline, 4)).checksum();
+        for method in [Method::Legacy, Method::Must, Method::Contribution] {
+            let r = run_cfd(&small(), &MethodRun::new(method, 4));
+            assert_eq!(r.checksum(), base, "{method:?} changed program semantics");
+        }
+    }
+
+    #[test]
+    fn injected_race_detected_by_detectors() {
+        let cfg = CfdCfg { inject_race: true, ..small() };
+        for (method, expect) in [
+            (Method::Baseline, false),
+            (Method::Legacy, true),
+            (Method::Must, true),
+            (Method::Contribution, true),
+        ] {
+            let run = MethodRun::new(method, cfg.nranks);
+            let report = run_cfd(&cfg, &run);
+            assert_eq!(report.raced, expect, "{method:?}");
+        }
+    }
+
+    /// The paper's node-count claim: per-peer contiguous slots merge into
+    /// a few nodes under the contribution, stay linear under legacy.
+    #[test]
+    fn node_reduction_shape() {
+        let cfg = small();
+        let legacy = MethodRun::new(Method::Legacy, cfg.nranks);
+        run_cfd(&cfg, &legacy);
+        let merged = MethodRun::new(Method::Contribution, cfg.nranks);
+        run_cfd(&cfg, &merged);
+        let l = legacy.analyzer.as_ref().unwrap().total_epoch_end_nodes();
+        let m = merged.analyzer.as_ref().unwrap().total_epoch_end_nodes();
+        assert!(
+            (m as f64) < (l as f64) * 0.10,
+            "expected >90% node reduction, got legacy={l} merged={m}"
+        );
+    }
+
+    #[test]
+    fn ring_neighbourhood_variant_runs() {
+        let cfg = CfdCfg { neighbors: Some(1), ..small() };
+        let run = MethodRun::new(Method::Contribution, cfg.nranks);
+        let report = run_cfd(&cfg, &run);
+        assert!(!report.raced);
+        assert!(report.epoch_secs() > 0.0);
+    }
+}

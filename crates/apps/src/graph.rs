@@ -1,0 +1,200 @@
+//! Synthetic distributed graph substrate for MiniVite-sim.
+//!
+//! The real MiniVite evaluates on generated random geometric graphs (or
+//! file inputs); what the paper's experiment needs from the graph is (a)
+//! a deterministic edge structure shared by all ranks without
+//! communication, (b) a tunable vertex count and degree, and (c) a
+//! boundary structure where a sizeable share of each vertex's neighbours
+//! live on other ranks. A seeded hash-based pseudo-random regular graph
+//! provides all three with O(1) memory.
+
+/// Deterministic, communication-free distributed graph description.
+#[derive(Clone, Copy, Debug)]
+pub struct Graph {
+    /// Total vertex count.
+    pub nv: u64,
+    /// Out-degree of every vertex.
+    pub degree: u32,
+    /// Seed defining the edge structure.
+    pub seed: u64,
+    /// Spatial locality window: neighbours lie within `±locality` vertex
+    /// ids (`None` = uniform random). Random geometric graphs — the real
+    /// MiniVite's input class — have exactly this property under a block
+    /// partition: almost all edges are local, and boundary vertices are
+    /// shared with one or two neighbouring partitions.
+    pub locality: Option<u64>,
+}
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl Graph {
+    /// A uniform random graph with `nv` vertices of out-degree `degree`.
+    pub fn new(nv: u64, degree: u32, seed: u64) -> Self {
+        assert!(nv >= 2, "graph needs at least two vertices");
+        Graph { nv, degree, seed, locality: None }
+    }
+
+    /// A geometric-like graph: neighbours within `±window` vertex ids.
+    pub fn with_locality(nv: u64, degree: u32, seed: u64, window: u64) -> Self {
+        assert!(nv >= 2 && window >= 1);
+        Graph { nv, degree, seed, locality: Some(window) }
+    }
+
+    /// The `j`-th neighbour of vertex `u` (never `u` itself).
+    #[inline]
+    pub fn neighbor(&self, u: u64, j: u32) -> u64 {
+        let h = splitmix64(self.seed ^ splitmix64(u.wrapping_mul(0x10001) ^ u64::from(j)));
+        match self.locality {
+            None => {
+                let v = h % (self.nv - 1);
+                // Skip over `u` so self-loops never appear.
+                if v >= u {
+                    v + 1
+                } else {
+                    v
+                }
+            }
+            Some(w) => {
+                let w = w.min(self.nv - 1);
+                let delta = 1 + (h >> 1) % w;
+                if h & 1 == 0 {
+                    (u + delta) % self.nv
+                } else {
+                    (u + self.nv - delta % self.nv) % self.nv
+                }
+            }
+        }
+    }
+
+    /// Iterator over `u`'s neighbours.
+    pub fn neighbors(&self, u: u64) -> impl Iterator<Item = u64> + '_ {
+        (0..self.degree).map(move |j| self.neighbor(u, j))
+    }
+
+    /// Block distribution: rank owning vertex `u` among `nranks`.
+    #[inline]
+    pub fn owner(&self, u: u64, nranks: u32) -> u32 {
+        let per = self.nv.div_ceil(u64::from(nranks));
+        u32::try_from(u / per).expect("owner fits in u32")
+    }
+
+    /// Global vertex range `[lo, hi)` owned by `rank`.
+    pub fn local_range(&self, rank: u32, nranks: u32) -> (u64, u64) {
+        let per = self.nv.div_ceil(u64::from(nranks));
+        let lo = u64::from(rank) * per;
+        let hi = (lo + per).min(self.nv);
+        (lo, hi.max(lo))
+    }
+
+    /// Index of `u` within its owner's range.
+    #[inline]
+    pub fn local_index(&self, u: u64, nranks: u32) -> u64 {
+        let (lo, _) = self.local_range(self.owner(u, nranks), nranks);
+        u - lo
+    }
+
+    /// Maximum vertices owned by any rank.
+    pub fn max_local(&self, nranks: u32) -> u64 {
+        self.nv.div_ceil(u64::from(nranks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_self_loops_and_in_range() {
+        let g = Graph::new(1000, 8, 42);
+        for u in (0..1000).step_by(37) {
+            for v in g.neighbors(u) {
+                assert_ne!(v, u);
+                assert!(v < g.nv);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g1 = Graph::new(500, 4, 7);
+        let g2 = Graph::new(500, 4, 7);
+        for u in 0..500 {
+            assert!(g1.neighbors(u).eq(g2.neighbors(u)));
+        }
+        let g3 = Graph::new(500, 4, 8);
+        assert!((0..500).any(|u| !g1.neighbors(u).eq(g3.neighbors(u))));
+    }
+
+    #[test]
+    fn ownership_partitions_vertices() {
+        let g = Graph::new(1003, 4, 1);
+        let nranks = 7;
+        let mut seen = 0u64;
+        for r in 0..nranks {
+            let (lo, hi) = g.local_range(r, nranks);
+            for u in lo..hi {
+                assert_eq!(g.owner(u, nranks), r);
+                assert_eq!(g.local_index(u, nranks), u - lo);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, g.nv);
+    }
+
+    #[test]
+    fn boundary_edges_exist() {
+        let g = Graph::new(4096, 8, 3);
+        let nranks = 8;
+        let (lo, hi) = g.local_range(0, nranks);
+        let boundary = (lo..hi)
+            .flat_map(|u| g.neighbors(u))
+            .filter(|&v| g.owner(v, nranks) != 0)
+            .count();
+        assert!(boundary > 0, "random graph must cross rank boundaries");
+    }
+
+    #[test]
+    fn locality_bounds_neighbour_distance() {
+        let g = Graph::with_locality(10_000, 8, 5, 32);
+        for u in (0..10_000).step_by(173) {
+            for v in g.neighbors(u) {
+                assert_ne!(v, u);
+                let d = v.abs_diff(u);
+                let ring = d.min(g.nv - d);
+                assert!(ring <= 32, "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn locality_keeps_most_edges_on_rank() {
+        let g = Graph::with_locality(8192, 8, 9, 16);
+        let nranks = 8;
+        let (lo, hi) = g.local_range(2, nranks);
+        let total = (hi - lo) * u64::from(g.degree);
+        let remote = (lo..hi)
+            .flat_map(|u| g.neighbors(u))
+            .filter(|&v| g.owner(v, nranks) != 2)
+            .count() as u64;
+        assert!(remote > 0);
+        assert!(remote * 10 < total, "remote={remote}/{total}: edges must be mostly local");
+    }
+
+    #[test]
+    fn max_local_bounds_every_rank() {
+        let g = Graph::new(1003, 4, 1);
+        for nranks in [1u32, 3, 7, 16] {
+            let cap = g.max_local(nranks);
+            for r in 0..nranks {
+                let (lo, hi) = g.local_range(r, nranks);
+                assert!(hi - lo <= cap);
+            }
+        }
+    }
+}

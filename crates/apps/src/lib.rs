@@ -1,0 +1,33 @@
+//! # rma-apps — the evaluation's proxy applications
+//!
+//! The paper evaluates on two "real-life" MPI-RMA applications; this
+//! crate provides their simulated equivalents, built on `rma-sim`:
+//!
+//! * [`minivite`] — single-phase distributed Louvain community detection
+//!   (label-propagation flavour) with MiniVite's RMA communication
+//!   structure: one passive-target epoch, strided per-vertex attribute
+//!   accesses, contiguous per-peer staging slabs (Figures 11/12,
+//!   Table 4, Figure 9 injection).
+//! * [`cfd`] — CFD-Proxy's halo exchange: two windows, per-peer window
+//!   slots, cell-wise puts, alias-filtered compute phase (Figure 10).
+//! * [`bfs`] — a Graph500-style level-synchronized BFS pushing remote
+//!   discoveries with atomic `MPI_Accumulate(BOR)` operations (the
+//!   paper's Section 2.1 motivating workload).
+//! * [`graph`] — the deterministic synthetic graph substrate.
+//! * [`method`] — the Baseline / RMA-Analyzer / MUST-RMA / Contribution
+//!   method axis shared by every figure.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bfs;
+pub mod cfd;
+pub mod graph;
+pub mod method;
+pub mod minivite;
+
+pub use bfs::{run_bfs, BfsCfg, BfsReport};
+pub use cfd::{run_cfd, CfdCfg, CfdReport};
+pub use graph::Graph;
+pub use method::{Method, MethodRun};
+pub use minivite::{run_minivite, MiniViteCfg, MiniViteReport};

@@ -1,0 +1,42 @@
+//! Figure 10: cumulative time spent in the epochs of CFD-Proxy-sim for
+//! each method (paper: 1 node, 12 ranks, 50 iterations), plus the
+//! Section 5.3 node-count claim (90,004 → 54, a 99.94% reduction).
+
+use rma_apps::{run_cfd, CfdCfg, Method, MethodRun};
+use rma_bench::{fmt_secs, median_secs, Table};
+
+fn main() {
+    let cfg = CfdCfg::default(); // 12 ranks, 50 iterations
+    println!(
+        "Figure 10: CFD-Proxy-sim cumulative epoch time ({} ranks, {} iterations)\n",
+        cfg.nranks, cfg.iterations
+    );
+
+    let mut t = Table::new(&["method", "time in epochs", "vs baseline", "BST nodes (epoch-end sum)"]);
+    let mut baseline = None;
+    for method in Method::PAPER_SET {
+        let mut nodes = String::from("-");
+        let secs = median_secs(|| {
+            let run = MethodRun::new(method, cfg.nranks);
+            let report = run_cfd(&cfg, &run);
+            assert!(!report.raced, "CFD-Proxy-sim is race-free");
+            if let Some(a) = &run.analyzer {
+                nodes = a.total_epoch_end_nodes().to_string();
+            }
+            report.epoch_secs()
+        });
+        if method == Method::Baseline {
+            baseline = Some(secs);
+        }
+        let rel = baseline.map_or("-".to_string(), |b| format!("{:.2}x", secs / b));
+        t.row(&[method.name().to_string(), fmt_secs(secs), rel, nodes]);
+    }
+    t.print();
+
+    println!(
+        "\npaper: overhead greatly reduced vs RMA-Analyzer (up to 2x) thanks to\n\
+         the merging algorithm (BST 90,004 -> 54 nodes, -99.94%); MUST-RMA\n\
+         slows down most (ThreadSanitizer instruments all accesses, no alias\n\
+         filtering)."
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 12: MiniVite-sim epoch time for 32-256 ranks, 1,280,000
+//! vertices (scaled by `RMA_SCALE`, default 40 -> 32,000), four methods.
+
+use rma_apps::{run_minivite, Method, MethodRun, MiniViteCfg};
+use rma_bench::{fmt_secs, median_secs, rank_sweep, scale, Table};
+
+fn main() {
+    let paper_nv: u64 = 1_280_000;
+    let nv = paper_nv / scale();
+    println!(
+        "Figure 12: MiniVite-sim epoch time, {} vertices (paper {} / RMA_SCALE {})\n",
+        nv,
+        paper_nv,
+        scale()
+    );
+    let mut t = Table::new(&[
+        "ranks",
+        "Baseline",
+        "RMA-Analyzer",
+        "MUST-RMA",
+        "Our Contribution",
+        "Legacy/Ours",
+        "MUST/Ours",
+    ]);
+    for nranks in rank_sweep() {
+        let mut secs = Vec::new();
+        for method in Method::PAPER_SET {
+            let cfg = MiniViteCfg { nranks, nv, ..MiniViteCfg::default() };
+            secs.push(median_secs(|| {
+                let run = MethodRun::new(method, nranks);
+                let report = run_minivite(&cfg, &run);
+                assert!(!report.raced, "MiniVite-sim is race-free");
+                report.epoch_secs()
+            }));
+        }
+        let (base, legacy, must, ours) = (secs[0], secs[1], secs[2], secs[3]);
+        t.row(&[
+            nranks.to_string(),
+            fmt_secs(base),
+            fmt_secs(legacy),
+            fmt_secs(must),
+            fmt_secs(ours),
+            format!("{:.2}x", legacy / ours),
+            format!("{:.2}x", must / ours),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper: RMA-Analyzer and the contribution are substantially equal on\n\
+         MiniVite (merging gains little, Table 4); MUST-RMA's overhead grows\n\
+         with the rank count (O(P) vector clocks shipped per operation).\n\
+         Note: ranks are threads on one machine, so the baseline cannot\n\
+         strong-scale and the instrumented columns serialise all ranks'\n\
+         analysis work — compare the tool columns against each other."
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 5 / Code 1 (Figure 8a): the legacy false negative and its fix.
+//!
+//! Prints the BST contents after `Load(4); MPI_Put(2,12)` and the verdict
+//! on the subsequent `Store(7)` for the legacy insertion, the
+//! fragmentation-only insertion (the exact tree of Figure 5b), and the
+//! full contribution.
+
+use rma_core::{
+    AccessKind, AccessStore, FragMergeStore, Interval, LegacyStore, MemAccess, RankId, SrcLoc,
+};
+
+fn acc(lo: u64, hi: u64, kind: AccessKind, line: u32) -> MemAccess {
+    MemAccess::new(Interval::new(lo, hi), kind, RankId(0), SrcLoc::synthetic("code1.c", line))
+}
+
+fn show(name: &str, store: &mut dyn AccessStore) {
+    store.record(acc(4, 4, AccessKind::LocalRead, 1)).expect("Load(4) is safe");
+    store.record(acc(2, 12, AccessKind::RmaRead, 2)).expect("MPI_Put(2,12) is safe");
+    println!("{name}: BST after Load(4); MPI_Put(2,12):");
+    for a in store.snapshot() {
+        println!("  ({:?}, {})", a.interval, a.kind);
+    }
+    match store.record(acc(7, 7, AccessKind::LocalWrite, 3)) {
+        Ok(()) => println!("  Store(7): NO ERROR (false negative)\n"),
+        Err(report) => println!("  Store(7): RACE — {report}\n"),
+    }
+}
+
+fn main() {
+    println!("Code 1 (Figure 8a): Load(4); MPI_Put(2,12); Store(7)\n");
+    show("RMA-Analyzer (legacy, Figure 5a)", &mut LegacyStore::new());
+    show(
+        "Fragmentation only (the exact tree of Figure 5b)",
+        &mut FragMergeStore::without_merging(),
+    );
+    show("Our Contribution (fragmentation + merging)", &mut FragMergeStore::new());
+    println!(
+        "paper: the legacy tool inserts ([2...12], RMA_Read) off the search\n\
+         path of Store(7) and misses the race; the fragmented (disjoint)\n\
+         tree catches it."
+    );
+}

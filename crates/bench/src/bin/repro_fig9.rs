@@ -1,0 +1,28 @@
+//! Figure 9: a data race manually inserted in MiniVite (a duplicated
+//! `MPI_Put`) and the report returned to the developer.
+
+use rma_apps::{run_minivite, Method, MethodRun, MiniViteCfg};
+
+fn main() {
+    let cfg = MiniViteCfg { nranks: 8, nv: 4000, inject_race: true, ..MiniViteCfg::default() };
+    println!("Figure 9: duplicated MPI_Put injected into MiniVite-sim");
+    println!("$ mpiexec -n {} ./minivite-sim -l -n {}\n", cfg.nranks, cfg.nv);
+
+    for method in [Method::Legacy, Method::Contribution] {
+        // Aborting policy, like the real tool (the world stops at the
+        // first report, as in the paper's transcript).
+        let run = MethodRun::aborting(method, cfg.nranks);
+        let report = run_minivite(&cfg, &run);
+        println!("--- {} ---", method.name());
+        assert!(report.raced, "{method:?} must catch the duplicated put");
+        for race in run.races().iter().take(2) {
+            println!("{race} The program will be exiting now with MPI_Abort.");
+        }
+        println!();
+    }
+    println!(
+        "paper: both RMA-Analyzer and the contribution detect the race; the\n\
+         report names the two conflicting source lines (./dspl.hpp:612/614\n\
+         there, the two put call sites in minivite.rs here)."
+    );
+}

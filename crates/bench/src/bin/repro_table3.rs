@@ -1,0 +1,49 @@
+//! Table 3: FP/FN/TP/TN of the three tools over the whole generated
+//! microbenchmark suite.
+
+use rma_bench::Table;
+use rma_suite::{evaluate, generate_suite, misclassified, Tool};
+
+fn main() {
+    let cases = generate_suite();
+    let racy = cases.iter().filter(|c| c.races()).count();
+    println!(
+        "Table 3: confusion matrices over the generated suite \
+         ({} codes: {} racy, {} safe; paper: 154 codes, 47 racy, 107 safe)\n",
+        cases.len(),
+        racy,
+        cases.len() - racy
+    );
+    let mut t = Table::new(&["", "RMA-Analyzer", "MUST-RMA", "Our Contribution"]);
+    let cs: Vec<_> = Tool::ALL.iter().map(|&tool| evaluate(&cases, tool)).collect();
+    for (label, pick) in [
+        ("FP", 0usize),
+        ("FN", 1),
+        ("TP", 2),
+        ("TN", 3),
+    ] {
+        let cell = |c: &rma_suite::Confusion| match pick {
+            0 => c.false_positives,
+            1 => c.false_negatives,
+            2 => c.true_positives,
+            _ => c.true_negatives,
+        };
+        t.row(&[
+            label.to_string(),
+            cell(&cs[0]).to_string(),
+            cell(&cs[1]).to_string(),
+            cell(&cs[2]).to_string(),
+        ]);
+    }
+    t.print();
+    println!("\npaper: RMA-Analyzer FP=6 FN=0, MUST-RMA FP=0 FN=15, Contribution FP=0 FN=0");
+
+    println!("\nLegacy false positives (all ordered local-then-RMA pairs):");
+    for (name, _) in misclassified(&cases, Tool::Legacy) {
+        println!("  {name}");
+    }
+    println!("\nMUST-RMA false negatives (all involve a local access on stack-window memory):");
+    for (name, _) in misclassified(&cases, Tool::MustRma) {
+        println!("  {name}");
+    }
+}

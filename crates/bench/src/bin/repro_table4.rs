@@ -1,0 +1,48 @@
+//! Table 4: number of nodes in the BST for MiniVite-sim, 32-256 ranks,
+//! both input sizes, legacy vs contribution, and the reduction.
+
+use rma_apps::{run_minivite, Method, MethodRun, MiniViteCfg};
+use rma_bench::{rank_sweep, scale, Table};
+
+fn nodes(method: Method, nranks: u32, nv: u64) -> usize {
+    let cfg = MiniViteCfg { nranks, nv, ..MiniViteCfg::default() };
+    let run = MethodRun::new(method, nranks);
+    let report = run_minivite(&cfg, &run);
+    assert!(!report.raced);
+    run.analyzer.as_ref().expect("analyzer method").total_peak_nodes()
+}
+
+fn main() {
+    let nv_small = 640_000 / scale();
+    let nv_large = 1_280_000 / scale();
+    println!(
+        "Table 4: BST node counts for MiniVite-sim ({nv_small}/{nv_large} vertices; \
+         paper 640,000/1,280,000)\n"
+    );
+    let mut t = Table::new(&[
+        "ranks",
+        "RMA-Analyzer (small/large)",
+        "Our Contribution (small/large)",
+        "Reduction of Nodes",
+    ]);
+    for nranks in rank_sweep() {
+        let (ls, ll) = (nodes(Method::Legacy, nranks, nv_small), nodes(Method::Legacy, nranks, nv_large));
+        let (ms, ml) = (
+            nodes(Method::Contribution, nranks, nv_small),
+            nodes(Method::Contribution, nranks, nv_large),
+        );
+        let red = |l: usize, m: usize| (l - m) as f64 / l as f64 * 100.0;
+        t.row(&[
+            nranks.to_string(),
+            format!("{ls}/{ll}"),
+            format!("{ms}/{ml}"),
+            format!("{:.2}%/{:.2}%", red(ls, ms), red(ll, ml)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper: 88,528/177,223 -> 88,493/176,916 (0.04%/0.17%) at 32 ranks,\n\
+         rising to 6.29%/3.44% at 256 ranks — low merging (strided attribute\n\
+         accesses), growing with the rank count."
+    );
+}

@@ -1,0 +1,134 @@
+//! # rma-bench — experiment harness
+//!
+//! One `repro_*` binary per table/figure of the paper (run with
+//! `cargo run --release -p rma-bench --bin repro_<exp>`), plus Criterion
+//! benches (`cargo bench`). `repro_all` runs every experiment in
+//! sequence.
+//!
+//! Scaling: the paper's cluster runs 32-256 MPI processes on up to 16
+//! nodes with 640k/1.28M-vertex graphs. This harness simulates ranks as
+//! threads on one machine, so default problem sizes are scaled down
+//! (vertices by ~40x); set `RMA_SCALE=<divisor>` to change the vertex
+//! scaling and `RMA_REPS` for timing repetitions. Absolute times are not
+//! comparable to the paper's testbed — the *shape* (who wins, by what
+//! factor, how it evolves with rank count) is the reproduction target;
+//! see EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::time::Instant;
+
+/// Vertex-count divisor relative to the paper (default 40).
+pub fn scale() -> u64 {
+    std::env::var("RMA_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(40)
+}
+
+/// Rank counts for the Figures 11/12 sweep (the paper's 32-256).
+pub fn rank_sweep() -> Vec<u32> {
+    vec![32, 64, 128, 256]
+}
+
+/// Repetitions for timing medians.
+pub fn reps() -> usize {
+    std::env::var("RMA_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3)
+}
+
+/// Median wall time of `reps()` runs of `f` (which returns a measured
+/// duration in seconds).
+pub fn median_secs(mut f: impl FnMut() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..reps()).map(|_| f()).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    times[times.len() / 2]
+}
+
+/// Wall-clock of one closure call.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64())
+}
+
+/// Minimal fixed-width table printer for the repro binaries.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with padded columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats seconds with 3 decimals and a unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else {
+        format!("{:.3} ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["x".into(), "1".into()]);
+        t.row(&["yyyy".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a     "));
+        assert!(lines[2].starts_with("x     "));
+    }
+
+    #[test]
+    fn fmt_secs_units() {
+        assert_eq!(fmt_secs(2.5), "2.500 s");
+        assert_eq!(fmt_secs(0.0025), "2.500 ms");
+    }
+}

@@ -1,0 +1,293 @@
+//! Memory accesses: the unit of information stored by every detector.
+//!
+//! Following the paper's Section 2.1, four kinds of access exist depending
+//! on whether the operation is local to the process or a remote memory
+//! access, and whether it reads or writes:
+//!
+//! | operation                  | origin-side record | target-side record |
+//! |----------------------------|--------------------|--------------------|
+//! | `MPI_Put`                  | `RmaRead`          | `RmaWrite`         |
+//! | `MPI_Get`                  | `RmaWrite`         | `RmaRead`          |
+//! | `Store` (plain write)      | `LocalWrite`       | —                  |
+//! | `Load` (plain read)        | `LocalRead`        | —                  |
+//!
+//! Each access also carries the *issuing rank* (needed to distinguish the
+//! ordered `Load; MPI_Get` pattern from a genuinely concurrent pair) and
+//! *debug information* (source file and line, the paper's prerequisite for
+//! actionable race reports and for the merging condition).
+
+use crate::interval::Interval;
+
+/// Identifier of an MPI process (rank) in a communicator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RankId(pub u32);
+
+impl core::fmt::Debug for RankId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl core::fmt::Display for RankId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl RankId {
+    /// The rank number as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The four access types of the paper (Section 2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A plain CPU read (`Load`) by the owner of the address space.
+    LocalRead,
+    /// A plain CPU write (`Store`) by the owner of the address space.
+    LocalWrite,
+    /// The reading half of a one-sided operation (`MPI_Put` at the origin,
+    /// `MPI_Get` at the target).
+    RmaRead,
+    /// The writing half of a one-sided operation (`MPI_Get` at the origin,
+    /// `MPI_Put` at the target).
+    RmaWrite,
+    /// The target half of an `MPI_Accumulate`: an atomic element-wise
+    /// read-modify-write. MPI guarantees atomicity at the datatype level
+    /// (the paper's Section 2.1, property 3), so two accumulates never
+    /// race with each other — but an accumulate does race with any
+    /// non-atomic conflicting access.
+    RmaAccum,
+}
+
+impl AccessKind {
+    /// Is this one half of a one-sided (RMA) communication?
+    #[inline]
+    pub fn is_rma(self) -> bool {
+        matches!(
+            self,
+            AccessKind::RmaRead | AccessKind::RmaWrite | AccessKind::RmaAccum
+        )
+    }
+
+    /// Is this a plain CPU access?
+    #[inline]
+    pub fn is_local(self) -> bool {
+        !self.is_rma()
+    }
+
+    /// Does this access modify memory?
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            AccessKind::LocalWrite | AccessKind::RmaWrite | AccessKind::RmaAccum
+        )
+    }
+
+    /// Is this an element-wise-atomic access (accumulate)?
+    #[inline]
+    pub fn is_atomic(self) -> bool {
+        matches!(self, AccessKind::RmaAccum)
+    }
+
+    /// Does this access only read memory?
+    #[inline]
+    pub fn is_read(self) -> bool {
+        !self.is_write()
+    }
+
+    /// Precedence rank used by the fragmentation table (Table 1): RMA
+    /// accesses prevail over local accesses, and WRITE accesses prevail
+    /// over READ accesses.
+    #[inline]
+    pub fn precedence(self) -> u8 {
+        match self {
+            AccessKind::LocalRead => 0,
+            AccessKind::LocalWrite => 1,
+            AccessKind::RmaRead => 2,
+            AccessKind::RmaWrite => 3,
+            AccessKind::RmaAccum => 4,
+        }
+    }
+
+    /// The paper's spelling, as used in its error reports (Figure 9b).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AccessKind::LocalRead => "LOCAL_READ",
+            AccessKind::LocalWrite => "LOCAL_WRITE",
+            AccessKind::RmaRead => "RMA_READ",
+            AccessKind::RmaWrite => "RMA_WRITE",
+            AccessKind::RmaAccum => "RMA_ACCUMULATE",
+        }
+    }
+
+    /// All kinds, for exhaustive table-driven tests.
+    pub const ALL: [AccessKind; 5] = [
+        AccessKind::LocalRead,
+        AccessKind::LocalWrite,
+        AccessKind::RmaRead,
+        AccessKind::RmaWrite,
+        AccessKind::RmaAccum,
+    ];
+}
+
+impl core::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Debug information attached to an access: the source location of the
+/// instruction that produced it.
+///
+/// The real RMA-Analyzer obtains this from LLVM debug metadata during its
+/// compile-time instrumentation; we capture the caller's Rust source
+/// location with [`core::panic::Location`] via [`SrcLoc::here`], which
+/// serves the same two purposes: actionable error messages and the
+/// equality component of the merging condition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SrcLoc {
+    /// Source file path.
+    pub file: &'static str,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl SrcLoc {
+    /// Captures the source location of the caller.
+    #[track_caller]
+    #[inline]
+    pub fn here() -> Self {
+        let l = core::panic::Location::caller();
+        SrcLoc { file: l.file(), line: l.line() }
+    }
+
+    /// A synthetic location, for generated programs (microbenchmark suite).
+    #[inline]
+    pub const fn synthetic(file: &'static str, line: u32) -> Self {
+        SrcLoc { file, line }
+    }
+}
+
+impl core::fmt::Debug for SrcLoc {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+impl core::fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+/// One recorded memory access: interval, kind, issuing rank and debug info.
+///
+/// Two accesses are *mergeable* when their intervals are adjacent and they
+/// agree on kind, issuer and debug information — differing debug info means
+/// the accesses "will not be fixed in the same way" (Section 4.2), and a
+/// differing issuer changes the conflict semantics against future accesses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Addresses touched.
+    pub interval: Interval,
+    /// Access type.
+    pub kind: AccessKind,
+    /// Rank whose instruction produced this access (for a remote access
+    /// recorded at the target, this is the *origin* rank).
+    pub issuer: RankId,
+    /// Debug information.
+    pub loc: SrcLoc,
+}
+
+impl MemAccess {
+    /// Creates an access record.
+    #[inline]
+    pub fn new(interval: Interval, kind: AccessKind, issuer: RankId, loc: SrcLoc) -> Self {
+        MemAccess { interval, kind, issuer, loc }
+    }
+
+    /// Same kind, issuer and debug information (the non-geometric half of
+    /// the merging condition).
+    #[inline]
+    pub fn same_provenance(&self, other: &MemAccess) -> bool {
+        self.kind == other.kind && self.issuer == other.issuer && self.loc == other.loc
+    }
+
+    /// Copy of `self` restricted to `interval`.
+    #[inline]
+    pub fn with_interval(&self, interval: Interval) -> MemAccess {
+        MemAccess { interval, ..*self }
+    }
+}
+
+impl core::fmt::Debug for MemAccess {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "({:?}, {} by {} at {})",
+            self.interval, self.kind, self.issuer, self.loc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        use AccessKind::*;
+        assert!(RmaRead.is_rma() && RmaWrite.is_rma());
+        assert!(LocalRead.is_local() && LocalWrite.is_local());
+        assert!(LocalWrite.is_write() && RmaWrite.is_write());
+        assert!(LocalRead.is_read() && RmaRead.is_read());
+        for k in AccessKind::ALL {
+            assert_ne!(k.is_rma(), k.is_local());
+            assert_ne!(k.is_write(), k.is_read());
+        }
+    }
+
+    #[test]
+    fn precedence_total_order_matches_table1() {
+        use AccessKind::*;
+        // RMA beats local; WRITE beats READ within a class.
+        assert!(RmaWrite.precedence() > RmaRead.precedence());
+        assert!(RmaRead.precedence() > LocalWrite.precedence());
+        assert!(LocalWrite.precedence() > LocalRead.precedence());
+    }
+
+    #[test]
+    fn display_names_match_paper_reports() {
+        assert_eq!(AccessKind::RmaWrite.to_string(), "RMA_WRITE");
+        assert_eq!(AccessKind::LocalRead.to_string(), "LOCAL_READ");
+    }
+
+    #[test]
+    fn srcloc_here_captures_this_file() {
+        let loc = SrcLoc::here();
+        assert!(loc.file.ends_with("access.rs"), "{}", loc.file);
+        assert!(loc.line > 0);
+    }
+
+    #[test]
+    fn same_provenance_requires_all_three() {
+        let l1 = SrcLoc::synthetic("a.c", 1);
+        let l2 = SrcLoc::synthetic("a.c", 2);
+        let a = MemAccess::new(Interval::new(0, 3), AccessKind::RmaRead, RankId(0), l1);
+        assert!(a.same_provenance(&a.with_interval(Interval::new(4, 7))));
+        let mut b = a;
+        b.loc = l2;
+        assert!(!a.same_provenance(&b));
+        let mut c = a;
+        c.issuer = RankId(1);
+        assert!(!a.same_provenance(&c));
+        let mut d = a;
+        d.kind = AccessKind::RmaWrite;
+        assert!(!a.same_provenance(&d));
+    }
+}

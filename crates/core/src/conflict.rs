@@ -1,0 +1,278 @@
+//! Conflict semantics: when do two accesses of the same epoch race?
+//!
+//! A data race occurs when two operations access the same memory range,
+//! at least one of them is an RMA access, and at least one of them is a
+//! write (Section 2.2). On top of that base rule the two detectors differ
+//! in one point the paper calls out in Section 5.2:
+//!
+//! * The **legacy** RMA-Analyzer "does not consider the order of
+//!   instructions within a process": `Load; MPI_Get` on the same buffer is
+//!   flagged exactly like `MPI_Get; Load`, producing false positives (the
+//!   `ll_load_get_inwindow_origin_safe` row of Table 2).
+//! * The **fixed** rule used by the paper's contribution knows that a local
+//!   access *followed by* an RMA operation issued by the same process is
+//!   ordered (the local access completed before the communication was even
+//!   initiated) and therefore cannot race. The converse — an RMA operation
+//!   followed by a local access — can race because of the completion
+//!   property: nothing completes before the end of the epoch.
+//!
+//! This module also implements Table 1, the access-type precedence used by
+//! the fragmentation pass: RMA prevails over local, WRITE prevails over
+//! READ, and equal types keep the most recent debug information.
+
+use crate::access::{AccessKind, MemAccess};
+
+/// Base rule shared by every detector: intervals intersect, an RMA access
+/// is involved, a write is involved — and the pair is not two atomic
+/// accumulates, which MPI orders element-wise (the atomicity property).
+#[inline]
+fn base_conflict(first: &MemAccess, second: &MemAccess) -> bool {
+    first.interval.intersects(&second.interval)
+        && (first.kind.is_rma() || second.kind.is_rma())
+        && (first.kind.is_write() || second.kind.is_write())
+        && !(first.kind.is_atomic() && second.kind.is_atomic())
+}
+
+/// Order-aware conflict rule (the paper's contribution).
+///
+/// `first` is the access already recorded for this epoch, `second` the new
+/// one. The pair races unless it matches the ordered pattern *local access,
+/// then RMA operation, issued by the same process*: such a pair is
+/// sequenced by the issuing process itself. Every pair whose first access
+/// is an RMA access is epoch-concurrent — including two operations issued
+/// by the same origin, since MPI-RMA communications "can happen in any
+/// order within an epoch" (the ordering property; see also Figure 9, where
+/// two identical `MPI_Put`s from one origin race at the target).
+#[inline]
+pub fn conflicts(first: &MemAccess, second: &MemAccess) -> bool {
+    base_conflict(first, second)
+        && !(first.kind.is_local() && second.kind.is_rma() && first.issuer == second.issuer)
+}
+
+/// Order-insensitive conflict rule of the legacy RMA-Analyzer.
+///
+/// Identical to [`conflicts`] except that the ordered local-then-RMA
+/// pattern is *also* flagged, reproducing the 6 false positives the paper
+/// reports for RMA-Analyzer on the microbenchmark suite (Table 3).
+#[inline]
+pub fn legacy_conflicts(first: &MemAccess, second: &MemAccess) -> bool {
+    base_conflict(first, second)
+}
+
+/// Which access' type and debug information survives on the overlapping
+/// fragment (Table 1): the access with the higher precedence; ties keep
+/// the *new* access (most recent debug information).
+///
+/// Returns `true` when the new access prevails.
+#[inline]
+pub fn precedence(existing: AccessKind, new: AccessKind) -> bool {
+    new.precedence() >= existing.precedence()
+}
+
+/// Resolves the overlap of an existing and a new access per Table 1,
+/// yielding the access record that represents the intersection fragment.
+///
+/// Callers must have already established that the pair does not race (the
+/// red cells of Table 1 are reported by the race check before the
+/// fragmentation pass runs, per Algorithm 1).
+#[inline]
+pub fn combine(existing: &MemAccess, new: &MemAccess, overlap: crate::Interval) -> MemAccess {
+    if precedence(existing.kind, new.kind) {
+        new.with_interval(overlap)
+    } else {
+        existing.with_interval(overlap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Interval, RankId, SrcLoc};
+    use AccessKind::*;
+
+    fn acc(kind: AccessKind, issuer: u32) -> MemAccess {
+        MemAccess::new(Interval::new(0, 9), kind, RankId(issuer), SrcLoc::synthetic("t.c", 1))
+    }
+
+    fn acc_at(kind: AccessKind, issuer: u32, lo: u64, hi: u64) -> MemAccess {
+        MemAccess::new(Interval::new(lo, hi), kind, RankId(issuer), SrcLoc::synthetic("t.c", 1))
+    }
+
+    #[test]
+    fn no_conflict_without_intersection() {
+        let a = acc_at(RmaWrite, 0, 0, 4);
+        let b = acc_at(RmaWrite, 1, 5, 9);
+        assert!(!conflicts(&a, &b));
+        assert!(!legacy_conflicts(&a, &b));
+    }
+
+    #[test]
+    fn no_conflict_without_rma() {
+        // Local/local pairs never race in this model, even write/write:
+        // they are issued by the single owner thread of the address space.
+        assert!(!conflicts(&acc(LocalWrite, 0), &acc(LocalWrite, 0)));
+        assert!(!conflicts(&acc(LocalRead, 0), &acc(LocalWrite, 0)));
+        assert!(!legacy_conflicts(&acc(LocalWrite, 0), &acc(LocalRead, 0)));
+    }
+
+    #[test]
+    fn no_conflict_without_write() {
+        assert!(!conflicts(&acc(RmaRead, 0), &acc(RmaRead, 1)));
+        assert!(!conflicts(&acc(RmaRead, 0), &acc(LocalRead, 0)));
+        assert!(!conflicts(&acc(LocalRead, 0), &acc(RmaRead, 1)));
+    }
+
+    /// The fix of Section 5.2: `Load; MPI_Get` issued by one process is
+    /// safe, `MPI_Get; Load` races.
+    #[test]
+    fn local_then_rma_same_process_is_ordered() {
+        let load = acc(LocalRead, 0);
+        let get_origin_write = acc(RmaWrite, 0); // MPI_Get writes the origin buffer
+        assert!(!conflicts(&load, &get_origin_write));
+        assert!(conflicts(&get_origin_write, &load));
+        // The legacy matrix flags both directions (the false positive).
+        assert!(legacy_conflicts(&load, &get_origin_write));
+        assert!(legacy_conflicts(&get_origin_write, &load));
+    }
+
+    #[test]
+    fn store_then_put_same_process_is_ordered() {
+        let store = acc(LocalWrite, 0);
+        let put_origin_read = acc(RmaRead, 0); // MPI_Put reads the origin buffer
+        assert!(!conflicts(&store, &put_origin_read));
+        assert!(conflicts(&put_origin_read, &store));
+    }
+
+    /// A local access followed by a remote access *from another process*
+    /// is concurrent: the target never synchronised with the origin.
+    #[test]
+    fn local_then_rma_other_process_races() {
+        let store = acc(LocalWrite, 1); // target's own store into its window
+        let put_write = acc(RmaWrite, 0); // origin 0's put arriving
+        assert!(conflicts(&store, &put_write));
+        assert!(conflicts(&put_write, &store));
+    }
+
+    /// Figure 9: two puts from the same origin to the same target location
+    /// race (ordering property — RMA ops within an epoch are unordered).
+    #[test]
+    fn rma_rma_same_origin_races() {
+        assert!(conflicts(&acc(RmaWrite, 0), &acc(RmaWrite, 0)));
+        assert!(conflicts(&acc(RmaWrite, 0), &acc(RmaRead, 0)));
+        assert!(conflicts(&acc(RmaRead, 0), &acc(RmaWrite, 0)));
+    }
+
+    /// The atomicity property: accumulates never race with each other,
+    /// from any combination of origins, but race with everything else
+    /// that conflicts.
+    #[test]
+    fn accumulate_atomicity() {
+        assert!(!conflicts(&acc(RmaAccum, 0), &acc(RmaAccum, 1)));
+        assert!(!conflicts(&acc(RmaAccum, 0), &acc(RmaAccum, 0)));
+        assert!(!legacy_conflicts(&acc(RmaAccum, 0), &acc(RmaAccum, 1)));
+        assert!(conflicts(&acc(RmaAccum, 0), &acc(RmaWrite, 1)));
+        assert!(conflicts(&acc(RmaAccum, 0), &acc(RmaRead, 1)));
+        assert!(conflicts(&acc(RmaAccum, 0), &acc(LocalRead, 0)));
+        // Local access then accumulate by the same process: ordered.
+        assert!(!conflicts(&acc(LocalWrite, 0), &acc(RmaAccum, 0)));
+        assert!(conflicts(&acc(LocalWrite, 0), &acc(RmaAccum, 1)));
+    }
+
+    /// Exhaustive check of the order-aware matrix over all kind pairs and
+    /// same/different issuers, against the first-principles rule.
+    #[test]
+    fn conflict_matrix_exhaustive() {
+        for first in AccessKind::ALL {
+            for second in AccessKind::ALL {
+                for same in [true, false] {
+                    let a = acc(first, 0);
+                    let b = acc(second, if same { 0 } else { 1 });
+                    let rma = first.is_rma() || second.is_rma();
+                    let write = first.is_write() || second.is_write();
+                    let both_atomic = first.is_atomic() && second.is_atomic();
+                    let ordered = first.is_local() && second.is_rma() && same;
+                    assert_eq!(
+                        conflicts(&a, &b),
+                        rma && write && !both_atomic && !ordered,
+                        "{first:?} then {second:?} same={same}"
+                    );
+                    assert_eq!(legacy_conflicts(&a, &b), rma && write && !both_atomic);
+                }
+            }
+        }
+    }
+
+    /// Table 1, cell by cell. Rows: access already in the BST; columns:
+    /// the new access. `x` cells are races under the order-aware rule when
+    /// issuers differ or the stored access is RMA.
+    #[test]
+    fn table1_resulting_kind() {
+        use AccessKind::*;
+        // (existing, new, expected surviving kind, expected "new wins")
+        let cases: &[(AccessKind, AccessKind, AccessKind, bool)] = &[
+            (LocalRead, LocalRead, LocalRead, true),   // Local_R-2
+            (LocalRead, LocalWrite, LocalWrite, true), // Local_W-2
+            (LocalRead, RmaRead, RmaRead, true),       // RMA_R-2
+            (LocalRead, RmaWrite, RmaWrite, true),     // RMA_W-2
+            (LocalWrite, LocalRead, LocalWrite, false), // Local_W-1
+            (LocalWrite, LocalWrite, LocalWrite, true), // Local_W-2
+            (LocalWrite, RmaRead, RmaRead, true),      // RMA_R-2
+            (LocalWrite, RmaWrite, RmaWrite, true),    // RMA_W-2
+            (RmaRead, LocalRead, RmaRead, false),      // RMA_R-1
+            (RmaRead, RmaRead, RmaRead, true),         // RMA_R-2
+            (RmaWrite, RmaWrite, RmaWrite, true),      // only reachable same-origin? races; see below
+        ];
+        let l_old = SrcLoc::synthetic("t.c", 10);
+        let l_new = SrcLoc::synthetic("t.c", 20);
+        for &(ek, nk, want, new_wins) in cases {
+            let e = MemAccess::new(Interval::new(0, 9), ek, RankId(0), l_old);
+            let n = MemAccess::new(Interval::new(5, 14), nk, RankId(0), l_new);
+            let got = combine(&e, &n, Interval::new(5, 9));
+            assert_eq!(got.kind, want, "{ek:?} + {nk:?}");
+            assert_eq!(got.interval, Interval::new(5, 9));
+            assert_eq!(got.loc, if new_wins { l_new } else { l_old });
+        }
+    }
+
+    /// The red cells of Table 1 are exactly the racy combinations (when the
+    /// second access comes from another process, plus every RMA-first row).
+    #[test]
+    fn table1_red_cells_match_conflict_rule() {
+        use AccessKind::*;
+        let red = |e: AccessKind, n: AccessKind| -> bool {
+            // Red cells in the paper's Table 1 (extended with the
+            // accumulate column/row of our Section-2.1 atomicity
+            // extension):
+            matches!(
+                (e, n),
+                (RmaRead, LocalWrite)
+                    | (RmaRead, RmaWrite)
+                    | (RmaRead, RmaAccum)
+                    | (RmaWrite, LocalRead)
+                    | (RmaWrite, LocalWrite)
+                    | (RmaWrite, RmaRead)
+                    | (RmaWrite, RmaWrite)
+                    | (RmaWrite, RmaAccum)
+                    | (RmaAccum, LocalRead)
+                    | (RmaAccum, LocalWrite)
+                    | (RmaAccum, RmaRead)
+                    | (RmaAccum, RmaWrite)
+            )
+        };
+        for e in AccessKind::ALL {
+            for n in AccessKind::ALL {
+                let a = acc(e, 0);
+                // Same-process second access:
+                let b_same = acc(n, 0);
+                // A red cell with an RMA-first row races even same-process.
+                if e.is_rma() {
+                    assert_eq!(conflicts(&a, &b_same), red(e, n), "{e:?}/{n:?} same");
+                }
+                // Cross-process local second access on a local-first row is
+                // race iff a write and an RMA are involved — those are the
+                // cells the paper marks "a data race may be detected if the
+                // second memory access is from another process".
+            }
+        }
+    }
+}

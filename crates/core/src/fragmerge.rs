@@ -1,0 +1,503 @@
+//! The paper's contribution: the fragmentation + merging insertion
+//! algorithm (Algorithm 1, Sections 4.1 and 4.2).
+//!
+//! Invariant: the stored intervals are always pairwise **disjoint**. This
+//! is what restores soundness — with disjoint intervals the augmented
+//! interval-tree query of [`Avl::for_each_overlapping`] finds *every*
+//! stored access intersecting a new one, so no conflict can hide in an
+//! unvisited subtree (the legacy failure mode of Figure 5a).
+//!
+//! Each insertion performs the five steps of Algorithm 1 / Figure 4:
+//!
+//! 1. `data_race_detection` — exact intersection query with the
+//!    order-aware conflict rule; on conflict the access is rejected with a
+//!    [`RaceReport`].
+//! 2. `get_intersecting_accesses` — all stored accesses intersecting *or
+//!    touching* the new interval (touching neighbours are needed by the
+//!    merging pass; a candidate that ends up unchanged is left in place).
+//! 3. `fragment_accesses` — splits the stored accesses and the new access
+//!    into disjoint fragments; on each overlap the access type and debug
+//!    information are resolved by Table 1 ([`combine`]).
+//! 4. `merge_accesses` — fuses adjacent fragments with identical access
+//!    type, issuer and debug information (Figure 7).
+//! 5. `finish_insertion` — swaps the old nodes for the new fragments,
+//!    leaving untouched nodes in place.
+
+use crate::access::MemAccess;
+use crate::avl::Avl;
+use crate::conflict::{combine, conflicts};
+use crate::interval::{Addr, Interval};
+use crate::report::RaceReport;
+use crate::store::{AccessStore, StoreStats};
+use core::ops::ControlFlow;
+
+/// Access store implementing the new insertion algorithm.
+///
+/// The merging pass can be disabled ([`FragMergeStore::without_merging`])
+/// to measure the node blow-up the paper warns about at the end of
+/// Section 4.1 ("each new access possibly increases the nodes in the BST
+/// by two"); this is the `fragmentation-only` ablation of the benchmark
+/// suite.
+pub struct FragMergeStore {
+    tree: Avl,
+    stats: StoreStats,
+    merge_enabled: bool,
+    /// Scratch buffers reused across insertions to keep the hot path
+    /// allocation-free once warmed up.
+    inter: Vec<MemAccess>,
+    frags: Vec<MemAccess>,
+}
+
+impl Default for FragMergeStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FragMergeStore {
+    /// An empty store with merging enabled (the paper's algorithm).
+    pub fn new() -> Self {
+        FragMergeStore {
+            tree: Avl::new(),
+            stats: StoreStats::default(),
+            merge_enabled: true,
+            inter: Vec::new(),
+            frags: Vec::new(),
+        }
+    }
+
+    /// An empty store running fragmentation only (ablation).
+    pub fn without_merging() -> Self {
+        FragMergeStore { merge_enabled: false, ..Self::new() }
+    }
+
+    /// Is the merging pass enabled?
+    pub fn merging_enabled(&self) -> bool {
+        self.merge_enabled
+    }
+
+    /// Read access to the underlying tree (diagnostics/benchmarks).
+    pub fn tree(&self) -> &Avl {
+        &self.tree
+    }
+
+    /// Step 1 of Algorithm 1: is there a stored access racing with `acc`?
+    ///
+    /// Exposed separately so callers (and tests) can run the detection
+    /// without mutating the store.
+    pub fn check(&self, acc: &MemAccess) -> Option<RaceReport> {
+        let mut hit = None;
+        let _ = self.tree.for_each_overlapping(acc.interval, &mut |stored| {
+            if conflicts(stored, acc) {
+                hit = Some(RaceReport::new(*stored, *acc));
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        hit
+    }
+
+    /// Checks the disjointness invariant (test helper). Panics on
+    /// violation.
+    pub fn assert_disjoint(&self) {
+        let snap = self.tree.in_order();
+        for w in snap.windows(2) {
+            assert!(
+                w[0].interval.hi < w[1].interval.lo,
+                "stored intervals overlap: {:?} and {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+/// Step 3: fragments `inter ∪ {new}` into disjoint pieces.
+///
+/// `inter` must be sorted by lower bound, pairwise disjoint, and contain
+/// only accesses intersecting or touching `new.interval` (the output of
+/// step 2). Purely touching accesses pass through unchanged, positioned so
+/// the output stays sorted. The output covers exactly
+/// `new.interval ∪ ⋃ inter` and is pairwise disjoint.
+fn fragment_accesses(inter: &[MemAccess], new: &MemAccess, out: &mut Vec<MemAccess>) {
+    out.clear();
+    // Next still-uncovered address of the new access; `None` once the new
+    // interval is fully covered (also guards Addr::MAX overflow).
+    let mut cursor: Option<Addr> = Some(new.interval.lo);
+    for a in inter {
+        match a.interval.intersection(&new.interval) {
+            None if a.interval.hi < new.interval.lo => out.push(*a), // touching left neighbour
+            None => {
+                // Touching right neighbour: emit the uncovered tail of the
+                // new access first to keep the output sorted.
+                if let Some(c) = cursor.take() {
+                    out.push(new.with_interval(Interval::new(c, new.interval.hi)));
+                }
+                out.push(*a);
+            }
+            Some(ov) => {
+                // Left overhang of the stored access.
+                if a.interval.lo < ov.lo {
+                    out.push(a.with_interval(Interval::new(a.interval.lo, ov.lo - 1)));
+                }
+                // Uncovered part of the new access before this overlap.
+                if let Some(c) = cursor {
+                    if c < ov.lo {
+                        out.push(new.with_interval(Interval::new(c, ov.lo - 1)));
+                    }
+                }
+                // The intersection fragment, Table 1 resolution.
+                out.push(combine(a, new, ov));
+                cursor = ov.hi.checked_add(1).filter(|&c| c <= new.interval.hi);
+                // Right overhang of the stored access.
+                if a.interval.hi > ov.hi {
+                    out.push(a.with_interval(Interval::new(ov.hi + 1, a.interval.hi)));
+                }
+            }
+        }
+    }
+    if let Some(c) = cursor {
+        out.push(new.with_interval(Interval::new(c, new.interval.hi)));
+    }
+}
+
+/// Step 4: fuses adjacent fragments with identical provenance, in place.
+/// Returns the number of fusions performed. `frags` must be sorted and
+/// disjoint.
+fn merge_accesses(frags: &mut Vec<MemAccess>) -> usize {
+    let mut merges = 0;
+    let mut write = 0;
+    for read in 0..frags.len() {
+        if write > 0 {
+            let prev = frags[write - 1];
+            let cur = frags[read];
+            if prev.interval.precedes_adjacent(&cur.interval) && prev.same_provenance(&cur) {
+                frags[write - 1].interval.hi = cur.interval.hi;
+                merges += 1;
+                continue;
+            }
+        }
+        frags[write] = frags[read];
+        write += 1;
+    }
+    frags.truncate(write);
+    merges
+}
+
+impl AccessStore for FragMergeStore {
+    fn record(&mut self, acc: MemAccess) -> Result<(), Box<RaceReport>> {
+        self.stats.recorded += 1;
+
+        // 1. data_race_detection
+        if let Some(report) = self.check(&acc) {
+            self.stats.races += 1;
+            return Err(Box::new(report));
+        }
+
+        // 2. get_intersecting_accesses (widened by one address so touching
+        //    neighbours are candidates for the merging pass).
+        let mut inter = std::mem::take(&mut self.inter);
+        inter.clear();
+        let _ = self.tree.for_each_overlapping(acc.interval.widened(), &mut |a| {
+            inter.push(*a);
+            ControlFlow::Continue(())
+        });
+
+        // 3. fragment_accesses
+        let mut frags = std::mem::take(&mut self.frags);
+        fragment_accesses(&inter, &acc, &mut frags);
+        self.stats.fragments += frags.len();
+
+        // 4. merge_accesses
+        if self.merge_enabled {
+            self.stats.merges += merge_accesses(&mut frags);
+        }
+
+        // 5. finish_insertion: replace the old accesses by the new ones,
+        //    skipping nodes that come out unchanged.
+        for old in &inter {
+            if !frags.contains(old) {
+                let removed = self.tree.remove(old);
+                debug_assert!(removed, "intersecting access vanished: {old:?}");
+            }
+        }
+        for frag in &frags {
+            if !inter.contains(frag) {
+                self.tree.insert(*frag);
+            }
+        }
+
+        self.stats.len = self.tree.len();
+        self.stats.peak_len = self.stats.peak_len.max(self.stats.len);
+        self.inter = inter;
+        self.frags = frags;
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats { len: self.tree.len(), ..self.stats }
+    }
+
+    fn clear(&mut self) {
+        self.stats.on_clear(self.tree.len());
+        self.tree.clear();
+    }
+
+    fn snapshot(&self) -> Vec<MemAccess> {
+        self.tree.in_order()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessKind, RankId, SrcLoc};
+    use AccessKind::*;
+
+    fn acc(lo: u64, hi: u64, kind: AccessKind, line: u32) -> MemAccess {
+        acc_by(lo, hi, kind, 0, line)
+    }
+
+    fn acc_by(lo: u64, hi: u64, kind: AccessKind, rank: u32, line: u32) -> MemAccess {
+        MemAccess::new(
+            Interval::new(lo, hi),
+            kind,
+            RankId(rank),
+            SrcLoc::synthetic("code.c", line),
+        )
+    }
+
+    /// Code 1 / Figure 5b: with fragmentation the Store(7) race IS caught.
+    #[test]
+    fn code1_race_detected() {
+        let mut s = FragMergeStore::new();
+        s.record(acc(4, 4, LocalRead, 1)).unwrap();
+        s.record(acc(2, 12, RmaRead, 2)).unwrap();
+        let err = s.record(acc(7, 7, LocalWrite, 3)).unwrap_err();
+        assert_eq!(err.existing.kind, RmaRead);
+        assert_eq!(err.existing.loc.line, 2);
+        assert_eq!(err.new.kind, LocalWrite);
+        s.assert_disjoint();
+    }
+
+    /// Figure 5b's tree, merging disabled: [2...3], [4], [5...12], all
+    /// RMA_Read (the Local_Read at 4 was overwritten per Table 1).
+    #[test]
+    fn figure5b_tree_without_merging() {
+        let mut s = FragMergeStore::without_merging();
+        s.record(acc(4, 4, LocalRead, 1)).unwrap();
+        s.record(acc(2, 12, RmaRead, 2)).unwrap();
+        let snap = s.snapshot();
+        let got: Vec<_> = snap.iter().map(|a| (a.interval, a.kind)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (Interval::new(2, 3), RmaRead),
+                (Interval::new(4, 4), RmaRead),
+                (Interval::new(5, 12), RmaRead),
+            ]
+        );
+        s.assert_disjoint();
+    }
+
+    /// With merging the same three fragments share type and debug info
+    /// (Table 1 keeps the put's), so they collapse into a single node.
+    #[test]
+    fn figure5b_tree_with_merging() {
+        let mut s = FragMergeStore::new();
+        s.record(acc(4, 4, LocalRead, 1)).unwrap();
+        s.record(acc(2, 12, RmaRead, 2)).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].interval, Interval::new(2, 12));
+        assert_eq!(snap[0].kind, RmaRead);
+        assert_eq!(snap[0].loc.line, 2);
+    }
+
+    /// Code 2 (Figure 8b): 1,000 adjacent one-byte accesses from one
+    /// source line collapse into one node.
+    #[test]
+    fn code2_adjacent_accesses_merge_to_one_node() {
+        let mut s = FragMergeStore::new();
+        for i in 0..1000u64 {
+            s.record(acc(i, i, RmaWrite, 3)).unwrap();
+        }
+        assert_eq!(s.len(), 1);
+        let snap = s.snapshot();
+        assert_eq!(snap[0].interval, Interval::new(0, 999));
+        assert_eq!(s.stats().merges, 999);
+        s.assert_disjoint();
+    }
+
+    /// Same accesses from *different* source lines never merge ("they will
+    /// not be fixed in the same way").
+    #[test]
+    fn different_debug_info_does_not_merge() {
+        let mut s = FragMergeStore::new();
+        for i in 0..10u64 {
+            s.record(acc(i, i, LocalRead, 100 + i as u32)).unwrap();
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.stats().merges, 0);
+    }
+
+    /// Different issuers never merge even at the same line (the conflict
+    /// rule needs the issuer).
+    #[test]
+    fn different_issuer_does_not_merge() {
+        let mut s = FragMergeStore::new();
+        s.record(acc_by(0, 4, RmaRead, 0, 7)).unwrap();
+        s.record(acc_by(5, 9, RmaRead, 1, 7)).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    /// The safe `Load; MPI_Get` order is accepted (the Section 5.2 fix);
+    /// the racy `MPI_Get; Load` order is flagged.
+    #[test]
+    fn order_sensitivity_fix() {
+        // Load then Get (same process): safe.
+        let mut s = FragMergeStore::new();
+        s.record(acc(0, 9, LocalRead, 1)).unwrap();
+        s.record(acc(0, 9, RmaWrite, 2)).unwrap();
+
+        // Get then Load: race.
+        let mut s = FragMergeStore::new();
+        s.record(acc(0, 9, RmaWrite, 1)).unwrap();
+        assert!(s.record(acc(0, 9, LocalRead, 2)).is_err());
+    }
+
+    /// Figure 9: duplicated put from the same origin races at the target.
+    #[test]
+    fn duplicated_put_races() {
+        let mut s = FragMergeStore::new();
+        s.record(acc_by(0, 9, RmaWrite, 0, 612)).unwrap();
+        let err = s.record(acc_by(0, 9, RmaWrite, 0, 614)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("RMA_WRITE"), "{msg}");
+        assert!(msg.contains(":612"), "{msg}");
+        assert!(msg.contains(":614"), "{msg}");
+    }
+
+    /// Re-recording the same access is idempotent (same line, same range).
+    #[test]
+    fn idempotent_reinsertion() {
+        let mut s = FragMergeStore::new();
+        for _ in 0..50 {
+            s.record(acc(10, 20, LocalRead, 5)).unwrap();
+        }
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.snapshot()[0].interval, Interval::new(10, 20));
+    }
+
+    /// New access bridging two stored islands of the same provenance:
+    /// everything fuses into one node.
+    #[test]
+    fn bridge_merges_three_pieces() {
+        let mut s = FragMergeStore::new();
+        s.record(acc(0, 3, LocalRead, 5)).unwrap();
+        s.record(acc(8, 11, LocalRead, 5)).unwrap();
+        assert_eq!(s.len(), 2);
+        s.record(acc(4, 7, LocalRead, 5)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.snapshot()[0].interval, Interval::new(0, 11));
+    }
+
+    /// New access strictly inside a stored one of lower precedence:
+    /// fragments into three nodes when provenance differs.
+    #[test]
+    fn contained_access_fragments() {
+        let mut s = FragMergeStore::without_merging();
+        s.record(acc(0, 9, LocalRead, 1)).unwrap();
+        s.record(acc(3, 5, LocalWrite, 2)).unwrap();
+        let got: Vec<_> = s.snapshot().iter().map(|a| (a.interval, a.kind)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (Interval::new(0, 2), LocalRead),
+                (Interval::new(3, 5), LocalWrite),
+                (Interval::new(6, 9), LocalRead),
+            ]
+        );
+        s.assert_disjoint();
+    }
+
+    /// Higher-precedence stored access absorbs a contained new one: the
+    /// stored node survives unchanged (old prevails on the overlap, and
+    /// the fragments re-merge).
+    #[test]
+    fn lower_precedence_new_access_absorbed() {
+        let mut s = FragMergeStore::new();
+        s.record(acc(0, 9, LocalWrite, 1)).unwrap();
+        s.record(acc(3, 5, LocalRead, 2)).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].interval, Interval::new(0, 9));
+        assert_eq!(snap[0].kind, LocalWrite);
+        assert_eq!(snap[0].loc.line, 1, "old node left in place");
+    }
+
+    /// Racing access is rejected without modifying the tree.
+    #[test]
+    fn racy_access_leaves_tree_unchanged() {
+        let mut s = FragMergeStore::new();
+        s.record(acc(0, 9, RmaWrite, 1)).unwrap();
+        let before = s.snapshot();
+        assert!(s.record(acc(5, 14, LocalWrite, 2)).is_err());
+        assert_eq!(s.snapshot(), before);
+        assert_eq!(s.stats().races, 1);
+    }
+
+    /// Overlapping accesses with partial overlap on both sides.
+    #[test]
+    fn staircase_overlaps_stay_disjoint() {
+        let mut s = FragMergeStore::new();
+        s.record(acc(0, 9, LocalRead, 1)).unwrap();
+        s.record(acc(5, 14, LocalWrite, 2)).unwrap();
+        s.record(acc(10, 19, LocalRead, 3)).unwrap();
+        s.assert_disjoint();
+        let got: Vec<_> = s.snapshot().iter().map(|a| (a.interval, a.kind)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (Interval::new(0, 4), LocalRead),
+                (Interval::new(5, 14), LocalWrite), // Local_W beats Local_R both ways
+                (Interval::new(15, 19), LocalRead),
+            ]
+        );
+    }
+
+    #[test]
+    fn stats_track_fragments() {
+        let mut s = FragMergeStore::new();
+        s.record(acc(0, 9, LocalRead, 1)).unwrap();
+        s.record(acc(3, 5, LocalWrite, 2)).unwrap();
+        let st = s.stats();
+        assert!(st.fragments >= 4, "{st:?}"); // 1 + 3 fragments at least
+        assert_eq!(st.recorded, 2);
+    }
+
+    #[test]
+    fn clear_resets_len_only() {
+        let mut s = FragMergeStore::new();
+        s.record(acc(0, 9, LocalRead, 1)).unwrap();
+        s.clear();
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.stats().recorded, 1);
+        assert_eq!(s.stats().peak_len, 1);
+    }
+
+    /// Interval ending at Addr::MAX: cursor arithmetic must not overflow.
+    #[test]
+    fn interval_at_addr_max() {
+        let mut s = FragMergeStore::new();
+        s.record(acc(Addr::MAX - 9, Addr::MAX, LocalRead, 1)).unwrap();
+        s.record(acc(Addr::MAX - 4, Addr::MAX, LocalRead, 1)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.snapshot()[0].interval, Interval::new(Addr::MAX - 9, Addr::MAX));
+    }
+}

@@ -1,0 +1,236 @@
+//! Closed byte-address intervals.
+//!
+//! RMA-Analyzer records each access as the *exact interval of addresses*
+//! that are touched (the paper only considers consecutive accesses, so all
+//! addresses in the interval are accessed). Intervals are closed:
+//! `[lo, hi]` with `lo <= hi`, and live in a per-rank simulated address
+//! space.
+
+/// A simulated byte address inside one rank's address space.
+pub type Addr = u64;
+
+/// A non-empty closed interval of byte addresses `[lo, hi]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    /// Lowest address touched.
+    pub lo: Addr,
+    /// Highest address touched (inclusive).
+    pub hi: Addr,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`; intervals are never empty.
+    #[inline]
+    pub fn new(lo: Addr, hi: Addr) -> Self {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// Interval covering a single address.
+    #[inline]
+    pub fn point(addr: Addr) -> Self {
+        Interval { lo: addr, hi: addr }
+    }
+
+    /// Interval starting at `lo` spanning `len` bytes.
+    ///
+    /// # Panics
+    /// Panics if `len == 0` or the interval would overflow `Addr`.
+    #[inline]
+    pub fn sized(lo: Addr, len: u64) -> Self {
+        assert!(len > 0, "zero-length interval at {lo}");
+        Interval::new(lo, lo.checked_add(len - 1).expect("address overflow"))
+    }
+
+    /// Number of addresses covered.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
+
+    /// Intervals are never empty; provided for clippy-idiomatic pairing
+    /// with [`Interval::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Does `self` contain the address `a`?
+    #[inline]
+    pub fn contains_addr(&self, a: Addr) -> bool {
+        self.lo <= a && a <= self.hi
+    }
+
+    /// Does `self` fully contain `other`?
+    #[inline]
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Do the two intervals share at least one address?
+    #[inline]
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// The shared addresses, if any.
+    #[inline]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        if self.intersects(other) {
+            Some(Interval::new(self.lo.max(other.lo), self.hi.min(other.hi)))
+        } else {
+            None
+        }
+    }
+
+    /// `true` when `self` ends exactly one address before `other` starts.
+    ///
+    /// Adjacency (together with equal access type and debug information) is
+    /// the merging condition of the paper's Section 4.2.
+    #[inline]
+    pub fn precedes_adjacent(&self, other: &Interval) -> bool {
+        self.hi.checked_add(1) == Some(other.lo)
+    }
+
+    /// `true` when the two intervals intersect *or* touch (are adjacent in
+    /// either direction). Used to widen the candidate query of the new
+    /// insertion algorithm so the merging pass sees touching neighbours.
+    #[inline]
+    pub fn intersects_or_touches(&self, other: &Interval) -> bool {
+        self.intersects(other)
+            || self.precedes_adjacent(other)
+            || other.precedes_adjacent(self)
+    }
+
+    /// Smallest interval covering both.
+    #[inline]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// The query interval widened by one address on each side (saturating),
+    /// i.e. every interval that intersects the result either intersects or
+    /// touches `self`.
+    #[inline]
+    pub fn widened(&self) -> Interval {
+        Interval {
+            lo: self.lo.saturating_sub(1),
+            hi: self.hi.saturating_add(1),
+        }
+    }
+}
+
+impl core::fmt::Debug for Interval {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "[{}]", self.lo)
+        } else {
+            write!(f, "[{}...{}]", self.lo, self.hi)
+        }
+    }
+}
+
+impl core::fmt::Display for Interval {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_and_sized() {
+        assert_eq!(Interval::point(7), Interval::new(7, 7));
+        assert_eq!(Interval::sized(2, 10), Interval::new(2, 11));
+        assert_eq!(Interval::sized(2, 1), Interval::point(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn reversed_bounds_panic() {
+        let _ = Interval::new(5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_len_panics() {
+        let _ = Interval::sized(3, 0);
+    }
+
+    #[test]
+    fn len_is_inclusive() {
+        assert_eq!(Interval::new(2, 12).len(), 11);
+        assert_eq!(Interval::point(0).len(), 1);
+        assert!(!Interval::point(0).is_empty());
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Interval::new(2, 12);
+        assert!(a.intersects(&Interval::point(2)));
+        assert!(a.intersects(&Interval::point(12)));
+        assert!(a.intersects(&Interval::new(10, 20)));
+        assert!(a.intersects(&Interval::new(0, 2)));
+        assert!(!a.intersects(&Interval::new(13, 20)));
+        assert!(!a.intersects(&Interval::new(0, 1)));
+        assert_eq!(
+            a.intersection(&Interval::new(10, 20)),
+            Some(Interval::new(10, 12))
+        );
+        assert_eq!(a.intersection(&Interval::new(13, 20)), None);
+        assert_eq!(a.intersection(&a), Some(a));
+    }
+
+    #[test]
+    fn containment() {
+        let a = Interval::new(2, 12);
+        assert!(a.contains(&Interval::new(2, 12)));
+        assert!(a.contains(&Interval::new(5, 7)));
+        assert!(!a.contains(&Interval::new(1, 3)));
+        assert!(a.contains_addr(7));
+        assert!(!a.contains_addr(13));
+    }
+
+    #[test]
+    fn adjacency() {
+        let a = Interval::new(2, 4);
+        let b = Interval::new(5, 9);
+        assert!(a.precedes_adjacent(&b));
+        assert!(!b.precedes_adjacent(&a));
+        assert!(a.intersects_or_touches(&b));
+        assert!(b.intersects_or_touches(&a));
+        assert!(!a.intersects(&b));
+        // Gap of one address: neither intersecting nor touching.
+        let c = Interval::new(6, 9);
+        assert!(!a.intersects_or_touches(&c));
+    }
+
+    #[test]
+    fn adjacency_no_overflow_at_addr_max() {
+        let a = Interval::new(Addr::MAX - 1, Addr::MAX);
+        let b = Interval::new(0, 1);
+        assert!(!a.precedes_adjacent(&b));
+        assert!(!a.intersects_or_touches(&b));
+    }
+
+    #[test]
+    fn hull_and_widened() {
+        assert_eq!(
+            Interval::new(2, 4).hull(&Interval::new(8, 9)),
+            Interval::new(2, 9)
+        );
+        assert_eq!(Interval::new(2, 4).widened(), Interval::new(1, 5));
+        assert_eq!(Interval::new(0, Addr::MAX).widened(), Interval::new(0, Addr::MAX));
+    }
+
+    #[test]
+    fn debug_format_matches_paper_notation() {
+        assert_eq!(format!("{:?}", Interval::new(2, 12)), "[2...12]");
+        assert_eq!(format!("{:?}", Interval::point(4)), "[4]");
+    }
+}

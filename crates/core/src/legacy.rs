@@ -1,0 +1,168 @@
+//! The legacy RMA-Analyzer store: faithful model of the pre-paper tool.
+//!
+//! Behavioural contract (Section 3, last paragraph, and Section 5.2):
+//!
+//! 1. Two traversals per access: one conflict check, one insertion.
+//! 2. The conflict check compares accesses *along the binary search path
+//!    only*, i.e. it approximates by "only considering the lower bound of
+//!    the interval of addresses when comparing two accesses"; accesses
+//!    stored off the path are invisible, producing false negatives
+//!    (Figure 5a / Code 1).
+//! 3. Stored accesses are neither fragmented (they may overlap) nor merged
+//!    (adjacent same-type accesses stay separate nodes), so the tree size
+//!    is linear in the number of dynamic accesses (Code 2: 5,002 nodes).
+//! 4. The conflict matrix ignores intra-process program order, flagging
+//!    the safe `Load; MPI_Get` pattern exactly like the racy
+//!    `MPI_Get; Load` (the 6 false positives of Table 3).
+
+use crate::access::MemAccess;
+use crate::avl::Avl;
+use crate::conflict::legacy_conflicts;
+use crate::report::RaceReport;
+use crate::store::{AccessStore, StoreStats};
+
+/// Legacy (pre-contribution) RMA-Analyzer access store.
+#[derive(Default)]
+pub struct LegacyStore {
+    tree: Avl,
+    stats: StoreStats,
+}
+
+impl LegacyStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the underlying tree (diagnostics/benchmarks).
+    pub fn tree(&self) -> &Avl {
+        &self.tree
+    }
+}
+
+impl AccessStore for LegacyStore {
+    fn record(&mut self, acc: MemAccess) -> Result<(), Box<RaceReport>> {
+        self.stats.recorded += 1;
+        // First traversal: conflict check restricted to the search path.
+        if let Some(existing) = self
+            .tree
+            .first_conflict_on_path(&acc, |stored| legacy_conflicts(stored, &acc))
+        {
+            self.stats.races += 1;
+            return Err(Box::new(RaceReport::new(existing, acc)));
+        }
+        // Second traversal: plain multiset insertion, no fragmentation,
+        // no merging.
+        self.tree.insert(acc);
+        self.stats.len = self.tree.len();
+        self.stats.peak_len = self.stats.peak_len.max(self.stats.len);
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats { len: self.tree.len(), ..self.stats }
+    }
+
+    fn clear(&mut self) {
+        self.stats.on_clear(self.tree.len());
+        self.tree.clear();
+    }
+
+    fn snapshot(&self) -> Vec<MemAccess> {
+        self.tree.in_order()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessKind, Interval, RankId, SrcLoc};
+    use AccessKind::*;
+
+    fn acc(lo: u64, hi: u64, kind: AccessKind, line: u32) -> MemAccess {
+        MemAccess::new(Interval::new(lo, hi), kind, RankId(0), SrcLoc::synthetic("code1.c", line))
+    }
+
+    /// Code 1 / Figure 5a: Load(4); MPI_Put(2,12); Store(7) — the legacy
+    /// store must MISS the race (false negative).
+    #[test]
+    fn code1_false_negative() {
+        let mut s = LegacyStore::new();
+        s.record(acc(4, 4, LocalRead, 1)).unwrap();
+        s.record(acc(2, 12, RmaRead, 2)).unwrap();
+        // The Store(7) races with the Put's RMA_Read, but the legacy path
+        // check never visits [2...12]:
+        s.record(acc(7, 7, LocalWrite, 3)).unwrap();
+        assert_eq!(s.len(), 3, "all three accesses inserted, race missed");
+    }
+
+    /// Same accesses, but the wide interval lies ON the search path: the
+    /// legacy check does catch it (it is an approximation, not blindness).
+    #[test]
+    fn conflict_on_path_detected() {
+        let mut s = LegacyStore::new();
+        s.record(acc(2, 12, RmaRead, 1)).unwrap(); // root
+        let err = s.record(acc(7, 7, LocalWrite, 2)).unwrap_err();
+        assert_eq!(err.existing.interval, Interval::new(2, 12));
+        assert_eq!(err.existing.kind, RmaRead);
+        assert_eq!(s.stats().races, 1);
+    }
+
+    /// The order-insensitive matrix: Load then Get (same process, same
+    /// buffer) is safe in reality but flagged by the legacy tool (the
+    /// `ll_load_get_inwindow_origin_safe` false positive of Table 2).
+    #[test]
+    fn load_then_get_false_positive() {
+        let mut s = LegacyStore::new();
+        s.record(acc(0, 9, LocalRead, 1)).unwrap();
+        // MPI_Get writes the origin buffer:
+        let err = s.record(acc(0, 9, RmaWrite, 2)).unwrap_err();
+        assert_eq!(err.existing.kind, LocalRead);
+    }
+
+    /// Code 2 growth: the legacy store keeps one node per dynamic access —
+    /// adjacent same-line accesses are never merged.
+    #[test]
+    fn code2_linear_growth() {
+        let mut s = LegacyStore::new();
+        for i in 0..1000u64 {
+            // Get(buf[i], 1, X): RMA_Write of one byte at origin, all from
+            // the same source line.
+            s.record(MemAccess::new(
+                Interval::point(i),
+                RmaWrite,
+                RankId(0),
+                SrcLoc::synthetic("code2.c", 3),
+            ))
+            .unwrap();
+        }
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.stats().peak_len, 1000);
+    }
+
+    /// A racing insertion is rejected: the access is not added.
+    #[test]
+    fn racy_access_not_inserted() {
+        let mut s = LegacyStore::new();
+        s.record(acc(0, 9, RmaWrite, 1)).unwrap();
+        assert!(s.record(acc(0, 9, RmaWrite, 2)).is_err());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.stats().recorded, 2);
+    }
+
+    #[test]
+    fn clear_preserves_cumulative_stats() {
+        let mut s = LegacyStore::new();
+        s.record(acc(0, 0, LocalRead, 1)).unwrap();
+        s.record(acc(1, 1, LocalRead, 2)).unwrap();
+        s.clear();
+        assert_eq!(s.len(), 0);
+        let st = s.stats();
+        assert_eq!(st.recorded, 2);
+        assert_eq!(st.peak_len, 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! The common interface of all per-epoch access stores.
+
+use crate::access::MemAccess;
+use crate::report::RaceReport;
+
+/// Size statistics of a store, the metric behind the paper's Table 4 and
+/// the CFD-Proxy node-count discussion of Section 5.3.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Current number of nodes.
+    pub len: usize,
+    /// Highest number of nodes ever held (across `clear`s).
+    pub peak_len: usize,
+    /// Total accesses recorded (dynamic access count).
+    pub recorded: usize,
+    /// Races reported.
+    pub races: usize,
+    /// Fragments produced by the fragmentation pass (0 for stores without
+    /// one).
+    pub fragments: usize,
+    /// Node pairs fused by the merging pass (0 for stores without one).
+    pub merges: usize,
+    /// Number of epochs closed (`clear` calls).
+    pub epochs: usize,
+    /// Sum over epochs of the node count at epoch end — the per-run
+    /// "number of nodes in the BST" metric of the paper's Section 5.3.
+    pub cum_epoch_end_len: usize,
+}
+
+impl StoreStats {
+    /// Folds `clear`-time accounting into the stats: one more epoch ended
+    /// with `len` nodes still stored.
+    pub(crate) fn on_clear(&mut self, len: usize) {
+        self.epochs += 1;
+        self.cum_epoch_end_len += len;
+        self.len = 0;
+    }
+}
+
+/// A per-(rank, window) store of the current epoch's memory accesses, with
+/// an on-the-fly race check on every insertion.
+///
+/// `record` returns `Err` with a [`RaceReport`] when the new access races
+/// with a stored one; the access is *not* inserted in that case (the real
+/// tool aborts the program at this point).
+pub trait AccessStore {
+    /// Checks the new access against the stored ones and inserts it.
+    fn record(&mut self, acc: MemAccess) -> Result<(), Box<RaceReport>>;
+
+    /// Current node count.
+    fn len(&self) -> usize;
+
+    /// `true` when no access is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size/usage statistics.
+    fn stats(&self) -> StoreStats;
+
+    /// Drops all stored accesses (end of epoch). Statistics other than
+    /// `len` survive.
+    fn clear(&mut self);
+
+    /// Snapshot of the stored accesses in address order (diagnostics).
+    fn snapshot(&self) -> Vec<MemAccess>;
+}

@@ -1,0 +1,102 @@
+//! Model-based testing of the AVL multiset against a sorted-vector
+//! reference: random interleavings of inserts, exact removals and
+//! overlap queries must agree, with structural invariants holding after
+//! every operation.
+
+use proptest::prelude::*;
+use rma_core::avl::Avl;
+use rma_core::{AccessKind, Interval, MemAccess, RankId, SrcLoc};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { lo: u64, len: u64, line: u32 },
+    RemoveExisting { pick: usize },
+    RemoveMissing { lo: u64, line: u32 },
+    Query { lo: u64, len: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..200, 1u64..24, 1u32..6).prop_map(|(lo, len, line)| Op::Insert { lo, len, line }),
+        (any::<usize>()).prop_map(|pick| Op::RemoveExisting { pick }),
+        (0u64..200, 100u32..105).prop_map(|(lo, line)| Op::RemoveMissing { lo, line }),
+        (0u64..220, 1u64..40).prop_map(|(lo, len)| Op::Query { lo, len }),
+    ]
+}
+
+fn acc(lo: u64, len: u64, line: u32) -> MemAccess {
+    MemAccess::new(
+        Interval::sized(lo, len),
+        AccessKind::LocalRead,
+        RankId(0),
+        SrcLoc::synthetic("model.c", line),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn avl_matches_vector_model(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut tree = Avl::new();
+        let mut model: Vec<MemAccess> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert { lo, len, line } => {
+                    let a = acc(lo, len, line);
+                    tree.insert(a);
+                    model.push(a);
+                }
+                Op::RemoveExisting { pick } => {
+                    if !model.is_empty() {
+                        let ix = pick % model.len();
+                        let a = model.swap_remove(ix);
+                        prop_assert!(tree.remove(&a), "tree lost {a:?}");
+                    }
+                }
+                Op::RemoveMissing { lo, line } => {
+                    // Lines 100+ are never inserted: removal must fail
+                    // and change nothing.
+                    let before = tree.len();
+                    prop_assert!(!tree.remove(&acc(lo, 1, line)));
+                    prop_assert_eq!(tree.len(), before);
+                }
+                Op::Query { lo, len } => {
+                    let q = Interval::sized(lo, len);
+                    let mut got = tree.overlapping(q);
+                    let mut want: Vec<MemAccess> = model
+                        .iter()
+                        .copied()
+                        .filter(|a| a.interval.intersects(&q))
+                        .collect();
+                    let key = |a: &MemAccess| (a.interval.lo, a.interval.hi, a.loc.line);
+                    got.sort_by_key(key);
+                    want.sort_by_key(key);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            tree.validate();
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        // Final in-order traversal is sorted by lower bound and contains
+        // exactly the model's accesses.
+        let snap = tree.in_order();
+        prop_assert!(snap.windows(2).all(|w| w[0].interval.lo <= w[1].interval.lo));
+        let mut a: Vec<_> = snap.iter().map(|x| (x.interval.lo, x.interval.hi, x.loc.line)).collect();
+        let mut b: Vec<_> = model.iter().map(|x| (x.interval.lo, x.interval.hi, x.loc.line)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Height stays logarithmic (AVL bound: 1.44 log2(n+2)).
+    #[test]
+    fn height_is_logarithmic(n in 1usize..2000) {
+        let mut tree = Avl::new();
+        for i in 0..n {
+            tree.insert(acc(i as u64, 1, 1));
+        }
+        let bound = (1.45 * ((n + 2) as f64).log2()).ceil() as i32 + 1;
+        prop_assert!(tree.height() <= bound, "h={} n={}", tree.height(), n);
+    }
+}

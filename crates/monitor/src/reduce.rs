@@ -1,0 +1,112 @@
+//! A keyed element-wise-sum all-reduce used by the analyzer's epoch
+//! protocol (the paper's "all processes call MPI_Reduce in order to
+//! compute the number of remote accesses issued during the epoch towards
+//! its window").
+//!
+//! This is deliberately *not* the simulator's collective engine: the real
+//! tool performs its own MPI traffic next to the application's, so the
+//! analyzer owns its synchronization — and pays for it, which is part of
+//! the measured overhead.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Deadline after which a reduction participant gives up waiting; only
+/// reachable when the world is aborting around the monitor.
+const TIMEOUT: Duration = Duration::from_secs(30);
+const POLL: Duration = Duration::from_millis(2);
+
+struct Slot {
+    acc: Vec<u64>,
+    contributed: u32,
+    taken: u32,
+    complete: bool,
+}
+
+/// Keyed sum all-reduce across a fixed number of participants.
+pub(crate) struct KeyedReduce<K: std::hash::Hash + Eq + Clone> {
+    slots: Mutex<HashMap<K, Slot>>,
+    cv: Condvar,
+}
+
+impl<K: std::hash::Hash + Eq + Clone> Default for KeyedReduce<K> {
+    fn default() -> Self {
+        KeyedReduce { slots: Mutex::new(HashMap::new()), cv: Condvar::new() }
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone> KeyedReduce<K> {
+    /// Contributes `vals` under `key` and blocks until all `parties`
+    /// contributed; returns the element-wise sum, or `None` on timeout or
+    /// when `cancelled()` turns true (world aborting).
+    pub fn allreduce(
+        &self,
+        key: K,
+        vals: &[u64],
+        parties: u32,
+        cancelled: impl Fn() -> bool,
+    ) -> Option<Vec<u64>> {
+        let mut slots = self.slots.lock();
+        {
+            let slot = slots.entry(key.clone()).or_insert_with(|| Slot {
+                acc: vec![0; vals.len()],
+                contributed: 0,
+                taken: 0,
+                complete: false,
+            });
+            assert_eq!(slot.acc.len(), vals.len(), "reduce arity mismatch");
+            for (a, v) in slot.acc.iter_mut().zip(vals) {
+                *a += *v;
+            }
+            slot.contributed += 1;
+            if slot.contributed == parties {
+                slot.complete = true;
+                self.cv.notify_all();
+            }
+        }
+        let deadline = std::time::Instant::now() + TIMEOUT;
+        loop {
+            if let Some(slot) = slots.get_mut(&key) {
+                if slot.complete {
+                    let out = slot.acc.clone();
+                    slot.taken += 1;
+                    if slot.taken == parties {
+                        slots.remove(&key);
+                    }
+                    return Some(out);
+                }
+            }
+            if cancelled() || std::time::Instant::now() >= deadline {
+                return None;
+            }
+            self.cv.wait_for(&mut slots, POLL);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn keyed_reductions_are_independent() {
+        let r = Arc::new(KeyedReduce::<(u32, u64)>::default());
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                let a = r.allreduce((0, 0), &[p], 4, || false).unwrap();
+                let b = r.allreduce((1, 0), &[10 * p], 4, || false).unwrap();
+                (a, b)
+            }));
+        }
+        for h in handles {
+            let (a, b) = h.join().unwrap();
+            assert_eq!(a, vec![6]);
+            assert_eq!(b, vec![60]);
+        }
+        assert!(r.slots.lock().is_empty());
+    }
+}

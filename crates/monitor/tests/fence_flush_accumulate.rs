@@ -1,0 +1,193 @@
+//! Analyzer behaviour on the extended MPI surface: active-target fences,
+//! the Section 6 `MPI_Win_flush` limitation, and accumulate atomicity.
+
+use rma_monitor::{Algorithm, AnalyzerCfg, RmaAnalyzer};
+use rma_sim::{AccumOp, RankId, World, WorldCfg};
+use std::sync::Arc;
+
+fn analyzer(algorithm: Algorithm) -> Arc<RmaAnalyzer> {
+    Arc::new(RmaAnalyzer::new(AnalyzerCfg::with_algorithm(algorithm)))
+}
+
+/// Fence-to-fence epochs: the same conflicting pair is racy inside one
+/// fence epoch and safe when a fence separates it.
+#[test]
+fn fence_epochs_separate_accesses() {
+    // Within one fence epoch: race.
+    let mon = analyzer(Algorithm::FragMerge);
+    let out = World::run(WorldCfg::with_ranks(2), mon, |ctx| {
+        let win = ctx.win_allocate(64);
+        let buf = ctx.alloc(8);
+        ctx.win_fence(win);
+        if ctx.rank() == RankId(0) {
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_fence(win);
+    });
+    assert!(out.raced(), "duplicated put within a fence epoch must race");
+
+    // Separated by a fence: safe.
+    let mon = analyzer(Algorithm::FragMerge);
+    let out = World::run(WorldCfg::with_ranks(2), mon.clone(), |ctx| {
+        let win = ctx.win_allocate(64);
+        let buf = ctx.alloc(8);
+        ctx.win_fence(win);
+        if ctx.rank() == RankId(0) {
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_fence(win);
+        if ctx.rank() == RankId(0) {
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_fence(win);
+    });
+    assert!(out.is_clean(), "{:?}", out.aborts);
+    assert!(mon.races().is_empty());
+}
+
+/// Target-side store vs remote put across a fence: ordered, safe.
+#[test]
+fn fence_orders_local_and_remote() {
+    let mon = analyzer(Algorithm::FragMerge);
+    let out = World::run(WorldCfg::with_ranks(2), mon.clone(), |ctx| {
+        let win = ctx.win_allocate(64);
+        let buf = ctx.alloc(8);
+        ctx.win_fence(win);
+        if ctx.rank() == RankId(1) {
+            let wb = ctx.win_buf(win);
+            ctx.store_u64(&wb, 0, 9);
+        }
+        ctx.win_fence(win);
+        if ctx.rank() == RankId(0) {
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_fence(win);
+    });
+    assert!(out.is_clean(), "{:?}", out.aborts);
+    assert!(mon.races().is_empty());
+}
+
+/// The Section 6 limitation, reproduced as documented behaviour: the
+/// analyzer does not act on per-target `MPI_Win_flush`, so the truly
+/// ordered `put; flush(target); put` pattern is still reported — a known
+/// false positive (the paper saw exactly this on CFD-Proxy).
+#[test]
+fn per_target_flush_limitation_false_positive() {
+    let mon = analyzer(Algorithm::FragMerge);
+    let out = World::run(WorldCfg::with_ranks(2), mon.clone(), |ctx| {
+        let win = ctx.win_allocate(64);
+        let buf = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+            ctx.win_flush(win, RankId(1)); // genuinely orders the two puts
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(out.raced(), "the documented Section 6 false positive");
+    assert_eq!(mon.unsupported_flushes(), 1);
+}
+
+/// Accumulate atomicity end-to-end: concurrent accumulates to one
+/// location are accepted; mixing in a put races.
+#[test]
+fn accumulates_do_not_race_but_mixing_does() {
+    let mon = analyzer(Algorithm::FragMerge);
+    let out = World::run(WorldCfg::with_ranks(4), mon.clone(), |ctx| {
+        let win = ctx.win_allocate(8);
+        let src = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() != RankId(0) {
+            ctx.accumulate(&src, 0, 8, RankId(0), 0, win, AccumOp::Sum);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(out.is_clean(), "{:?}", out.aborts);
+    assert!(mon.races().is_empty());
+
+    let mon = analyzer(Algorithm::FragMerge);
+    let out = World::run(WorldCfg::with_ranks(3), mon, |ctx| {
+        let win = ctx.win_allocate(8);
+        let src = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        match ctx.rank().0 {
+            1 => ctx.accumulate(&src, 0, 8, RankId(0), 0, win, AccumOp::Sum),
+            2 => ctx.put(&src, 0, 8, RankId(0), 0, win),
+            _ => {}
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(out.raced(), "accumulate vs put must race");
+}
+
+/// The legacy algorithm also honours atomicity (the rule lives in the
+/// shared conflict matrix).
+#[test]
+fn legacy_accepts_accumulates_too() {
+    let mon = analyzer(Algorithm::Legacy);
+    let out = World::run(WorldCfg::with_ranks(3), mon.clone(), |ctx| {
+        let win = ctx.win_allocate(8);
+        let src = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() != RankId(0) {
+            ctx.accumulate(&src, 0, 8, RankId(0), 0, win, AccumOp::Sum);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(out.is_clean());
+    assert!(mon.races().is_empty());
+}
+
+/// Accumulates from one origin at the same line into adjacent locations
+/// merge like any other same-provenance accesses.
+#[test]
+fn accumulates_merge() {
+    let mon = analyzer(Algorithm::FragMerge);
+    let out = World::run(WorldCfg::with_ranks(2), mon.clone(), |ctx| {
+        let win = ctx.win_allocate(1024);
+        let src = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            for k in 0..64u64 {
+                ctx.accumulate(&src, 0, 8, RankId(1), k * 8, win, AccumOp::Sum);
+            }
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(out.is_clean());
+    // Origin side: 64 reads of the same src range absorb to 1 node;
+    // target side: 64 adjacent accumulates merge to 1 node.
+    assert_eq!(mon.total_peak_nodes(), 2);
+}
+
+/// Section 6, item (1): per the MPI standard, `MPI_Barrier` does NOT
+/// terminate one-sided communications — "in our approach, we decided to
+/// meet the standard". A barrier alone between two conflicting puts must
+/// not clear the stores; only `flush_all` on every rank + barrier does
+/// (covered in `analyzer_behaviour.rs`).
+#[test]
+fn barrier_alone_does_not_synchronize() {
+    let mon = analyzer(Algorithm::FragMerge);
+    let out = World::run(WorldCfg::with_ranks(2), mon, |ctx| {
+        let win = ctx.win_allocate(64);
+        let buf = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+        }
+        ctx.barrier(); // does not complete the put!
+        if ctx.rank() == RankId(0) {
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(out.raced(), "MPI_Barrier must not be treated as RMA completion");
+}

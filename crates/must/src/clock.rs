@@ -1,0 +1,108 @@
+//! Vector clocks over `2P` components: one per rank (local program
+//! order) plus one *shadow component* per rank representing the rank's
+//! in-flight one-sided operations.
+//!
+//! The shadow components implement MUST-RMA's concurrent-region
+//! construction: an RMA operation issued by rank `o` is stamped with a
+//! fresh epoch on component `P + o`, which `o`'s own clock only absorbs
+//! at the next completion point (`unlock_all`/`flush_all`). Until then
+//! the operation is concurrent with everything — including `o`'s own
+//! subsequent local accesses, which is what makes `MPI_Get; Load` a race
+//! while `Load; MPI_Get` (ordered through `o`'s real component) is not.
+
+/// A vector clock. Component layout: `[ranks..., shadow ranks...]`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VClock(pub Vec<u64>);
+
+impl VClock {
+    /// Zero clock for `P` ranks (2P components).
+    pub fn zero(nranks: u32) -> Self {
+        VClock(vec![0; 2 * nranks as usize])
+    }
+
+    /// Number of ranks this clock covers.
+    pub fn nranks(&self) -> usize {
+        self.0.len() / 2
+    }
+
+    /// Component index of rank `r`'s program order.
+    #[inline]
+    pub fn rank_ix(r: u32) -> usize {
+        r as usize
+    }
+
+    /// Component index of rank `r`'s shadow (RMA) thread.
+    #[inline]
+    pub fn shadow_ix(&self, r: u32) -> usize {
+        self.nranks() + r as usize
+    }
+
+    /// Increments a component and returns the new value.
+    pub fn tick(&mut self, ix: usize) -> u64 {
+        self.0[ix] += 1;
+        self.0[ix]
+    }
+
+    /// Element-wise maximum with another clock.
+    pub fn join(&mut self, other: &VClock) {
+        assert_eq!(self.0.len(), other.0.len(), "clock arity mismatch");
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Does an event stamped `(ix, epoch)` happen before the state this
+    /// clock describes?
+    #[inline]
+    pub fn covers(&self, ix: usize, epoch: u64) -> bool {
+        self.0[ix] >= epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_covers() {
+        let mut c = VClock::zero(2);
+        assert!(!c.covers(0, 1));
+        assert_eq!(c.tick(0), 1);
+        assert!(c.covers(0, 1));
+        assert!(!c.covers(0, 2));
+    }
+
+    #[test]
+    fn join_is_elementwise_max() {
+        let mut a = VClock(vec![1, 5, 0, 2]);
+        let b = VClock(vec![3, 2, 0, 7]);
+        a.join(&b);
+        assert_eq!(a.0, vec![3, 5, 0, 7]);
+    }
+
+    #[test]
+    fn join_laws() {
+        // Idempotent, commutative, monotone.
+        let a = VClock(vec![1, 4, 2, 0]);
+        let b = VClock(vec![2, 3, 2, 9]);
+        let mut aa = a.clone();
+        aa.join(&a);
+        assert_eq!(aa, a);
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        assert_eq!(ab, ba);
+        for i in 0..4 {
+            assert!(ab.0[i] >= a.0[i] && ab.0[i] >= b.0[i]);
+        }
+    }
+
+    #[test]
+    fn component_layout() {
+        let c = VClock::zero(3);
+        assert_eq!(c.0.len(), 6);
+        assert_eq!(VClock::rank_ix(2), 2);
+        assert_eq!(c.shadow_ix(2), 5);
+    }
+}

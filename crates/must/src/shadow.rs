@@ -1,0 +1,264 @@
+//! ThreadSanitizer-style shadow memory over a rank's simulated address
+//! space.
+//!
+//! Memory is shadowed at 8-byte *granule* granularity with a byte mask
+//! per shadow slot, like TSan's shadow cells. Each slot records one past
+//! access: which logical thread performed it (a rank component or a
+//! shadow-RMA component), at which epoch of that component, whether it
+//! wrote, which bytes of the granule it touched, and the debug info
+//! needed for reports.
+
+use crate::clock::VClock;
+use rma_core::{AccessKind, Interval, MemAccess, RaceReport, RankId, SrcLoc};
+use std::collections::HashMap;
+
+/// Shadow granule size (bytes), matching TSan.
+const GRANULE: u64 = 8;
+
+/// One recorded access in a shadow cell.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Slot {
+    /// Clock component of the accessor (rank or shadow-RMA component).
+    pub component: usize,
+    /// Epoch of that component at access time.
+    pub epoch: u64,
+    /// Write access?
+    pub write: bool,
+    /// Element-wise-atomic access (accumulate)?
+    pub atomic: bool,
+    /// Bytes of the granule covered (bit i = byte i).
+    pub mask: u8,
+    /// For reports.
+    pub kind: AccessKind,
+    pub issuer: RankId,
+    pub loc: SrcLoc,
+}
+
+/// Shadow memory of one rank's address space.
+#[derive(Default)]
+pub(crate) struct Shadow {
+    cells: HashMap<u64, Vec<Slot>>,
+}
+
+fn granule_of(addr: u64) -> u64 {
+    addr / GRANULE
+}
+
+/// Byte mask of `iv` within granule `g`.
+fn mask_of(iv: &Interval, g: u64) -> u8 {
+    let lo = g * GRANULE;
+    let mut mask = 0u8;
+    for b in 0..GRANULE {
+        let addr = lo + b;
+        if iv.contains_addr(addr) {
+            mask |= 1 << b;
+        }
+    }
+    mask
+}
+
+/// Details of one shadow access to check+record.
+pub(crate) struct ShadowAccess<'a> {
+    /// Addresses touched.
+    pub interval: Interval,
+    /// Clock component performing the access.
+    pub component: usize,
+    /// That component's current epoch.
+    pub epoch: u64,
+    /// Accessor's full clock (HB check).
+    pub clock: &'a VClock,
+    pub write: bool,
+    /// Element-wise-atomic access (accumulate)?
+    pub atomic: bool,
+    pub kind: AccessKind,
+    pub issuer: RankId,
+    pub loc: SrcLoc,
+}
+
+impl Shadow {
+    /// Checks `acc` against the recorded slots and records it. Returns a
+    /// report for the first race found (the access is still recorded).
+    pub fn check_and_record(&mut self, acc: &ShadowAccess<'_>) -> Option<Box<RaceReport>> {
+        let mut race: Option<Box<RaceReport>> = None;
+        for g in granule_of(acc.interval.lo)..=granule_of(acc.interval.hi) {
+            let mask = mask_of(&acc.interval, g);
+            let slots = self.cells.entry(g).or_default();
+            if race.is_none() {
+                for s in slots.iter() {
+                    if s.mask & mask == 0 {
+                        continue; // disjoint bytes within the granule
+                    }
+                    if !(s.write || acc.write) {
+                        continue; // read/read
+                    }
+                    if s.atomic && acc.atomic {
+                        continue; // two accumulates: element-wise atomic
+                    }
+                    // Happens-before: covers same-component program order
+                    // (a component's clock entry is monotone) and
+                    // cross-component sync edges. Two operations on the
+                    // same *shadow* component stay concurrent until the
+                    // origin's flush/unlock absorbs the component —
+                    // MPI-RMA's ordering property.
+                    if acc.clock.covers(s.component, s.epoch) {
+                        continue;
+                    }
+                    // Reconstruct the slot's byte range in this granule
+                    // from its mask (the original full interval is not
+                    // kept — TSan reports granule-local ranges too).
+                    let glo = g * GRANULE;
+                    let lo = glo + u64::from(s.mask.trailing_zeros());
+                    let hi = glo + 7 - u64::from(s.mask.leading_zeros());
+                    let existing = MemAccess::new(Interval::new(lo, hi), s.kind, s.issuer, s.loc);
+                    let new = MemAccess::new(acc.interval, acc.kind, acc.issuer, acc.loc);
+                    race = Some(Box::new(RaceReport::new(existing, new)));
+                    break;
+                }
+            }
+            // Record: drop slots this access dominates (same component,
+            // HB-covered, not protecting more than we do).
+            slots.retain(|s| {
+                !(s.component == acc.component
+                    && s.mask & !mask == 0
+                    && (acc.write || !s.write))
+            });
+            slots.push(Slot {
+                component: acc.component,
+                epoch: acc.epoch,
+                write: acc.write,
+                atomic: acc.atomic,
+                mask,
+                kind: acc.kind,
+                issuer: acc.issuer,
+                loc: acc.loc,
+            });
+        }
+        race
+    }
+
+    /// Number of shadowed granules (memory-footprint metric).
+    pub fn granules(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total live slots (metric).
+    pub fn slots(&self) -> usize {
+        self.cells.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access<'a>(
+        lo: u64,
+        hi: u64,
+        component: usize,
+        clock: &'a VClock,
+        write: bool,
+    ) -> ShadowAccess<'a> {
+        ShadowAccess {
+            interval: Interval::new(lo, hi),
+            component,
+            epoch: clock.0[component],
+            clock,
+            write,
+            atomic: false,
+            kind: if write { AccessKind::LocalWrite } else { AccessKind::LocalRead },
+            issuer: RankId(component as u32 % 2),
+            loc: SrcLoc::synthetic("shadow.c", component as u32),
+        }
+    }
+
+    #[test]
+    fn concurrent_write_write_races() {
+        let mut sh = Shadow::default();
+        let c0 = VClock(vec![1, 0, 0, 0]);
+        let c1 = VClock(vec![0, 1, 0, 0]);
+        assert!(sh.check_and_record(&access(0, 7, 0, &c0, true)).is_none());
+        assert!(sh.check_and_record(&access(0, 7, 1, &c1, true)).is_some());
+    }
+
+    #[test]
+    fn hb_ordered_accesses_do_not_race() {
+        let mut sh = Shadow::default();
+        let c0 = VClock(vec![1, 0, 0, 0]);
+        assert!(sh.check_and_record(&access(0, 7, 0, &c0, true)).is_none());
+        // Rank 1 joined rank 0's clock (e.g. via a barrier).
+        let c1 = VClock(vec![1, 1, 0, 0]);
+        assert!(sh.check_and_record(&access(0, 7, 1, &c1, true)).is_none());
+    }
+
+    #[test]
+    fn read_read_never_races() {
+        let mut sh = Shadow::default();
+        let c0 = VClock(vec![1, 0, 0, 0]);
+        let c1 = VClock(vec![0, 1, 0, 0]);
+        assert!(sh.check_and_record(&access(0, 7, 0, &c0, false)).is_none());
+        assert!(sh.check_and_record(&access(0, 7, 1, &c1, false)).is_none());
+    }
+
+    #[test]
+    fn same_component_is_program_ordered() {
+        let mut sh = Shadow::default();
+        let mut c0 = VClock(vec![1, 0, 0, 0]);
+        assert!(sh.check_and_record(&access(0, 7, 0, &c0, true)).is_none());
+        c0.tick(0);
+        assert!(sh.check_and_record(&access(0, 7, 0, &c0, true)).is_none());
+    }
+
+    /// Two concurrent atomic accumulates never race; an accumulate vs a
+    /// plain write does.
+    #[test]
+    fn atomic_pairs_do_not_race() {
+        let mut sh = Shadow::default();
+        let c0 = VClock(vec![1, 0, 0, 0]);
+        let c1 = VClock(vec![0, 1, 0, 0]);
+        fn atomic(component: usize, clock: &VClock) -> ShadowAccess<'_> {
+            ShadowAccess {
+                atomic: true,
+                kind: AccessKind::RmaAccum,
+                ..access(0, 7, component, clock, true)
+            }
+        }
+        assert!(sh.check_and_record(&atomic(0, &c0)).is_none());
+        assert!(sh.check_and_record(&atomic(1, &c1)).is_none());
+        // A plain concurrent write still races with the accumulates.
+        assert!(sh.check_and_record(&access(0, 7, 1, &c1, true)).is_some());
+    }
+
+    /// Disjoint bytes of the same granule never race (byte masks).
+    #[test]
+    fn granule_sharing_without_byte_overlap_is_safe() {
+        let mut sh = Shadow::default();
+        let c0 = VClock(vec![1, 0, 0, 0]);
+        let c1 = VClock(vec![0, 1, 0, 0]);
+        assert!(sh.check_and_record(&access(0, 3, 0, &c0, true)).is_none());
+        assert!(sh.check_and_record(&access(4, 7, 1, &c1, true)).is_none());
+        // ... but overlapping bytes do race.
+        assert!(sh.check_and_record(&access(3, 4, 1, &c1, true)).is_some());
+    }
+
+    #[test]
+    fn multi_granule_access_checks_every_granule() {
+        let mut sh = Shadow::default();
+        let c0 = VClock(vec![1, 0, 0, 0]);
+        let c1 = VClock(vec![0, 1, 0, 0]);
+        assert!(sh.check_and_record(&access(20, 21, 0, &c0, true)).is_none());
+        // A wide access [0..63] must find the conflict in granule 2.
+        assert!(sh.check_and_record(&access(0, 63, 1, &c1, true)).is_some());
+        assert!(sh.granules() >= 8);
+    }
+
+    #[test]
+    fn dominated_slots_are_pruned() {
+        let mut sh = Shadow::default();
+        let mut c0 = VClock(vec![0, 0, 0, 0]);
+        for _ in 0..100 {
+            c0.tick(0);
+            assert!(sh.check_and_record(&access(0, 7, 0, &c0, true)).is_none());
+        }
+        assert_eq!(sh.slots(), 1, "same-component full-mask writes must collapse");
+    }
+}

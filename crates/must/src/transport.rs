@@ -1,0 +1,146 @@
+//! The tool-side event transport.
+//!
+//! The real MUST is a distributed tool: the instrumented application
+//! hands every event to tool agents which forward it (through MUST's
+//! overlay network) to analysis modules; synchronization points wait for
+//! the relevant analyses to quiesce. That transport — packing an event
+//! record, shipping the origin's vector clock with it, queueing, and the
+//! quiescence waits at epoch boundaries — is a first-order component of
+//! MUST-RMA's measured overhead, so it is modelled here as a real worker
+//! thread fed through a FIFO channel, not approximated by a constant.
+//!
+//! A single global FIFO preserves causal order: if event A is enqueued
+//! before a synchronization that happens-before event B's enqueue, A is
+//! processed before B, so happens-before verdicts are interleaving-safe.
+
+use crate::clock::VClock;
+use crate::shadow::{Shadow, ShadowAccess};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use rma_core::{AccessKind, Interval, RaceReport, RankId, SrcLoc};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An access event shipped to the analysis worker (owns its clock — the
+/// O(P) copy the paper blames for the scaling overhead).
+pub(crate) struct OwnedAccess {
+    pub shadow_of: usize,
+    pub interval: Interval,
+    pub component: usize,
+    pub epoch: u64,
+    pub clock: VClock,
+    pub write: bool,
+    pub atomic: bool,
+    pub kind: AccessKind,
+    pub issuer: RankId,
+    pub loc: SrcLoc,
+}
+
+pub(crate) enum Msg {
+    /// One one-sided operation: origin-side and target-side access
+    /// records sharing one shipped clock.
+    Op(Box<[OwnedAccess; 2]>),
+    Stop,
+}
+
+/// State shared between the application-side hooks and the worker.
+/// The shadows are also hit inline by the rank threads for plain CPU
+/// accesses (ThreadSanitizer runs in-process; only MPI events travel
+/// through the tool transport).
+pub(crate) struct AnalysisState {
+    pub shadows: Vec<Mutex<Shadow>>,
+    pub races: Mutex<Vec<RaceReport>>,
+    pub poisoned: AtomicBool,
+    processed: Mutex<u64>,
+    drained: Condvar,
+}
+
+impl AnalysisState {
+    pub fn new(nranks: u32) -> Arc<Self> {
+        Arc::new(AnalysisState {
+            shadows: (0..nranks).map(|_| Mutex::new(Shadow::default())).collect(),
+            races: Mutex::new(Vec::new()),
+            poisoned: AtomicBool::new(false),
+            processed: Mutex::new(0),
+            drained: Condvar::new(),
+        })
+    }
+
+    fn process(&self, a: &OwnedAccess, abort_on_race: bool) {
+        let view = ShadowAccess {
+            interval: a.interval,
+            component: a.component,
+            epoch: a.epoch,
+            clock: &a.clock,
+            write: a.write,
+            atomic: a.atomic,
+            kind: a.kind,
+            issuer: a.issuer,
+            loc: a.loc,
+        };
+        if let Some(report) = self.shadows[a.shadow_of].lock().check_and_record(&view) {
+            self.races.lock().push(*report);
+            if abort_on_race {
+                self.poisoned.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Blocks until `target` events have been processed (or timeout —
+    /// only reachable when the world is being torn down around us).
+    pub fn wait_processed(&self, target: u64) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut processed = self.processed.lock();
+        while *processed < target {
+            if Instant::now() >= deadline {
+                return;
+            }
+            self.drained.wait_for(&mut processed, Duration::from_millis(2));
+        }
+    }
+}
+
+/// The analysis worker: one thread draining the global event queue.
+pub(crate) struct Worker {
+    pub tx: Sender<Msg>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Worker {
+    pub fn spawn(state: Arc<AnalysisState>, abort_on_race: bool) -> Self {
+        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
+        let handle = std::thread::Builder::new()
+            .name("must-analysis".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Msg::Stop => break,
+                        Msg::Op(pair) => {
+                            state.process(&pair[0], abort_on_race);
+                            state.process(&pair[1], abort_on_race);
+                            let mut processed = state.processed.lock();
+                            *processed += 1;
+                            state.drained.notify_all();
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn MUST analysis worker");
+        Worker { tx, handle: Mutex::new(Some(handle)) }
+    }
+
+    /// Stops and joins the worker (idempotent).
+    pub fn shutdown(&self) {
+        if let Some(handle) = self.handle.lock().take() {
+            let _ = self.tx.send(Msg::Stop);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end tests: simulated programs under the MUST-RMA-like detector,
+//! reproducing its Table 2 verdicts (hits, misses, and the stack-array
+//! blind spot).
+
+use rma_must::{MustRma, OnRace};
+use rma_sim::{RankId, World, WorldCfg};
+use std::sync::Arc;
+
+fn run_with_must(
+    nranks: u32,
+    f: impl Fn(&mut rma_sim::RankCtx) + Sync,
+) -> (bool, Arc<MustRma>) {
+    let must = Arc::new(MustRma::for_world(nranks, OnRace::Abort));
+    let out = World::run(WorldCfg::with_ranks(nranks), must.clone(), |ctx| f(ctx));
+    (out.raced() || !must.races().is_empty(), must)
+}
+
+/// ll_get_load_outwindow_origin_race (Table 2, row 1): MUST detects it
+/// when the buffer is on the heap.
+#[test]
+fn get_then_load_heap_detected() {
+    let (raced, _) = run_with_must(2, |ctx| {
+        let win = ctx.win_allocate(32);
+        let buf = ctx.alloc(8); // heap
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.get(&buf, 0, 8, RankId(1), 0, win);
+            let _ = ctx.load_u64(&buf, 0); // races with the async get
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(raced);
+}
+
+/// ll_get_load_inwindow_origin_race (Table 2, row 3): a stack buffer —
+/// MUST misses the race (the TSan blind spot).
+#[test]
+fn get_then_load_stack_missed() {
+    let (raced, must) = run_with_must(2, |ctx| {
+        let win = ctx.win_allocate(32);
+        let buf = ctx.alloc_stack(8); // stack array!
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.get(&buf, 0, 8, RankId(1), 0, win);
+            let _ = ctx.load_u64(&buf, 0);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(!raced, "MUST must miss stack-array races");
+    assert!(must.stack_skips() > 0);
+}
+
+/// ll_load_get_inwindow_origin_safe (Table 2, row 4): MUST correctly
+/// accepts the ordered Load-then-Get (no false positive).
+#[test]
+fn load_then_get_safe() {
+    let (raced, _) = run_with_must(2, |ctx| {
+        let win = ctx.win_allocate(32);
+        let buf = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            let _ = ctx.load_u64(&buf, 0);
+            ctx.get(&buf, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(!raced);
+}
+
+/// ll_get_get_inwindow_origin_safe (Table 2, row 2): two gets reading the
+/// same remote location — safe everywhere (read/read at target; disjoint
+/// local buffers).
+#[test]
+fn get_get_same_source_safe() {
+    let (raced, _) = run_with_must(2, |ctx| {
+        let win = ctx.win_allocate(32);
+        let b1 = ctx.alloc(8);
+        let b2 = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.get(&b1, 0, 8, RankId(1), 0, win);
+            ctx.get(&b2, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(!raced);
+}
+
+/// Two puts from different origins to the same target bytes: race.
+#[test]
+fn concurrent_puts_race() {
+    let (raced, _) = run_with_must(3, |ctx| {
+        let win = ctx.win_allocate(32);
+        let buf = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() != RankId(2) {
+            ctx.put(&buf, 0, 8, RankId(2), 0, win);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(raced);
+}
+
+/// Epoch + barrier separation orders the two puts: no race.
+#[test]
+fn epoch_boundary_orders_accesses() {
+    let (raced, _) = run_with_must(2, |ctx| {
+        let win = ctx.win_allocate(32);
+        let buf = ctx.alloc(8);
+        for _ in 0..3 {
+            ctx.win_lock_all(win);
+            if ctx.rank() == RankId(0) {
+                ctx.put(&buf, 0, 8, RankId(1), 0, win);
+            }
+            ctx.win_unlock_all(win);
+            ctx.barrier();
+        }
+    });
+    assert!(!raced);
+}
+
+/// flush_all orders the issuing rank's own operations: put; flush; put to
+/// the same place is safe.
+#[test]
+fn flush_orders_own_operations() {
+    let (raced, _) = run_with_must(2, |ctx| {
+        let win = ctx.win_allocate(32);
+        let buf = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+            ctx.win_flush_all(win);
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(!raced);
+}
+
+/// Unlike RMA-Analyzer, MUST sees even "alias-filtered" accesses — no
+/// false negative from the filter (over-instrumentation has a silver
+/// lining).
+#[test]
+fn untracked_accesses_still_checked() {
+    let (raced, _) = run_with_must(2, |ctx| {
+        let win = ctx.win_allocate(32);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            let wb = ctx.win_buf(win);
+            ctx.get(&wb, 0, 8, RankId(1), 8, win);
+            ctx.store_u64_untracked(&wb, 0, 1); // filtered for RMA-Analyzer
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(raced, "MUST instruments everything, filter or not");
+}
+
+/// The clock-shipping overhead metric grows linearly with rank count.
+#[test]
+fn clock_words_scale_with_ranks() {
+    let words = |nranks: u32| {
+        let must = Arc::new(MustRma::for_world(nranks, OnRace::Collect));
+        let out = World::run(WorldCfg::with_ranks(nranks), must.clone(), |ctx| {
+            let win = ctx.win_allocate(u64::from(ctx.nranks()) * 8);
+            let buf = ctx.alloc(8);
+            ctx.win_lock_all(win);
+            let me = ctx.rank().0;
+            let peer = RankId((me + 1) % ctx.nranks());
+            ctx.put(&buf, 0, 8, peer, u64::from(me) * 8, win);
+            ctx.win_unlock_all(win);
+            ctx.barrier();
+        });
+        assert!(out.is_clean());
+        must.clock_words_sent()
+    };
+    // One put per rank; each ships a 2P-word clock: total = 2 P^2.
+    assert_eq!(words(2), 2 * 2 * 2);
+    assert_eq!(words(8), 2 * 8 * 8);
+    assert_eq!(words(16), 2 * 16 * 16);
+}
+
+/// Store at target vs concurrent remote put: detected (heap window).
+#[test]
+fn target_store_vs_put_detected() {
+    let (raced, _) = run_with_must(2, |ctx| {
+        let win = ctx.win_allocate(32);
+        let buf = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            let _ = ctx.recv(Some(RankId(1)), 9);
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+        } else {
+            let wb = ctx.win_buf(win);
+            ctx.store_u64(&wb, 0, 5);
+            ctx.send(RankId(0), 9, vec![]);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(raced);
+}

@@ -1,0 +1,119 @@
+//! World abort machinery (the simulator's `MPI_Abort`).
+//!
+//! Any rank — or a monitor hook running on a rank's thread — can abort
+//! the world. The abort flag is checked inside every blocking primitive,
+//! so all other ranks unwind promptly instead of deadlocking on a
+//! rendezvous the aborting rank will never join.
+
+use parking_lot::Mutex;
+use rma_core::{RaceReport, RankId};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Why a rank aborted the world.
+#[derive(Clone, Debug)]
+pub enum AbortReason {
+    /// A detector reported a data race (the tool's `MPI_Abort` path).
+    Race(RaceReport),
+    /// Program-initiated abort with a message.
+    Other(String),
+}
+
+impl core::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AbortReason::Race(r) => {
+                write!(f, "{r} The program will be exiting now with MPI_Abort.")
+            }
+            AbortReason::Other(s) => f.write_str(s),
+        }
+    }
+}
+
+/// Shared abort state.
+#[derive(Default)]
+pub(crate) struct AbortCtl {
+    flag: std::sync::Arc<AtomicBool>,
+    reasons: Mutex<Vec<(RankId, AbortReason)>>,
+}
+
+/// Read-only handle on a world's abort flag, handed to monitors at world
+/// start so tool-internal blocking protocols can cancel promptly when the
+/// world dies for unrelated reasons (a rank panic, a user abort).
+#[derive(Clone, Default)]
+pub struct AbortView {
+    flag: std::sync::Arc<AtomicBool>,
+}
+
+impl AbortView {
+    /// Has the world been aborted?
+    #[inline]
+    pub fn is_aborted(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+impl AbortCtl {
+    #[inline]
+    pub fn is_aborted(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// A read-only view for monitors.
+    pub fn view(&self) -> AbortView {
+        AbortView { flag: self.flag.clone() }
+    }
+
+    /// Records a reason and raises the flag.
+    pub fn abort(&self, rank: RankId, reason: AbortReason) {
+        self.reasons.lock().push((rank, reason));
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub fn reasons(&self) -> Vec<(RankId, AbortReason)> {
+        self.reasons.lock().clone()
+    }
+}
+
+/// Panic payload used to unwind a rank thread during an abort. Threads
+/// unwinding with this payload are expected casualties, not bugs.
+pub(crate) struct AbortUnwind;
+
+/// Unwinds the current rank thread as part of a world abort.
+pub(crate) fn unwind_abort() -> ! {
+    // Silenced by the panic hook installed in `World::run`.
+    std::panic::panic_any(AbortUnwind);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rma_core::{AccessKind, Interval, MemAccess, SrcLoc};
+
+    #[test]
+    fn abort_records_all_reasons() {
+        let ctl = AbortCtl::default();
+        assert!(!ctl.is_aborted());
+        ctl.abort(RankId(1), AbortReason::Other("boom".into()));
+        ctl.abort(RankId(2), AbortReason::Other("also".into()));
+        assert!(ctl.is_aborted());
+        assert_eq!(ctl.reasons().len(), 2);
+    }
+
+    #[test]
+    fn race_reason_display_matches_fig9b_tail() {
+        let a = MemAccess::new(
+            Interval::new(0, 3),
+            AccessKind::RmaWrite,
+            RankId(0),
+            SrcLoc::synthetic("./dspl.hpp", 612),
+        );
+        let b = MemAccess::new(
+            Interval::new(0, 3),
+            AccessKind::RmaWrite,
+            RankId(0),
+            SrcLoc::synthetic("./dspl.hpp", 614),
+        );
+        let msg = AbortReason::Race(RaceReport::new(a, b)).to_string();
+        assert!(msg.ends_with("The program will be exiting now with MPI_Abort."), "{msg}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Simulated buffers and per-rank memory arenas.
+//!
+//! Each rank owns a flat simulated address space carved out by a bump
+//! allocator. A [`Buf`] is a handle to one allocation: it knows its owner
+//! rank, its simulated base address (the coordinates every detector works
+//! in), its length, and whether it models a *stack* array — the paper's
+//! Section 5.2 hinges on ThreadSanitizer not instrumenting stack arrays,
+//! so the distinction must exist in the substrate.
+//!
+//! Storage backing: private (heap/stack) buffers live in the rank's own
+//! arena (`Vec<u8>`, accessed only by the owning thread); window memory
+//! is shared between threads and lives in the window registry instead
+//! (see `window.rs`).
+
+use rma_core::{Addr, Interval, RankId};
+
+/// Where the bytes of a [`Buf`] live.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BufKind {
+    /// Rank-private heap allocation (`slot` indexes the rank's arena).
+    Heap {
+        /// Arena slot.
+        slot: u32,
+    },
+    /// Rank-private allocation modelling a C stack array.
+    Stack {
+        /// Arena slot.
+        slot: u32,
+    },
+    /// The memory of an RMA window owned by `Buf::owner` (shared,
+    /// remotely accessible). `stack` models `MPI_Win_create` over a C
+    /// stack array (the paper's microbenchmarks do this), as opposed to
+    /// `MPI_Win_allocate`d heap memory.
+    Window {
+        /// Window identifier.
+        win: crate::window::WinId,
+        /// Window created over a stack array?
+        stack: bool,
+    },
+}
+
+/// Handle to a simulated allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Buf {
+    /// Rank owning the memory.
+    pub owner: RankId,
+    /// Simulated base address (within the owner's address space).
+    pub base: Addr,
+    /// Length in bytes.
+    pub len: u64,
+    /// Backing storage.
+    pub kind: BufKind,
+}
+
+impl Buf {
+    /// Does this buffer model a stack array?
+    #[inline]
+    pub fn is_stack(&self) -> bool {
+        matches!(
+            self.kind,
+            BufKind::Stack { .. } | BufKind::Window { stack: true, .. }
+        )
+    }
+
+    /// Is this buffer (part of) an RMA window?
+    #[inline]
+    pub fn is_window(&self) -> bool {
+        matches!(self.kind, BufKind::Window { .. })
+    }
+
+    /// Simulated address interval of `len` bytes starting at `off`.
+    ///
+    /// # Panics
+    /// Panics when the range does not fit in the buffer — the simulated
+    /// program performed an out-of-bounds access.
+    #[inline]
+    pub fn interval(&self, off: u64, len: u64) -> Interval {
+        assert!(
+            len > 0 && off.checked_add(len).is_some_and(|end| end <= self.len),
+            "out-of-bounds access: off={off} len={len} on buffer of {} bytes",
+            self.len
+        );
+        Interval::sized(self.base + off, len)
+    }
+}
+
+/// Bump allocator + backing storage for one rank's private memory.
+pub(crate) struct LocalArena {
+    /// Next free simulated address.
+    cursor: Addr,
+    /// Backing bytes per slot (heap and stack allocations alike).
+    slots: Vec<Vec<u8>>,
+    owner: RankId,
+}
+
+/// Private allocations start above the null page, like a real process.
+const ARENA_BASE: Addr = 0x1000;
+/// Alignment of simulated allocations; gaps guarantee distinct
+/// allocations never produce adjacent intervals (so the detector's
+/// merging can never fuse accesses from different variables).
+const ALIGN: Addr = 64;
+
+impl LocalArena {
+    pub fn new(owner: RankId) -> Self {
+        LocalArena { cursor: ARENA_BASE, slots: Vec::new(), owner }
+    }
+
+    /// Reserves `len` simulated addresses (also used for window memory,
+    /// whose bytes live elsewhere).
+    pub fn reserve_range(&mut self, len: u64) -> Addr {
+        assert!(len > 0, "zero-sized allocation");
+        let base = self.cursor;
+        let padded = len.div_ceil(ALIGN) * ALIGN + ALIGN;
+        self.cursor = self.cursor.checked_add(padded).expect("address space exhausted");
+        base
+    }
+
+    pub fn alloc(&mut self, len: u64, stack: bool) -> Buf {
+        let base = self.reserve_range(len);
+        let slot = u32::try_from(self.slots.len()).expect("too many allocations");
+        self.slots.push(vec![0u8; usize::try_from(len).expect("allocation too large")]);
+        Buf {
+            owner: self.owner,
+            base,
+            len,
+            kind: if stack { BufKind::Stack { slot } } else { BufKind::Heap { slot } },
+        }
+    }
+
+    pub fn bytes(&self, slot: u32) -> &[u8] {
+        &self.slots[slot as usize]
+    }
+
+    pub fn bytes_mut(&mut self, slot: u32) -> &mut [u8] {
+        &mut self.slots[slot as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_never_touch() {
+        let mut a = LocalArena::new(RankId(0));
+        let b1 = a.alloc(10, false);
+        let b2 = a.alloc(10, true);
+        assert!(b2.base > b1.base + b1.len, "gap required between allocations");
+        assert!(!b1.interval(0, 10).intersects_or_touches(&b2.interval(0, 10)));
+        assert!(!b1.is_stack());
+        assert!(b2.is_stack());
+    }
+
+    #[test]
+    fn interval_maps_offsets() {
+        let mut a = LocalArena::new(RankId(0));
+        let b = a.alloc(100, false);
+        let iv = b.interval(10, 5);
+        assert_eq!(iv.lo, b.base + 10);
+        assert_eq!(iv.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds")]
+    fn oob_access_panics() {
+        let mut a = LocalArena::new(RankId(0));
+        let b = a.alloc(10, false);
+        let _ = b.interval(8, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds")]
+    fn zero_len_access_panics() {
+        let mut a = LocalArena::new(RankId(0));
+        let b = a.alloc(10, false);
+        let _ = b.interval(0, 0);
+    }
+
+    #[test]
+    fn storage_read_write() {
+        let mut a = LocalArena::new(RankId(0));
+        let b = a.alloc(4, false);
+        let BufKind::Heap { slot } = b.kind else { panic!() };
+        a.bytes_mut(slot).copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(a.bytes(slot), &[1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Two-sided communication plumbing: tagged mailboxes, a central barrier
+//! and a small collective engine (element-wise sum all-reduce).
+//!
+//! Fidelity note: the *algorithms* (central counter barrier, shared-table
+//! reduction) are not the tree algorithms of a real MPI — what matters
+//! for the paper's experiments is the event semantics (who synchronises
+//! with whom, and when), not interconnect topology. All blocking waits
+//! poll the world abort flag so `MPI_Abort` semantics hold: no rank stays
+//! parked on a rendezvous that will never complete.
+
+use crate::abort::{unwind_abort, AbortCtl};
+use parking_lot::{Condvar, Mutex};
+use rma_core::RankId;
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// How often blocking primitives re-check the abort flag.
+const POLL: Duration = Duration::from_millis(2);
+
+/// A point-to-point message.
+pub(crate) struct Msg {
+    pub src: RankId,
+    pub tag: u32,
+    pub data: Vec<u8>,
+}
+
+/// Per-rank tagged mailbox.
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    q: Mutex<VecDeque<Msg>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    pub fn push(&self, msg: Msg) {
+        self.q.lock().push_back(msg);
+        self.cv.notify_all();
+    }
+
+    /// Blocking receive of the first message matching `(src, tag)`.
+    /// FIFO per (src, tag) pair, like MPI's non-overtaking rule.
+    pub fn recv(&self, src: Option<RankId>, tag: u32, abort: &AbortCtl) -> Msg {
+        let mut q = self.q.lock();
+        loop {
+            if let Some(pos) = q
+                .iter()
+                .position(|m| m.tag == tag && src.is_none_or(|s| s == m.src))
+            {
+                return q.remove(pos).expect("position just found");
+            }
+            if abort.is_aborted() {
+                drop(q);
+                unwind_abort();
+            }
+            self.cv.wait_for(&mut q, POLL);
+        }
+    }
+
+    /// Non-blocking probe-and-receive.
+    pub fn try_recv(&self, src: Option<RankId>, tag: u32) -> Option<Msg> {
+        let mut q = self.q.lock();
+        let pos = q
+            .iter()
+            .position(|m| m.tag == tag && src.is_none_or(|s| s == m.src))?;
+        q.remove(pos)
+    }
+}
+
+/// Central sense-reversing barrier with a hook slot for the last arriver.
+#[derive(Default)]
+pub(crate) struct CentralBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct BarrierState {
+    arrived: u32,
+    generation: u64,
+}
+
+impl CentralBarrier {
+    /// Waits for all `nranks` participants. `on_last` runs on the final
+    /// arriver's thread *before* anyone is released — the simulator's
+    /// hook point for monitors needing all-ranks-quiescent moments.
+    pub fn wait(&self, nranks: u32, abort: &AbortCtl, on_last: impl FnOnce()) {
+        let mut st = self.state.lock();
+        st.arrived += 1;
+        if st.arrived == nranks {
+            st.arrived = 0;
+            st.generation += 1;
+            on_last();
+            self.cv.notify_all();
+            return;
+        }
+        let gen = st.generation;
+        while st.generation == gen {
+            if abort.is_aborted() {
+                drop(st);
+                unwind_abort();
+            }
+            self.cv.wait_for(&mut st, POLL);
+        }
+    }
+}
+
+/// One in-flight collective.
+struct CollSlot {
+    acc: Vec<u64>,
+    contributed: u32,
+    taken: u32,
+    complete: bool,
+}
+
+/// Shared-table element-wise-sum all-reduce engine. Collectives are
+/// matched by a per-rank sequence number, so — as in MPI — all ranks must
+/// invoke collectives in the same order.
+#[derive(Default)]
+pub(crate) struct Collectives {
+    slots: Mutex<HashMap<u64, CollSlot>>,
+    cv: Condvar,
+}
+
+impl Collectives {
+    /// Element-wise sum across all ranks; every rank receives the full
+    /// result vector.
+    pub fn allreduce_sum(
+        &self,
+        seq: u64,
+        vals: &[u64],
+        nranks: u32,
+        abort: &AbortCtl,
+    ) -> Vec<u64> {
+        let mut slots = self.slots.lock();
+        {
+            let slot = slots.entry(seq).or_insert_with(|| CollSlot {
+                acc: vec![0; vals.len()],
+                contributed: 0,
+                taken: 0,
+                complete: false,
+            });
+            assert_eq!(
+                slot.acc.len(),
+                vals.len(),
+                "mismatched collective: ranks disagree on vector length (seq {seq})"
+            );
+            for (a, v) in slot.acc.iter_mut().zip(vals) {
+                *a = a.checked_add(*v).expect("allreduce overflow");
+            }
+            slot.contributed += 1;
+            if slot.contributed == nranks {
+                slot.complete = true;
+                self.cv.notify_all();
+            }
+        }
+        loop {
+            if let Some(slot) = slots.get_mut(&seq) {
+                if slot.complete {
+                    let out = slot.acc.clone();
+                    slot.taken += 1;
+                    if slot.taken == nranks {
+                        slots.remove(&seq);
+                    }
+                    return out;
+                }
+            }
+            if abort.is_aborted() {
+                drop(slots);
+                unwind_abort();
+            }
+            self.cv.wait_for(&mut slots, POLL);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mailbox_filters_by_src_and_tag() {
+        let mb = Mailbox::default();
+        let abort = AbortCtl::default();
+        mb.push(Msg { src: RankId(1), tag: 7, data: vec![1] });
+        mb.push(Msg { src: RankId(2), tag: 7, data: vec![2] });
+        mb.push(Msg { src: RankId(1), tag: 9, data: vec![3] });
+        let m = mb.recv(Some(RankId(2)), 7, &abort);
+        assert_eq!(m.data, vec![2]);
+        let m = mb.recv(Some(RankId(1)), 9, &abort);
+        assert_eq!(m.data, vec![3]);
+        let m = mb.recv(None, 7, &abort);
+        assert_eq!(m.data, vec![1]);
+        assert!(mb.try_recv(None, 7).is_none());
+    }
+
+    #[test]
+    fn mailbox_fifo_per_pair() {
+        let mb = Mailbox::default();
+        let abort = AbortCtl::default();
+        for i in 0..5u8 {
+            mb.push(Msg { src: RankId(0), tag: 1, data: vec![i] });
+        }
+        for i in 0..5u8 {
+            assert_eq!(mb.recv(Some(RankId(0)), 1, &abort).data, vec![i]);
+        }
+    }
+
+    #[test]
+    fn barrier_releases_all_and_runs_hook_once() {
+        let barrier = Arc::new(CentralBarrier::default());
+        let abort = Arc::new(AbortCtl::default());
+        let hooks = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let (b, a, h) = (barrier.clone(), abort.clone(), hooks.clone());
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    b.wait(8, &a, || {
+                        h.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hooks.load(std::sync::atomic::Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn allreduce_sums_elementwise() {
+        let coll = Arc::new(Collectives::default());
+        let abort = Arc::new(AbortCtl::default());
+        let mut handles = Vec::new();
+        for r in 0..4u64 {
+            let (c, a) = (coll.clone(), abort.clone());
+            handles.push(std::thread::spawn(move || {
+                let mut results = Vec::new();
+                for seq in 0..3u64 {
+                    results.push(c.allreduce_sum(seq, &[r, 1, seq], 4, &a));
+                }
+                results
+            }));
+        }
+        for h in handles {
+            let results = h.join().unwrap();
+            assert_eq!(results[0], vec![6, 4, 0]);
+            assert_eq!(results[2], vec![6, 4, 8]);
+        }
+        assert!(coll.slots.lock().is_empty(), "slots must be garbage-collected");
+    }
+}

@@ -1,0 +1,659 @@
+//! `RankCtx`: the per-rank handle through which simulated programs do
+//! everything — allocate memory, load/store, create windows, issue
+//! one-sided operations, synchronize.
+
+use crate::abort::{unwind_abort, AbortReason};
+use crate::buf::{Buf, BufKind, LocalArena};
+use crate::event::{LocalEvent, Monitor, RmaDir, RmaEvent};
+use crate::window::{WinId, WinMem, WinView};
+use crate::world::WorldShared;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rma_core::{AccessKind, RaceReport, RankId, SrcLoc};
+use std::sync::Arc;
+
+/// State of one window as seen by this rank.
+struct WinState {
+    view: WinView,
+    /// Own window memory (also reachable through `view`, kept for len).
+    len: u64,
+    base: rma_core::Addr,
+    epoch_open: bool,
+    freed: bool,
+    /// Window memory models a stack array (`MPI_Win_create` over one).
+    stack: bool,
+}
+
+/// A deferred one-sided data transfer (completion property).
+struct Pending {
+    dir: RmaDir,
+    origin_buf: Buf,
+    origin_off: u64,
+    len: u64,
+    target: RankId,
+    target_off: u64,
+    win: WinId,
+}
+
+/// Per-rank execution context. One per rank thread; not `Send` on
+/// purpose — like an MPI rank, it belongs to exactly one thread.
+pub struct RankCtx<'w> {
+    rank: RankId,
+    shared: &'w WorldShared,
+    monitor: &'w dyn Monitor,
+    arena: LocalArena,
+    wins: Vec<WinState>,
+    pending: Vec<Pending>,
+    rng: SmallRng,
+    coll_seq: u64,
+    scratch: Vec<u8>,
+}
+
+impl<'w> RankCtx<'w> {
+    pub(crate) fn new(rank: RankId, shared: &'w WorldShared, monitor: &'w dyn Monitor) -> Self {
+        RankCtx {
+            rank,
+            shared,
+            monitor,
+            arena: LocalArena::new(rank),
+            wins: Vec::new(),
+            pending: Vec::new(),
+            rng: SmallRng::seed_from_u64(shared.cfg.seed ^ (0x9E3779B97F4A7C15u64 ^ u64::from(rank.0)).wrapping_mul(0x2545F4914F6CDD1D)),
+            coll_seq: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// This rank's id.
+    #[inline]
+    pub fn rank(&self) -> RankId {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn nranks(&self) -> u32 {
+        self.shared.cfg.nranks
+    }
+
+    /// `nranks` as usize.
+    #[inline]
+    pub fn nranks_usize(&self) -> usize {
+        self.shared.cfg.nranks as usize
+    }
+
+    /// Aborts the whole world (`MPI_Abort`) with a message.
+    pub fn abort(&self, why: impl Into<String>) -> ! {
+        self.shared.abort.abort(self.rank, AbortReason::Other(why.into()));
+        unwind_abort()
+    }
+
+    #[allow(clippy::boxed_local)] // hook results arrive boxed
+    fn abort_race(&self, report: Box<RaceReport>) -> ! {
+        self.shared.abort.abort(self.rank, AbortReason::Race(*report));
+        unwind_abort()
+    }
+
+    /// Checks the abort flag; unwinds if another rank aborted. Long
+    /// compute loops without communication should call this occasionally.
+    #[inline]
+    pub fn poll_abort(&self) {
+        if self.shared.abort.is_aborted() {
+            unwind_abort();
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Memory
+    // ----------------------------------------------------------------
+
+    /// Allocates `len` bytes of simulated heap memory.
+    pub fn alloc(&mut self, len: u64) -> Buf {
+        self.arena.alloc(len, false)
+    }
+
+    /// Allocates `len` bytes modelling a C stack array (invisible to
+    /// ThreadSanitizer-style tools; see `rma-must`).
+    pub fn alloc_stack(&mut self, len: u64) -> Buf {
+        self.arena.alloc(len, true)
+    }
+
+    fn assert_local(&self, buf: &Buf) {
+        assert_eq!(
+            buf.owner, self.rank,
+            "rank {} used a buffer owned by {} as local memory",
+            self.rank, buf.owner
+        );
+    }
+
+    fn win_mem(&self, win: WinId, rank: RankId) -> &Arc<WinMem> {
+        let ws = &self.wins[win.index()];
+        assert!(!ws.freed, "window {win:?} already freed");
+        &ws.view.mems[rank.index()]
+    }
+
+    /// Raw (uninstrumented) byte read from one of this rank's buffers.
+    fn raw_read_into(&mut self, buf: &Buf, off: u64, out_len: u64) {
+        self.assert_local(buf);
+        let len = usize::try_from(out_len).expect("length");
+        self.scratch.resize(len, 0);
+        match buf.kind {
+            BufKind::Heap { slot } | BufKind::Stack { slot } => {
+                let start = off as usize;
+                self.scratch.copy_from_slice(&self.arena.bytes(slot)[start..start + len]);
+            }
+            BufKind::Window { win, .. } => {
+                let mem = self.win_mem(win, self.rank).clone();
+                mem.read_into(off, &mut self.scratch);
+            }
+        }
+    }
+
+    /// Raw (uninstrumented) byte write into one of this rank's buffers.
+    fn raw_write(&mut self, buf: &Buf, off: u64, data: &[u8]) {
+        self.assert_local(buf);
+        match buf.kind {
+            BufKind::Heap { slot } | BufKind::Stack { slot } => {
+                let start = off as usize;
+                self.arena.bytes_mut(slot)[start..start + data.len()].copy_from_slice(data);
+            }
+            BufKind::Window { win, .. } => {
+                self.win_mem(win, self.rank).write_from(off, data);
+            }
+        }
+    }
+
+    fn emit_local(&self, buf: &Buf, off: u64, len: u64, kind: AccessKind, tracked: bool, loc: SrcLoc) {
+        let ev = LocalEvent {
+            rank: self.rank,
+            interval: buf.interval(off, len),
+            kind,
+            on_stack: buf.is_stack(),
+            tracked,
+            loc,
+        };
+        if let Err(report) = self.monitor.on_local(&ev) {
+            self.abort_race(report);
+        }
+    }
+
+    /// Instrumented ranged load.
+    #[track_caller]
+    pub fn load_bytes(&mut self, buf: &Buf, off: u64, len: u64) -> Vec<u8> {
+        let loc = SrcLoc::here();
+        self.emit_local(buf, off, len, AccessKind::LocalRead, true, loc);
+        self.raw_read_into(buf, off, len);
+        self.scratch.clone()
+    }
+
+    /// Instrumented ranged store.
+    #[track_caller]
+    pub fn store_bytes(&mut self, buf: &Buf, off: u64, data: &[u8]) {
+        let loc = SrcLoc::here();
+        self.emit_local(buf, off, data.len() as u64, AccessKind::LocalWrite, true, loc);
+        self.raw_write(buf, off, data);
+    }
+
+    /// Instrumented single-byte load.
+    #[track_caller]
+    pub fn load(&mut self, buf: &Buf, off: u64) -> u8 {
+        let loc = SrcLoc::here();
+        self.emit_local(buf, off, 1, AccessKind::LocalRead, true, loc);
+        self.raw_read_into(buf, off, 1);
+        self.scratch[0]
+    }
+
+    /// Instrumented single-byte store.
+    #[track_caller]
+    pub fn store(&mut self, buf: &Buf, off: u64, val: u8) {
+        let loc = SrcLoc::here();
+        self.emit_local(buf, off, 1, AccessKind::LocalWrite, true, loc);
+        self.raw_write(buf, off, &[val]);
+    }
+
+    /// Instrumented `u64` load (little endian, `off` in bytes).
+    #[track_caller]
+    pub fn load_u64(&mut self, buf: &Buf, off: u64) -> u64 {
+        let loc = SrcLoc::here();
+        self.emit_local(buf, off, 8, AccessKind::LocalRead, true, loc);
+        self.raw_read_into(buf, off, 8);
+        u64::from_le_bytes(self.scratch[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Instrumented `u64` store.
+    #[track_caller]
+    pub fn store_u64(&mut self, buf: &Buf, off: u64, val: u64) {
+        let loc = SrcLoc::here();
+        self.emit_local(buf, off, 8, AccessKind::LocalWrite, true, loc);
+        self.raw_write(buf, off, &val.to_le_bytes());
+    }
+
+    /// Instrumented `f64` load.
+    #[track_caller]
+    pub fn load_f64(&mut self, buf: &Buf, off: u64) -> f64 {
+        f64::from_bits(self.load_u64(buf, off))
+    }
+
+    /// Instrumented `f64` store.
+    #[track_caller]
+    pub fn store_f64(&mut self, buf: &Buf, off: u64, val: f64) {
+        self.store_u64(buf, off, val.to_bits());
+    }
+
+    /// Load that the compile-time alias analysis proved irrelevant to any
+    /// window: RMA-Analyzer-style monitors skip it, ThreadSanitizer-style
+    /// monitors still see it.
+    #[track_caller]
+    pub fn load_u64_untracked(&mut self, buf: &Buf, off: u64) -> u64 {
+        let loc = SrcLoc::here();
+        self.emit_local(buf, off, 8, AccessKind::LocalRead, false, loc);
+        self.raw_read_into(buf, off, 8);
+        u64::from_le_bytes(self.scratch[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Store counterpart of [`RankCtx::load_u64_untracked`].
+    #[track_caller]
+    pub fn store_u64_untracked(&mut self, buf: &Buf, off: u64, val: u64) {
+        let loc = SrcLoc::here();
+        self.emit_local(buf, off, 8, AccessKind::LocalWrite, false, loc);
+        self.raw_write(buf, off, &val.to_le_bytes());
+    }
+
+    // ----------------------------------------------------------------
+    // Windows and one-sided operations
+    // ----------------------------------------------------------------
+
+    /// Collective window allocation (`MPI_Win_allocate`): every rank
+    /// contributes `len` bytes. Returns the window id (identical on all
+    /// ranks).
+    pub fn win_allocate(&mut self, len: u64) -> WinId {
+        self.win_create(len, false)
+    }
+
+    /// Collective window creation over a **stack array**
+    /// (`MPI_Win_create` on an `int buf[N]` local, as the paper's
+    /// microbenchmark suite does). Local accesses to such a window are
+    /// invisible to ThreadSanitizer-style tools.
+    pub fn win_allocate_on_stack(&mut self, len: u64) -> WinId {
+        self.win_create(len, true)
+    }
+
+    fn win_create(&mut self, len: u64, stack: bool) -> WinId {
+        let win = WinId(u32::try_from(self.wins.len()).expect("too many windows"));
+        let base = self.arena.reserve_range(len);
+        let mem = Arc::new(WinMem::new(len));
+        self.shared.winreg.register(win, self.rank, self.nranks(), mem, base);
+        self.monitor.on_win_allocate(self.rank, win, base, len);
+        self.barrier();
+        let view = self.shared.winreg.view(win);
+        self.wins.push(WinState { view, len, base, epoch_open: false, freed: false, stack });
+        win
+    }
+
+    /// Buffer handle over this rank's own window memory (for local
+    /// loads/stores into the window).
+    pub fn win_buf(&self, win: WinId) -> Buf {
+        let ws = &self.wins[win.index()];
+        assert!(!ws.freed, "window {win:?} already freed");
+        Buf {
+            owner: self.rank,
+            base: ws.base,
+            len: ws.len,
+            kind: BufKind::Window { win, stack: ws.stack },
+        }
+    }
+
+    /// Collective window destruction (`MPI_Win_free`).
+    pub fn win_free(&mut self, win: WinId) {
+        {
+            let ws = &mut self.wins[win.index()];
+            assert!(!ws.freed, "window {win:?} freed twice");
+            assert!(!ws.epoch_open, "window {win:?} freed inside an epoch");
+            ws.freed = true;
+        }
+        self.monitor.on_win_free(self.rank, win);
+        self.barrier();
+    }
+
+    /// Opens a passive-target epoch (`MPI_Win_lock_all`). Not collective.
+    pub fn win_lock_all(&mut self, win: WinId) {
+        let ws = &mut self.wins[win.index()];
+        assert!(!ws.freed, "lock_all on freed window {win:?}");
+        assert!(!ws.epoch_open, "nested lock_all on window {win:?}");
+        ws.epoch_open = true;
+        self.monitor.on_lock_all(self.rank, win);
+    }
+
+    /// Closes the epoch (`MPI_Win_unlock_all`): completes all of this
+    /// rank's outstanding operations on `win`.
+    pub fn win_unlock_all(&mut self, win: WinId) {
+        {
+            let ws = &self.wins[win.index()];
+            assert!(ws.epoch_open, "unlock_all without lock_all on window {win:?}");
+        }
+        self.complete_pending(Some(win));
+        self.wins[win.index()].epoch_open = false;
+        if let Err(report) = self.monitor.on_unlock_all(self.rank, win) {
+            self.abort_race(report);
+        }
+    }
+
+    /// `MPI_Win_fence`: collective active-target synchronization.
+    /// Completes every rank's outstanding operations on `win` and
+    /// separates the accesses before the fence from those after it.
+    /// Opens (or continues) a fence access epoch on the window.
+    pub fn win_fence(&mut self, win: WinId) {
+        {
+            let ws = &self.wins[win.index()];
+            assert!(!ws.freed, "fence on freed window {win:?}");
+        }
+        self.complete_pending(Some(win));
+        self.poll_abort();
+        self.monitor.on_fence(self.rank, win);
+        self.shared.barrier.wait(self.nranks(), &self.shared.abort, || {
+            self.monitor.on_fence_last(win);
+        });
+        self.wins[win.index()].epoch_open = true;
+    }
+
+    /// `MPI_Win_flush`: completes this rank's outstanding operations on
+    /// `win` towards `target` only. Per the MPI standard the target is
+    /// not informed, which is why tools struggle to instrument this call
+    /// soundly (the paper's Section 6, item 2).
+    pub fn win_flush(&mut self, win: WinId, target: RankId) {
+        {
+            let ws = &self.wins[win.index()];
+            assert!(ws.epoch_open, "flush outside an epoch on window {win:?}");
+        }
+        self.complete_pending_to(win, target);
+        self.monitor.on_flush(self.rank, win, target);
+    }
+
+    /// `MPI_Win_flush_all`: completes this rank's outstanding operations
+    /// on `win` (at origin and targets) without ending the epoch.
+    pub fn win_flush_all(&mut self, win: WinId) {
+        {
+            let ws = &self.wins[win.index()];
+            assert!(ws.epoch_open, "flush_all outside an epoch on window {win:?}");
+        }
+        self.complete_pending(Some(win));
+        self.monitor.on_flush_all(self.rank, win);
+    }
+
+    fn check_rma_args(&self, origin: &Buf, target: RankId, win: WinId) {
+        self.assert_local(origin);
+        assert!(target.index() < self.nranks_usize(), "invalid target {target}");
+        let ws = &self.wins[win.index()];
+        assert!(!ws.freed, "RMA operation on freed window {win:?}");
+        assert!(ws.epoch_open, "RMA operation outside an epoch on window {win:?}");
+    }
+
+    /// `MPI_Put`: writes `len` bytes from this rank's `origin` buffer
+    /// (at `origin_off`) into `target`'s window at `target_off`.
+    #[track_caller]
+    pub fn put(
+        &mut self,
+        origin: &Buf,
+        origin_off: u64,
+        len: u64,
+        target: RankId,
+        target_off: u64,
+        win: WinId,
+    ) {
+        let loc = SrcLoc::here();
+        self.rma(RmaDir::Put, origin, origin_off, len, target, target_off, win, loc);
+    }
+
+    /// `MPI_Get`: reads `len` bytes from `target`'s window at
+    /// `target_off` into this rank's `origin` buffer at `origin_off`.
+    #[track_caller]
+    pub fn get(
+        &mut self,
+        origin: &Buf,
+        origin_off: u64,
+        len: u64,
+        target: RankId,
+        target_off: u64,
+        win: WinId,
+    ) {
+        let loc = SrcLoc::here();
+        self.rma(RmaDir::Get, origin, origin_off, len, target, target_off, win, loc);
+    }
+
+    /// `MPI_Accumulate`: element-wise-atomically combines `len` bytes
+    /// (a multiple of 8; the simulated datatype is a 64-bit integer) of
+    /// this rank's `origin` buffer into `target`'s window with reduction
+    /// `op`. Thanks to MPI's atomicity property, concurrent accumulates
+    /// to the same location do not race with each other.
+    #[track_caller]
+    #[allow(clippy::too_many_arguments)]
+    pub fn accumulate(
+        &mut self,
+        origin: &Buf,
+        origin_off: u64,
+        len: u64,
+        target: RankId,
+        target_off: u64,
+        win: WinId,
+        op: crate::window::AccumOp,
+    ) {
+        assert!(len.is_multiple_of(8), "accumulate length must be a multiple of 8 bytes");
+        let loc = SrcLoc::here();
+        self.rma(RmaDir::Accum(op), origin, origin_off, len, target, target_off, win, loc);
+    }
+
+    /// `MPI_Fetch_and_op` (8-byte element): atomically replaces
+    /// `target_off` of `target`'s window with `op(old, operand)` and
+    /// writes the old value into this rank's `result` buffer at
+    /// `result_off`. The operand is read from `operand_buf` at
+    /// `operand_off`.
+    ///
+    /// The simulator applies the atomic update at issue time (a legal
+    /// execution: the operation is element-wise atomic, and MPI permits
+    /// completion at any point up to the next synchronization), so the
+    /// fetched value is usable immediately — as real applications
+    /// commonly assume only after a flush, which this models
+    /// conservatively in the program's favour.
+    #[track_caller]
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch_and_op(
+        &mut self,
+        result: &Buf,
+        result_off: u64,
+        operand_buf: &Buf,
+        operand_off: u64,
+        target: RankId,
+        target_off: u64,
+        win: WinId,
+        op: crate::window::AccumOp,
+    ) {
+        let loc = SrcLoc::here();
+        self.check_rma_args(result, target, win);
+        self.assert_local(operand_buf);
+        // The operand read and the result write are two origin-side
+        // accesses; the target side is one atomic accumulate. Report the
+        // update half first (operand read), then the fetch half (result
+        // write); both carry the same call site.
+        let update = RmaEvent {
+            dir: RmaDir::Accum(op),
+            origin: self.rank,
+            target,
+            win,
+            origin_interval: operand_buf.interval(operand_off, 8),
+            target_interval: self.wins[win.index()].view.interval(target, target_off, 8),
+            origin_on_stack: operand_buf.is_stack(),
+            loc,
+        };
+        if let Err(report) = self.monitor.on_rma(&update) {
+            self.abort_race(report);
+        }
+        let fetch = RmaEvent {
+            dir: RmaDir::FetchAccum(op),
+            origin: self.rank,
+            target,
+            win,
+            origin_interval: result.interval(result_off, 8),
+            target_interval: self.wins[win.index()].view.interval(target, target_off, 8),
+            origin_on_stack: result.is_stack(),
+            loc,
+        };
+        if let Err(report) = self.monitor.on_rma(&fetch) {
+            self.abort_race(report);
+        }
+        // Atomic data movement, applied eagerly (see doc comment).
+        self.raw_read_into(operand_buf, operand_off, 8);
+        let operand = u64::from_le_bytes(self.scratch[..8].try_into().expect("8 bytes"));
+        let old = self.win_mem(win, target).fetch_and_op(target_off, operand, op);
+        self.raw_write(result, result_off, &old.to_le_bytes());
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rma(
+        &mut self,
+        dir: RmaDir,
+        origin: &Buf,
+        origin_off: u64,
+        len: u64,
+        target: RankId,
+        target_off: u64,
+        win: WinId,
+        loc: SrcLoc,
+    ) {
+        self.check_rma_args(origin, target, win);
+        let ev = RmaEvent {
+            dir,
+            origin: self.rank,
+            target,
+            win,
+            origin_interval: origin.interval(origin_off, len),
+            target_interval: self.wins[win.index()].view.interval(target, target_off, len),
+            origin_on_stack: origin.is_stack(),
+            loc,
+        };
+        if let Err(report) = self.monitor.on_rma(&ev) {
+            self.abort_race(report);
+        }
+        let op = Pending { dir, origin_buf: *origin, origin_off, len, target, target_off, win };
+        if self.shared.cfg.deferred_completion {
+            self.pending.push(op);
+        } else {
+            self.apply_transfer(&op);
+        }
+    }
+
+    /// Performs the actual byte movement of a put/get/accumulate.
+    fn apply_transfer(&mut self, op: &Pending) {
+        match op.dir {
+            RmaDir::Put => {
+                self.raw_read_into(&op.origin_buf, op.origin_off, op.len);
+                let data = std::mem::take(&mut self.scratch);
+                self.win_mem(op.win, op.target).write_from(op.target_off, &data);
+                self.scratch = data;
+            }
+            RmaDir::Accum(aop) => {
+                self.raw_read_into(&op.origin_buf, op.origin_off, op.len);
+                let data = std::mem::take(&mut self.scratch);
+                self.win_mem(op.win, op.target)
+                    .accumulate_from(op.target_off, &data, aop);
+                self.scratch = data;
+            }
+            RmaDir::FetchAccum(_) => {
+                unreachable!("fetch_and_op applies eagerly, never deferred")
+            }
+            RmaDir::Get => {
+                let mem = self.win_mem(op.win, op.target).clone();
+                self.scratch.resize(usize::try_from(op.len).expect("length"), 0);
+                let mut data = std::mem::take(&mut self.scratch);
+                mem.read_into(op.target_off, &mut data);
+                self.raw_write(&op.origin_buf.clone(), op.origin_off, &data);
+                self.scratch = data;
+            }
+        }
+    }
+
+    /// Applies deferred transfers for (`win`, `target`) in a seeded
+    /// shuffled order.
+    fn complete_pending_to(&mut self, win: WinId, target: RankId) {
+        let mut due: Vec<Pending> = Vec::new();
+        let mut rest: Vec<Pending> = Vec::new();
+        for op in self.pending.drain(..) {
+            if op.win == win && op.target == target {
+                due.push(op);
+            } else {
+                rest.push(op);
+            }
+        }
+        self.pending = rest;
+        due.shuffle(&mut self.rng);
+        for op in &due {
+            self.apply_transfer(op);
+        }
+    }
+
+    /// Applies deferred transfers for `win` (or all windows) in a seeded
+    /// shuffled order: within an epoch, operations complete in any order.
+    fn complete_pending(&mut self, win: Option<WinId>) {
+        let mut due: Vec<Pending> = Vec::new();
+        let mut rest: Vec<Pending> = Vec::new();
+        for op in self.pending.drain(..) {
+            if win.is_none_or(|w| w == op.win) {
+                due.push(op);
+            } else {
+                rest.push(op);
+            }
+        }
+        self.pending = rest;
+        due.shuffle(&mut self.rng);
+        for op in &due {
+            self.apply_transfer(op);
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Two-sided plumbing
+    // ----------------------------------------------------------------
+
+    /// Tagged point-to-point send (buffered, non-blocking).
+    pub fn send(&self, to: RankId, tag: u32, data: Vec<u8>) {
+        assert!(to.index() < self.nranks_usize(), "invalid destination {to}");
+        self.shared.mailboxes[to.index()].push(crate::comm::Msg {
+            src: self.rank,
+            tag,
+            data,
+        });
+    }
+
+    /// Blocking tagged receive; `from = None` matches any source.
+    pub fn recv(&self, from: Option<RankId>, tag: u32) -> (RankId, Vec<u8>) {
+        let msg = self.shared.mailboxes[self.rank.index()].recv(from, tag, &self.shared.abort);
+        (msg.src, msg.data)
+    }
+
+    /// Non-blocking tagged receive.
+    pub fn try_recv(&self, from: Option<RankId>, tag: u32) -> Option<(RankId, Vec<u8>)> {
+        self.shared.mailboxes[self.rank.index()]
+            .try_recv(from, tag)
+            .map(|m| (m.src, m.data))
+    }
+
+    /// `MPI_Barrier` over all ranks.
+    pub fn barrier(&mut self) {
+        self.poll_abort();
+        self.monitor.on_barrier(self.rank);
+        self.shared.barrier.wait(self.nranks(), &self.shared.abort, || {
+            self.monitor.on_barrier_last();
+        });
+    }
+
+    /// Element-wise sum all-reduce of a `u64` vector (`MPI_Allreduce`
+    /// with `MPI_SUM`). All ranks must pass vectors of equal length.
+    pub fn allreduce_sum_u64(&mut self, vals: &[u64]) -> Vec<u64> {
+        self.poll_abort();
+        let seq = self.coll_seq;
+        self.coll_seq += 1;
+        self.shared
+            .colls
+            .allreduce_sum(seq, vals, self.nranks(), &self.shared.abort)
+    }
+}

@@ -1,0 +1,181 @@
+//! The instrumentation interface: everything a correctness tool can
+//! observe about a simulated MPI-RMA program.
+//!
+//! This is the moral equivalent of the paper's PMPI interception plus
+//! LLVM load/store instrumentation: every semantic action of a rank calls
+//! the corresponding hook *on that rank's thread*, synchronously, before
+//! the action's side effects become visible to other ranks. A hook
+//! returning an error makes the acting rank abort the world
+//! (`MPI_Abort`), which is exactly what RMA-Analyzer does on a race.
+
+use crate::window::WinId;
+use rma_core::{AccessKind, Addr, Interval, RaceReport, RankId, SrcLoc};
+
+/// Result of a hook that can report a data race.
+pub type HookResult = Result<(), Box<RaceReport>>;
+
+/// Direction of a one-sided operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RmaDir {
+    /// `MPI_Put`: origin buffer → target window.
+    Put,
+    /// `MPI_Get`: target window → origin buffer.
+    Get,
+    /// `MPI_Accumulate`: origin buffer ⊕ target window → target window,
+    /// element-wise atomic.
+    Accum(crate::window::AccumOp),
+    /// The fetch half of an `MPI_Fetch_and_op`: the old target value is
+    /// written into the origin's result buffer while the target is
+    /// atomically updated (the update half is reported as a separate
+    /// [`RmaDir::Accum`] event sharing the call site).
+    FetchAccum(crate::window::AccumOp),
+}
+
+/// A one-sided communication, with both of its access halves resolved to
+/// simulated address intervals.
+#[derive(Clone, Copy, Debug)]
+pub struct RmaEvent {
+    /// Put or get.
+    pub dir: RmaDir,
+    /// Issuing rank.
+    pub origin: RankId,
+    /// Rank whose window is accessed.
+    pub target: RankId,
+    /// Window accessed.
+    pub win: WinId,
+    /// Interval touched in the origin's address space (the local buffer).
+    pub origin_interval: Interval,
+    /// Interval touched in the target's address space (inside the window).
+    pub target_interval: Interval,
+    /// Whether the origin buffer models a stack array.
+    pub origin_on_stack: bool,
+    /// Source location of the call.
+    pub loc: SrcLoc,
+}
+
+impl RmaEvent {
+    /// Access kind recorded at the origin: a put *reads* the origin
+    /// buffer, a get *writes* it (Section 2.1).
+    #[inline]
+    pub fn origin_kind(&self) -> AccessKind {
+        match self.dir {
+            RmaDir::Put | RmaDir::Accum(_) => AccessKind::RmaRead,
+            RmaDir::Get | RmaDir::FetchAccum(_) => AccessKind::RmaWrite,
+        }
+    }
+
+    /// Access kind recorded at the target: a put *writes* the window, a
+    /// get *reads* it.
+    #[inline]
+    pub fn target_kind(&self) -> AccessKind {
+        match self.dir {
+            RmaDir::Put => AccessKind::RmaWrite,
+            RmaDir::Get => AccessKind::RmaRead,
+            RmaDir::Accum(_) | RmaDir::FetchAccum(_) => AccessKind::RmaAccum,
+        }
+    }
+}
+
+/// A plain CPU access executed by the owner of the address space.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalEvent {
+    /// Acting rank (always the owner of the accessed memory).
+    pub rank: RankId,
+    /// Addresses touched.
+    pub interval: Interval,
+    /// `LocalRead` or `LocalWrite`.
+    pub kind: AccessKind,
+    /// Whether the accessed buffer models a stack array (ThreadSanitizer
+    /// does not instrument those — the MUST-RMA false-negative cause of
+    /// Section 5.2).
+    pub on_stack: bool,
+    /// `false` when the compile-time alias analysis would have filtered
+    /// this access out as irrelevant to any window (the paper's
+    /// "LLVM alias analysis is used to reduce the number of Load/Store
+    /// instrumentations"). RMA-Analyzer-style monitors skip untracked
+    /// accesses; a ThreadSanitizer-style monitor sees everything.
+    pub tracked: bool,
+    /// Source location.
+    pub loc: SrcLoc,
+}
+
+/// Observer interface for correctness tools. All methods have no-op
+/// defaults; every hook runs synchronously on the acting rank's thread.
+#[allow(unused_variables)]
+pub trait Monitor: Send + Sync {
+    /// The world is about to start `nranks` ranks.
+    fn on_world_start(&self, nranks: u32) {}
+
+    /// Hands the monitor a read-only view of the world's abort flag,
+    /// immediately after [`Monitor::on_world_start`].
+    fn on_abort_view(&self, view: crate::abort::AbortView) {
+        let _ = view;
+    }
+
+    /// All rank threads have finished (normally or by abort); last chance
+    /// for the tool to tear down helper threads and flush state.
+    fn on_world_end(&self) {}
+
+    /// A rank's closure returned normally.
+    fn on_rank_finish(&self, rank: RankId) {}
+
+    /// A plain load/store. Called before the bytes move.
+    fn on_local(&self, ev: &LocalEvent) -> HookResult {
+        Ok(())
+    }
+
+    /// A put/get was issued. Called before any data movement (the
+    /// operation is asynchronous anyway — issue order is all a real PMPI
+    /// wrapper can observe).
+    fn on_rma(&self, ev: &RmaEvent) -> HookResult {
+        Ok(())
+    }
+
+    /// Collective window allocation: this rank contributed `len` bytes at
+    /// simulated base address `base`.
+    fn on_win_allocate(&self, rank: RankId, win: WinId, base: Addr, len: u64) {}
+
+    /// Collective window destruction.
+    fn on_win_free(&self, rank: RankId, win: WinId) {}
+
+    /// `MPI_Win_lock_all` — the rank opened a passive-target epoch.
+    fn on_lock_all(&self, rank: RankId, win: WinId) {}
+
+    /// `MPI_Win_unlock_all` — the rank closed its epoch. All of the
+    /// rank's operations on `win` have completed. May report a race found
+    /// while draining pending remote-access notifications.
+    fn on_unlock_all(&self, rank: RankId, win: WinId) -> HookResult {
+        Ok(())
+    }
+
+    /// `MPI_Win_flush_all` — the rank's outstanding operations on `win`
+    /// completed at origin and targets, but no other rank knows that.
+    fn on_flush_all(&self, rank: RankId, win: WinId) {}
+
+    /// `MPI_Win_flush` — the rank's outstanding operations on `win`
+    /// towards `target` completed. The paper's Section 6 discusses why
+    /// instrumenting this soundly is hard; see each tool for its policy.
+    fn on_flush(&self, rank: RankId, win: WinId, target: RankId) {}
+
+    /// `MPI_Win_fence` — the rank arrived at a collective fence on `win`
+    /// (active-target synchronization), before blocking.
+    fn on_fence(&self, rank: RankId, win: WinId) {}
+
+    /// All ranks arrived at the fence on `win`; runs once, on the last
+    /// arriver's thread, before anyone is released. Everything before the
+    /// fence happens-before everything after it.
+    fn on_fence_last(&self, win: WinId) {}
+
+    /// The rank arrived at a barrier (before blocking).
+    fn on_barrier(&self, rank: RankId) {}
+
+    /// All ranks have arrived at the barrier; runs once, on the last
+    /// arriver's thread, before anyone is released.
+    fn on_barrier_last(&self) {}
+}
+
+/// Baseline monitor: observes nothing (used for un-instrumented runs).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullMonitor;
+
+impl Monitor for NullMonitor {}

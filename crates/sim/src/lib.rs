@@ -1,0 +1,60 @@
+//! # rma-sim — a thread-per-rank MPI-RMA runtime simulator
+//!
+//! The paper's tool instruments real MPI programs (PMPI interception +
+//! LLVM instrumentation of loads/stores) running on an InfiniBand
+//! cluster. Neither is available here, so this crate provides the
+//! substitute substrate: a faithful-at-the-event-level simulation of the
+//! MPI-RMA programming model in pure Rust.
+//!
+//! * **SPMD execution** — [`World::run`] spawns one OS thread per rank,
+//!   all executing the same closure against a [`RankCtx`].
+//! * **Simulated address spaces** — every rank owns a flat simulated
+//!   address space; [`RankCtx::alloc`]/[`RankCtx::alloc_stack`] hand out
+//!   [`Buf`] handles, and all program reads/writes go through
+//!   instrumented accessors ([`RankCtx::load_bytes`],
+//!   [`RankCtx::store_bytes`], typed helpers) that move real bytes *and*
+//!   report the access — with `#[track_caller]` source locations standing
+//!   in for LLVM debug info — to an attached [`Monitor`].
+//! * **Windows and passive-target epochs** — [`RankCtx::win_allocate`]
+//!   (collective), [`RankCtx::win_lock_all`] / [`RankCtx::win_unlock_all`]
+//!   epochs, [`RankCtx::put`] / [`RankCtx::get`] one-sided operations and
+//!   [`RankCtx::win_flush_all`]. Window memory is shared between threads
+//!   (relaxed atomics), so one-sided transfers really are performed by
+//!   the origin thread, concurrently with target-side computation —
+//!   simulated-program data races are real value races, while the Rust
+//!   implementation itself stays sound.
+//! * **The completion property** — with
+//!   [`WorldCfg::deferred_completion`], the data movement of puts/gets is
+//!   delayed until `unlock_all`/`flush_all` and applied in a seeded
+//!   shuffled order, modelling MPI-RMA's "nothing completes before the
+//!   end of the epoch" and "operations complete in any order" rules.
+//! * **Two-sided plumbing** — tagged [`RankCtx::send`]/[`RankCtx::recv`],
+//!   [`RankCtx::barrier`], [`RankCtx::allreduce_sum_u64`]: enough to
+//!   implement the paper's Section 5.1 runtime protocol (notification
+//!   messages plus a reduce at the end of each epoch).
+//!
+//! Detectors never live in this crate; they observe through the
+//! [`Monitor`] trait (see `rma-monitor` and `rma-must`). A hook returning
+//! an error aborts the world like `MPI_Abort`, and [`RunOutcome`] carries
+//! the race reports back to the caller.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod abort;
+mod buf;
+mod comm;
+mod ctx;
+mod event;
+mod window;
+mod world;
+
+pub use abort::{AbortReason, AbortView};
+pub use buf::{Buf, BufKind};
+pub use ctx::RankCtx;
+pub use event::{HookResult, LocalEvent, Monitor, NullMonitor, RmaDir, RmaEvent};
+pub use window::{AccumOp, WinId};
+pub use world::{RunOutcome, World, WorldCfg};
+
+// Re-export the core vocabulary types used throughout the API.
+pub use rma_core::{AccessKind, Addr, Interval, MemAccess, RaceReport, RankId, SrcLoc};

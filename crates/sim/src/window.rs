@@ -1,0 +1,240 @@
+//! RMA windows: remotely accessible memory regions.
+//!
+//! Window memory is shared between rank threads — `MPI_Put`/`MPI_Get`
+//! are genuinely one-sided, performed by the origin thread directly on
+//! the target's window bytes. The bytes are relaxed `AtomicU8`s: the
+//! *simulated program* may race on them (that is the entire point — the
+//! detectors' job is to find those races), while the Rust implementation
+//! remains free of undefined behaviour, as the concurrency guides demand.
+
+use parking_lot::Mutex;
+use rma_core::{Addr, RankId};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Reduction operation of an `MPI_Accumulate` (a subset of MPI's
+/// predefined ops, over 8-byte little-endian elements).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccumOp {
+    /// `MPI_SUM` (wrapping).
+    Sum,
+    /// `MPI_MAX`.
+    Max,
+    /// `MPI_REPLACE` — an element-wise-atomic put.
+    Replace,
+    /// `MPI_BOR` — bitwise or.
+    Bor,
+}
+
+impl AccumOp {
+    /// Applies the reduction to one element.
+    #[inline]
+    pub fn apply(self, current: u64, operand: u64) -> u64 {
+        match self {
+            AccumOp::Sum => current.wrapping_add(operand),
+            AccumOp::Max => current.max(operand),
+            AccumOp::Replace => operand,
+            AccumOp::Bor => current | operand,
+        }
+    }
+}
+
+/// Identifier of a window (dense index, identical on every rank because
+/// window creation is collective and SPMD-ordered).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct WinId(pub u32);
+
+impl WinId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The shared bytes of one rank's contribution to a window.
+pub(crate) struct WinMem {
+    bytes: Box<[AtomicU8]>,
+    /// Serialises accumulate operations: MPI guarantees element-wise
+    /// atomicity for accumulates (puts/gets give no such guarantee and
+    /// stay lock-free).
+    accum_lock: Mutex<()>,
+}
+
+impl WinMem {
+    pub fn new(len: u64) -> Self {
+        let len = usize::try_from(len).expect("window too large");
+        WinMem {
+            bytes: (0..len).map(|_| AtomicU8::new(0)).collect(),
+            accum_lock: Mutex::new(()),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Copies `out.len()` bytes starting at `off` into `out`.
+    pub fn read_into(&self, off: u64, out: &mut [u8]) {
+        let off = off as usize;
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.bytes[off + i].load(Ordering::Relaxed);
+        }
+    }
+
+    /// Writes `data` starting at `off`.
+    pub fn write_from(&self, off: u64, data: &[u8]) {
+        let off = off as usize;
+        for (i, b) in data.iter().enumerate() {
+            self.bytes[off + i].store(*b, Ordering::Relaxed);
+        }
+    }
+
+    /// Atomic fetch-and-op on one 8-byte element: returns the old value
+    /// and stores `op(old, operand)`.
+    pub fn fetch_and_op(&self, off: u64, operand: u64, op: AccumOp) -> u64 {
+        let _atomic = self.accum_lock.lock();
+        let mut cur = [0u8; 8];
+        self.read_into(off, &mut cur);
+        let old = u64::from_le_bytes(cur);
+        self.write_from(off, &op.apply(old, operand).to_le_bytes());
+        old
+    }
+
+    /// Element-wise-atomic accumulate of 8-byte little-endian elements.
+    /// `data.len()` must be a multiple of 8.
+    pub fn accumulate_from(&self, off: u64, data: &[u8], op: AccumOp) {
+        let _atomic = self.accum_lock.lock();
+        for (k, chunk) in data.chunks_exact(8).enumerate() {
+            let eoff = off + (k as u64) * 8;
+            let mut cur = [0u8; 8];
+            self.read_into(eoff, &mut cur);
+            let next = op.apply(
+                u64::from_le_bytes(cur),
+                u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")),
+            );
+            self.write_from(eoff, &next.to_le_bytes());
+        }
+    }
+}
+
+/// Fully assembled view of one window, cached by every rank after the
+/// collective creation completes.
+#[derive(Clone)]
+pub(crate) struct WinView {
+    /// Per-rank shared memory.
+    pub mems: Vec<Arc<WinMem>>,
+    /// Per-rank simulated base address of the window region.
+    pub bases: Vec<Addr>,
+}
+
+impl WinView {
+    /// Simulated address interval of a remote access.
+    pub fn interval(&self, rank: RankId, off: u64, len: u64) -> rma_core::Interval {
+        let mem = &self.mems[rank.index()];
+        assert!(
+            len > 0 && off.checked_add(len).is_some_and(|end| end <= mem.len()),
+            "remote access out of window bounds: off={off} len={len} window={} bytes",
+            mem.len()
+        );
+        rma_core::Interval::sized(self.bases[rank.index()] + off, len)
+    }
+}
+
+/// Assembly area for in-flight collective window creations.
+#[derive(Default)]
+pub(crate) struct WindowRegistry {
+    entries: Mutex<Vec<PartialWindow>>,
+}
+
+struct PartialWindow {
+    mems: Vec<Option<Arc<WinMem>>>,
+    bases: Vec<Addr>,
+}
+
+impl WindowRegistry {
+    /// Deposits this rank's contribution to window `win`. All ranks must
+    /// follow with a barrier before calling [`WindowRegistry::view`].
+    pub fn register(
+        &self,
+        win: WinId,
+        rank: RankId,
+        nranks: u32,
+        mem: Arc<WinMem>,
+        base: Addr,
+    ) {
+        let mut entries = self.entries.lock();
+        while entries.len() <= win.index() {
+            entries.push(PartialWindow {
+                mems: vec![None; nranks as usize],
+                bases: vec![0; nranks as usize],
+            });
+        }
+        let e = &mut entries[win.index()];
+        assert!(e.mems[rank.index()].is_none(), "rank {rank} registered window {win:?} twice");
+        e.mems[rank.index()] = Some(mem);
+        e.bases[rank.index()] = base;
+    }
+
+    /// Snapshot of a fully registered window. Panics if some rank has not
+    /// contributed yet (i.e. the mandatory barrier was skipped).
+    pub fn view(&self, win: WinId) -> WinView {
+        let entries = self.entries.lock();
+        let e = &entries[win.index()];
+        WinView {
+            mems: e
+                .mems
+                .iter()
+                .map(|m| m.clone().expect("window creation barrier violated"))
+                .collect(),
+            bases: e.bases.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winmem_roundtrip() {
+        let m = WinMem::new(16);
+        m.write_from(4, &[9, 8, 7]);
+        let mut out = [0u8; 3];
+        m.read_into(4, &mut out);
+        assert_eq!(out, [9, 8, 7]);
+        assert_eq!(m.len(), 16);
+    }
+
+    #[test]
+    fn registry_assembles_views() {
+        let reg = WindowRegistry::default();
+        for r in 0..3u32 {
+            reg.register(WinId(0), RankId(r), 3, Arc::new(WinMem::new(8)), 0x1000 + r as u64);
+        }
+        let v = reg.view(WinId(0));
+        assert_eq!(v.mems.len(), 3);
+        assert_eq!(v.bases[2], 0x1002);
+        let iv = v.interval(RankId(1), 2, 4);
+        assert_eq!(iv.lo, 0x1001 + 2);
+        assert_eq!(iv.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of window bounds")]
+    fn remote_oob_panics() {
+        let reg = WindowRegistry::default();
+        reg.register(WinId(0), RankId(0), 1, Arc::new(WinMem::new(8)), 0);
+        let v = reg.view(WinId(0));
+        let _ = v.interval(RankId(0), 6, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier violated")]
+    fn premature_view_panics() {
+        let reg = WindowRegistry::default();
+        reg.register(WinId(0), RankId(0), 2, Arc::new(WinMem::new(8)), 0);
+        let _ = reg.view(WinId(0));
+    }
+}

@@ -1,0 +1,227 @@
+//! The SPMD world: configuration, shared state, thread spawning and
+//! outcome collection.
+
+use crate::abort::{AbortCtl, AbortReason, AbortUnwind};
+use crate::comm::{CentralBarrier, Collectives, Mailbox};
+use crate::ctx::RankCtx;
+use crate::event::Monitor;
+use crate::window::WindowRegistry;
+use rma_core::{RaceReport, RankId};
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+/// World configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WorldCfg {
+    /// Number of MPI ranks (threads).
+    pub nranks: u32,
+    /// When `true`, the data movement of puts/gets is deferred to the
+    /// next `flush_all`/`unlock_all` and applied in a seeded shuffled
+    /// order (the MPI-RMA completion + ordering properties). When
+    /// `false`, transfers happen eagerly at issue time — one of the many
+    /// legal executions, and the deterministic one.
+    pub deferred_completion: bool,
+    /// Seed for the deferred-completion shuffle.
+    pub seed: u64,
+    /// Stack size per rank thread in bytes.
+    pub stack_bytes: usize,
+}
+
+impl Default for WorldCfg {
+    fn default() -> Self {
+        WorldCfg {
+            nranks: 2,
+            deferred_completion: false,
+            seed: 0x5EED,
+            stack_bytes: 1 << 20,
+        }
+    }
+}
+
+impl WorldCfg {
+    /// Convenience: `nranks` ranks, all other fields default.
+    pub fn with_ranks(nranks: u32) -> Self {
+        WorldCfg { nranks, ..Self::default() }
+    }
+}
+
+/// Everything shared by all rank threads of a world.
+pub(crate) struct WorldShared {
+    pub cfg: WorldCfg,
+    pub abort: AbortCtl,
+    pub barrier: CentralBarrier,
+    pub colls: Collectives,
+    pub mailboxes: Vec<Mailbox>,
+    pub winreg: WindowRegistry,
+}
+
+/// Result of a world run.
+#[derive(Debug)]
+pub struct RunOutcome<T> {
+    /// Per-rank return values; `None` for ranks unwound by an abort or a
+    /// panic.
+    pub results: Vec<Option<T>>,
+    /// Abort reasons, in the order they were raised.
+    pub aborts: Vec<(RankId, AbortReason)>,
+    /// Messages of genuine (non-abort) rank panics.
+    pub panics: Vec<(RankId, String)>,
+}
+
+impl<T> RunOutcome<T> {
+    /// No aborts, no panics, every rank returned.
+    pub fn is_clean(&self) -> bool {
+        self.aborts.is_empty() && self.panics.is_empty()
+    }
+
+    /// Data-race reports carried by the aborts.
+    pub fn race_reports(&self) -> Vec<RaceReport> {
+        self.aborts
+            .iter()
+            .filter_map(|(_, r)| match r {
+                AbortReason::Race(rep) => Some(*rep),
+                AbortReason::Other(_) => None,
+            })
+            .collect()
+    }
+
+    /// Did any rank report a data race?
+    pub fn raced(&self) -> bool {
+        !self.race_reports().is_empty()
+    }
+
+    /// Unwraps the per-rank results of a clean run.
+    ///
+    /// # Panics
+    /// Panics when the run aborted or a rank panicked.
+    pub fn expect_clean(self, what: &str) -> Vec<T> {
+        assert!(
+            self.is_clean(),
+            "{what}: run not clean: aborts={:?} panics={:?}",
+            self.aborts,
+            self.panics
+        );
+        self.results
+            .into_iter()
+            .map(|r| r.expect("clean run must have all results"))
+            .collect()
+    }
+}
+
+/// Installs (once per process) a panic hook that silences the controlled
+/// [`AbortUnwind`] payloads while delegating everything else to the
+/// previous hook.
+fn install_quiet_abort_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<AbortUnwind>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Entry point of the simulator.
+pub struct World;
+
+impl World {
+    /// Runs `f` SPMD on `cfg.nranks` rank threads under the given monitor.
+    ///
+    /// Blocks until all ranks finished (normally, by world abort, or by
+    /// panic) and returns the collected outcome. Rank threads are scoped:
+    /// `f` may borrow from the caller's stack.
+    pub fn run<T, F>(cfg: WorldCfg, monitor: Arc<dyn Monitor>, f: F) -> RunOutcome<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
+        assert!(cfg.nranks > 0, "world needs at least one rank");
+        install_quiet_abort_hook();
+        let shared = WorldShared {
+            cfg,
+            abort: AbortCtl::default(),
+            barrier: CentralBarrier::default(),
+            colls: Collectives::default(),
+            mailboxes: (0..cfg.nranks).map(|_| Mailbox::default()).collect(),
+            winreg: WindowRegistry::default(),
+        };
+        monitor.on_world_start(cfg.nranks);
+        monitor.on_abort_view(shared.abort.view());
+
+        let mut results: Vec<Option<T>> = Vec::with_capacity(cfg.nranks as usize);
+        let mut panics: Vec<(RankId, String)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(cfg.nranks as usize);
+            for r in 0..cfg.nranks {
+                let rank = RankId(r);
+                let shared = &shared;
+                let monitor = &monitor;
+                let f = &f;
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank{r}"))
+                    .stack_size(cfg.stack_bytes)
+                    .spawn_scoped(scope, move || {
+                        let mut ctx = RankCtx::new(rank, shared, monitor.as_ref());
+                        let out =
+                            std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                        match out {
+                            Ok(v) => {
+                                monitor.on_rank_finish(rank);
+                                Ok(v)
+                            }
+                            Err(payload) => {
+                                if !payload.is::<AbortUnwind>() {
+                                    let msg = panic_message(payload.as_ref());
+                                    // Raise the flag so siblings blocked on
+                                    // rendezvous with this dead rank unwind.
+                                    shared.abort.abort(
+                                        rank,
+                                        AbortReason::Other(format!("rank panicked: {msg}")),
+                                    );
+                                    return Err(Some(msg));
+                                }
+                                Err(None)
+                            }
+                        }
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            for (r, handle) in handles.into_iter().enumerate() {
+                match handle.join().expect("rank thread itself must not die") {
+                    Ok(v) => results.push(Some(v)),
+                    Err(msg) => {
+                        if let Some(msg) = msg {
+                            panics.push((RankId(r as u32), msg));
+                        }
+                        results.push(None);
+                    }
+                }
+            }
+        });
+
+        monitor.on_world_end();
+
+        // Panic-driven aborts are already covered by `panics`; keep only
+        // the explicit ones (races, program aborts) in `aborts`.
+        let aborts = shared
+            .abort
+            .reasons()
+            .into_iter()
+            .filter(|(_, reason)| !matches!(reason, AbortReason::Other(m) if m.starts_with("rank panicked:")))
+            .collect();
+        RunOutcome { results, aborts, panics }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

@@ -1,0 +1,133 @@
+//! Simulator semantics of the extended MPI surface: `MPI_Accumulate`,
+//! `MPI_Win_fence` and per-target `MPI_Win_flush`.
+
+use rma_sim::{AccumOp, Monitor, NullMonitor, RankId, World, WorldCfg};
+use std::sync::Arc;
+
+fn null() -> Arc<dyn Monitor> {
+    Arc::new(NullMonitor)
+}
+
+/// Concurrent sum-accumulates from every rank land atomically: the total
+/// is exact regardless of interleaving.
+#[test]
+fn concurrent_accumulates_are_atomic() {
+    for _ in 0..5 {
+        let out = World::run(WorldCfg::with_ranks(8), null(), |ctx| {
+            let win = ctx.win_allocate(8);
+            let src = ctx.alloc(8);
+            ctx.store_u64(&src, 0, 1 + u64::from(ctx.rank().0));
+            ctx.win_lock_all(win);
+            if ctx.rank() != RankId(0) {
+                for _ in 0..100 {
+                    ctx.accumulate(&src, 0, 8, RankId(0), 0, win, AccumOp::Sum);
+                }
+            }
+            ctx.win_unlock_all(win);
+            ctx.barrier();
+            let wb = ctx.win_buf(win);
+            ctx.load_u64(&wb, 0)
+        });
+        let total = out.expect_clean("accumulate")[0];
+        // 100 * sum(2..=8) = 100 * 35
+        assert_eq!(total, 3500);
+    }
+}
+
+#[test]
+fn accumulate_max_and_replace() {
+    let out = World::run(WorldCfg::with_ranks(3), null(), |ctx| {
+        let win = ctx.win_allocate(16);
+        let src = ctx.alloc(16);
+        ctx.store_u64(&src, 0, 10 * (1 + u64::from(ctx.rank().0)));
+        ctx.store_u64(&src, 8, u64::from(ctx.rank().0));
+        ctx.win_lock_all(win);
+        if ctx.rank() != RankId(0) {
+            ctx.accumulate(&src, 0, 8, RankId(0), 0, win, AccumOp::Max);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+        // Replace in a second epoch, single origin: deterministic.
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(1) {
+            ctx.accumulate(&src, 8, 8, RankId(0), 8, win, AccumOp::Replace);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+        let wb = ctx.win_buf(win);
+        (ctx.load_u64(&wb, 0), ctx.load_u64(&wb, 8))
+    });
+    let (max, replaced) = out.expect_clean("accum ops")[0];
+    assert_eq!(max, 30, "MPI_MAX over 20 and 30");
+    assert_eq!(replaced, 1, "MPI_REPLACE from rank 1");
+}
+
+#[test]
+fn accumulate_length_must_be_multiple_of_eight() {
+    let out: rma_sim::RunOutcome<()> =
+        World::run(WorldCfg::with_ranks(2), null(), |ctx| {
+            let win = ctx.win_allocate(8);
+            let src = ctx.alloc(8);
+            ctx.win_lock_all(win);
+            if ctx.rank() == RankId(0) {
+                ctx.accumulate(&src, 0, 4, RankId(1), 0, win, AccumOp::Sum);
+            }
+            ctx.win_unlock_all(win);
+        });
+    assert!(out.panics[0].1.contains("multiple of 8"));
+}
+
+/// Fences complete deferred transfers: data put between fences is
+/// visible after the next fence.
+#[test]
+fn fence_completes_deferred_transfers() {
+    let cfg = WorldCfg { nranks: 2, deferred_completion: true, ..WorldCfg::default() };
+    let out = World::run(cfg, null(), |ctx| {
+        let win = ctx.win_allocate(8);
+        let src = ctx.alloc(8);
+        ctx.win_fence(win); // opens the access epoch
+        if ctx.rank() == RankId(0) {
+            ctx.store_u64(&src, 0, 321);
+            ctx.put(&src, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_fence(win); // completes + synchronizes
+        let wb = ctx.win_buf(win);
+        ctx.load_u64(&wb, 0)
+    });
+    assert_eq!(out.expect_clean("fence")[1], 321);
+}
+
+/// Per-target flush completes only the flushed target's transfers.
+#[test]
+fn per_target_flush_is_selective() {
+    let cfg = WorldCfg { nranks: 3, deferred_completion: true, ..WorldCfg::default() };
+    let out = World::run(cfg, null(), |ctx| {
+        let win = ctx.win_allocate(8);
+        let src = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.store_u64(&src, 0, 5);
+            ctx.put(&src, 0, 8, RankId(1), 0, win);
+            ctx.put(&src, 0, 8, RankId(2), 0, win);
+            ctx.win_flush(win, RankId(1)); // completes rank 1's put only
+            ctx.barrier();
+            ctx.barrier();
+            ctx.win_unlock_all(win);
+            ctx.barrier();
+            0
+        } else {
+            ctx.barrier();
+            let wb = ctx.win_buf(win);
+            let mid = ctx.load_u64(&wb, 0);
+            ctx.barrier();
+            ctx.win_unlock_all(win);
+            ctx.barrier();
+            let end = ctx.load_u64(&wb, 0);
+            assert_eq!(end, 5, "all puts complete by unlock");
+            mid
+        }
+    });
+    let mids = out.expect_clean("selective flush");
+    assert_eq!(mids[1], 5, "flushed target sees the data");
+    assert_eq!(mids[2], 0, "unflushed target does not");
+}

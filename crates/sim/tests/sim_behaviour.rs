@@ -1,0 +1,411 @@
+//! End-to-end behaviour tests of the MPI-RMA simulator.
+
+use rma_sim::{Monitor, NullMonitor, RankId, RunOutcome, World, WorldCfg};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn null() -> Arc<dyn Monitor> {
+    Arc::new(NullMonitor)
+}
+
+#[test]
+fn world_returns_per_rank_results() {
+    let out = World::run(WorldCfg::with_ranks(4), null(), |ctx| ctx.rank().0 * 10);
+    assert_eq!(out.expect_clean("results"), vec![0, 10, 20, 30]);
+}
+
+#[test]
+fn send_recv_roundtrip() {
+    let out = World::run(WorldCfg::with_ranks(2), null(), |ctx| {
+        if ctx.rank() == RankId(0) {
+            ctx.send(RankId(1), 42, vec![1, 2, 3]);
+            let (src, data) = ctx.recv(Some(RankId(1)), 43);
+            assert_eq!(src, RankId(1));
+            data
+        } else {
+            let (src, data) = ctx.recv(Some(RankId(0)), 42);
+            assert_eq!((src, &data[..]), (RankId(0), &[1u8, 2, 3][..]));
+            ctx.send(RankId(0), 43, vec![9]);
+            vec![9]
+        }
+    });
+    assert_eq!(out.expect_clean("msgs"), vec![vec![9], vec![9]]);
+}
+
+#[test]
+fn allreduce_sums_across_ranks() {
+    let out = World::run(WorldCfg::with_ranks(8), null(), |ctx| {
+        let r = u64::from(ctx.rank().0);
+        ctx.allreduce_sum_u64(&[r, 1, 2 * r])
+    });
+    for v in out.expect_clean("allreduce") {
+        assert_eq!(v, vec![28, 8, 56]);
+    }
+}
+
+#[test]
+fn local_memory_is_private_per_rank() {
+    let out = World::run(WorldCfg::with_ranks(4), null(), |ctx| {
+        let buf = ctx.alloc(8);
+        ctx.store_u64(&buf, 0, 1000 + u64::from(ctx.rank().0));
+        ctx.barrier();
+        ctx.load_u64(&buf, 0)
+    });
+    assert_eq!(out.expect_clean("private"), vec![1000, 1001, 1002, 1003]);
+}
+
+#[test]
+fn put_transfers_bytes_eagerly() {
+    let out = World::run(WorldCfg::with_ranks(2), null(), |ctx| {
+        let win = ctx.win_allocate(16);
+        let src = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.store_u64(&src, 0, 0xDEAD_BEEF);
+            ctx.put(&src, 0, 8, RankId(1), 4, win);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+        let wb = ctx.win_buf(win);
+        ctx.load_u64(&wb, 4)
+    });
+    let vals = out.expect_clean("put");
+    assert_eq!(vals[1], 0xDEAD_BEEF);
+    assert_eq!(vals[0], 0);
+}
+
+#[test]
+fn get_fetches_remote_window() {
+    let out = World::run(WorldCfg::with_ranks(2), null(), |ctx| {
+        let win = ctx.win_allocate(16);
+        let wb = ctx.win_buf(win);
+        ctx.store_u64(&wb, 0, 7000 + u64::from(ctx.rank().0));
+        ctx.barrier();
+        let dst = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        let peer = RankId(1 - ctx.rank().0);
+        ctx.get(&dst, 0, 8, peer, 0, win);
+        ctx.win_unlock_all(win);
+        ctx.load_u64(&dst, 0)
+    });
+    assert_eq!(out.expect_clean("get"), vec![7001, 7000]);
+}
+
+/// With deferred completion, a put's bytes must NOT be visible before
+/// flush/unlock; after unlock they must.
+#[test]
+fn deferred_completion_delays_data() {
+    let cfg = WorldCfg { nranks: 2, deferred_completion: true, ..WorldCfg::default() };
+    let out = World::run(cfg, null(), |ctx| {
+        let win = ctx.win_allocate(8);
+        let src = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.store_u64(&src, 0, 77);
+            ctx.put(&src, 0, 8, RankId(1), 0, win);
+            // Nothing moved yet: target still sees zero.
+            ctx.barrier();
+            ctx.barrier();
+            ctx.win_unlock_all(win);
+            ctx.barrier();
+            0
+        } else {
+            ctx.barrier();
+            let wb = ctx.win_buf(win);
+            let before = ctx.load_u64(&wb, 0);
+            ctx.barrier();
+            ctx.win_unlock_all(win);
+            ctx.barrier();
+            let after = ctx.load_u64(&wb, 0);
+            assert_eq!(before, 0, "put completed before unlock");
+            assert_eq!(after, 77, "put did not complete at unlock");
+            after
+        }
+    });
+    assert_eq!(out.expect_clean("deferred")[1], 77);
+}
+
+/// flush_all completes outstanding operations without closing the epoch.
+#[test]
+fn flush_all_completes_mid_epoch() {
+    let cfg = WorldCfg { nranks: 2, deferred_completion: true, ..WorldCfg::default() };
+    let out = World::run(cfg, null(), |ctx| {
+        let win = ctx.win_allocate(8);
+        let src = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.store_u64(&src, 0, 55);
+            ctx.put(&src, 0, 8, RankId(1), 0, win);
+            ctx.win_flush_all(win);
+            ctx.barrier();
+        } else {
+            ctx.barrier();
+        }
+        let wb = ctx.win_buf(win);
+        let seen = ctx.load_u64(&wb, 0);
+        ctx.win_unlock_all(win);
+        seen
+    });
+    assert_eq!(out.expect_clean("flush")[1], 55);
+}
+
+#[test]
+fn two_windows_are_independent() {
+    let out = World::run(WorldCfg::with_ranks(2), null(), |ctx| {
+        let w1 = ctx.win_allocate(8);
+        let w2 = ctx.win_allocate(8);
+        let src = ctx.alloc(8);
+        ctx.win_lock_all(w1);
+        ctx.win_lock_all(w2);
+        if ctx.rank() == RankId(0) {
+            ctx.store_u64(&src, 0, 11);
+            ctx.put(&src, 0, 8, RankId(1), 0, w1);
+            ctx.store_u64(&src, 0, 22);
+            ctx.put(&src, 0, 8, RankId(1), 0, w2);
+        }
+        ctx.win_unlock_all(w1);
+        ctx.win_unlock_all(w2);
+        ctx.barrier();
+        let (b1, b2) = (ctx.win_buf(w1), ctx.win_buf(w2));
+        (ctx.load_u64(&b1, 0), ctx.load_u64(&b2, 0))
+    });
+    assert_eq!(out.expect_clean("two windows")[1], (11, 22));
+}
+
+#[test]
+fn abort_unwinds_all_ranks() {
+    let out: RunOutcome<u32> = World::run(WorldCfg::with_ranks(4), null(), |ctx| {
+        if ctx.rank() == RankId(2) {
+            ctx.abort("deliberate");
+        }
+        // Everyone else parks on a barrier rank 2 never reaches.
+        ctx.barrier();
+        1
+    });
+    assert!(!out.is_clean());
+    assert_eq!(out.aborts.len(), 1);
+    assert!(out.aborts[0].1.to_string().contains("deliberate"));
+    assert!(out.results.iter().all(|r| r.is_none()));
+}
+
+#[test]
+fn rank_panic_is_reported_and_releases_siblings() {
+    let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(3), null(), |ctx| {
+        if ctx.rank() == RankId(0) {
+            panic!("boom at rank 0");
+        }
+        ctx.barrier();
+    });
+    assert_eq!(out.panics.len(), 1);
+    assert!(out.panics[0].1.contains("boom"));
+}
+
+#[test]
+fn rma_outside_epoch_is_a_program_error() {
+    let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(2), null(), |ctx| {
+        let win = ctx.win_allocate(8);
+        let src = ctx.alloc(8);
+        if ctx.rank() == RankId(0) {
+            ctx.put(&src, 0, 8, RankId(1), 0, win); // no lock_all!
+        }
+    });
+    assert_eq!(out.panics.len(), 1);
+    assert!(out.panics[0].1.contains("outside an epoch"), "{:?}", out.panics);
+}
+
+#[test]
+fn unlock_without_lock_is_a_program_error() {
+    let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(1), null(), |ctx| {
+        let win = ctx.win_allocate(8);
+        ctx.win_unlock_all(win);
+    });
+    assert!(out.panics[0].1.contains("without lock_all"));
+}
+
+#[test]
+fn use_after_free_is_a_program_error() {
+    let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(1), null(), |ctx| {
+        let win = ctx.win_allocate(8);
+        ctx.win_free(win);
+        ctx.win_lock_all(win);
+    });
+    assert!(out.panics[0].1.contains("freed"));
+}
+
+#[derive(Default)]
+struct CountingMonitor {
+    locals: AtomicUsize,
+    rmas: AtomicUsize,
+    locks: AtomicUsize,
+    unlocks: AtomicUsize,
+    flushes: AtomicUsize,
+    allocs: AtomicUsize,
+    frees: AtomicUsize,
+    barriers: AtomicUsize,
+    barrier_lasts: AtomicUsize,
+    finishes: AtomicUsize,
+}
+
+impl Monitor for CountingMonitor {
+    fn on_local(&self, _ev: &rma_sim::LocalEvent) -> rma_sim::HookResult {
+        self.locals.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+    fn on_rma(&self, _ev: &rma_sim::RmaEvent) -> rma_sim::HookResult {
+        self.rmas.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+    fn on_win_allocate(&self, _r: RankId, _w: rma_sim::WinId, _b: u64, _l: u64) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_win_free(&self, _r: RankId, _w: rma_sim::WinId) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_lock_all(&self, _r: RankId, _w: rma_sim::WinId) {
+        self.locks.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_unlock_all(&self, _r: RankId, _w: rma_sim::WinId) -> rma_sim::HookResult {
+        self.unlocks.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+    fn on_flush_all(&self, _r: RankId, _w: rma_sim::WinId) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_barrier(&self, _r: RankId) {
+        self.barriers.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_barrier_last(&self) {
+        self.barrier_lasts.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_rank_finish(&self, _r: RankId) {
+        self.finishes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn monitor_sees_all_event_types() {
+    let mon = Arc::new(CountingMonitor::default());
+    let out = World::run(WorldCfg::with_ranks(2), mon.clone(), |ctx| {
+        let win = ctx.win_allocate(16);
+        let src = ctx.alloc(8);
+        ctx.store_u64(&src, 0, 1); // 1 local store each
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.put(&src, 0, 8, RankId(1), 0, win); // 1 rma
+        }
+        ctx.win_flush_all(win);
+        ctx.win_unlock_all(win);
+        ctx.barrier(); // 1 explicit barrier each
+        ctx.win_free(win);
+    });
+    assert!(out.is_clean());
+    let c = |a: &AtomicUsize| a.load(Ordering::Relaxed);
+    assert_eq!(c(&mon.locals), 2);
+    assert_eq!(c(&mon.rmas), 1);
+    assert_eq!(c(&mon.allocs), 2);
+    assert_eq!(c(&mon.frees), 2);
+    assert_eq!(c(&mon.locks), 2);
+    assert_eq!(c(&mon.unlocks), 2);
+    assert_eq!(c(&mon.flushes), 2);
+    // Barriers: win_allocate + explicit + win_free = 3 per rank.
+    assert_eq!(c(&mon.barriers), 6);
+    assert_eq!(c(&mon.barrier_lasts), 3);
+    assert_eq!(c(&mon.finishes), 2);
+}
+
+/// A monitor hook returning an error aborts the world like MPI_Abort and
+/// surfaces the race report.
+#[test]
+fn monitor_error_aborts_world() {
+    struct RacePolice;
+    impl Monitor for RacePolice {
+        fn on_rma(&self, ev: &rma_sim::RmaEvent) -> rma_sim::HookResult {
+            let acc = rma_sim::MemAccess::new(
+                ev.target_interval,
+                ev.target_kind(),
+                ev.origin,
+                ev.loc,
+            );
+            Err(Box::new(rma_sim::RaceReport::new(acc, acc)))
+        }
+    }
+    let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(2), Arc::new(RacePolice), |ctx| {
+        let win = ctx.win_allocate(8);
+        let src = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.put(&src, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(out.raced());
+    assert_eq!(out.race_reports().len(), 1);
+}
+
+/// Racing puts from two origins really race on the bytes: the final value
+/// is one of the two written values (never a torn third value at u8
+/// granularity per address — we check a single byte).
+#[test]
+fn concurrent_puts_land_one_of_the_values() {
+    let out = World::run(WorldCfg::with_ranks(3), null(), |ctx| {
+        let win = ctx.win_allocate(1);
+        let src = ctx.alloc(1);
+        ctx.win_lock_all(win);
+        if ctx.rank() != RankId(2) {
+            ctx.store(&src, 0, 10 + ctx.rank().0 as u8);
+            ctx.put(&src, 0, 1, RankId(2), 0, win);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+        let wb = ctx.win_buf(win);
+        if ctx.rank() == RankId(2) {
+            ctx.load(&wb, 0)
+        } else {
+            0
+        }
+    });
+    let v = out.expect_clean("racing puts")[2];
+    assert!(v == 10 || v == 11, "got {v}");
+}
+
+/// Deterministic seeds give deterministic deferred-completion outcomes.
+#[test]
+fn deferred_shuffle_is_seed_deterministic() {
+    let run = |seed: u64| -> u64 {
+        let cfg = WorldCfg { nranks: 2, deferred_completion: true, seed, ..WorldCfg::default() };
+        let out = World::run(cfg, null(), |ctx| {
+            let win = ctx.win_allocate(8);
+            let src = ctx.alloc(8);
+            ctx.win_lock_all(win);
+            if ctx.rank() == RankId(0) {
+                // Two conflicting puts — completion order decides.
+                ctx.store_u64(&src, 0, 1);
+                ctx.put(&src, 0, 8, RankId(1), 0, win);
+                // (A second buffer so the second put carries other bytes.)
+            }
+            let src2 = ctx.alloc(8);
+            if ctx.rank() == RankId(0) {
+                ctx.store_u64(&src2, 0, 2);
+                ctx.put(&src2, 0, 8, RankId(1), 0, win);
+            }
+            ctx.win_unlock_all(win);
+            ctx.barrier();
+            let wb = ctx.win_buf(win);
+            ctx.load_u64(&wb, 0)
+        });
+        out.expect_clean("seeded")[1]
+    };
+    for seed in [1u64, 2, 3, 99] {
+        let a = run(seed);
+        let b = run(seed);
+        assert_eq!(a, b, "seed {seed} not deterministic");
+        assert!(a == 1 || a == 2);
+    }
+    // At least two different seeds should produce different orders.
+    let outcomes: std::collections::HashSet<u64> = [1u64, 2, 3, 99, 7, 13, 21, 42]
+        .iter()
+        .map(|&s| run(s))
+        .collect();
+    assert!(outcomes.len() > 1, "shuffle never changes completion order");
+}

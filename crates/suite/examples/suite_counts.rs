@@ -1,0 +1,11 @@
+//! Developer probe: prints the full-suite confusion matrices.
+
+fn main() {
+    let cases = rma_suite::generate_suite();
+    let racy = cases.iter().filter(|c| c.races()).count();
+    println!("total={} racy={} safe={}", cases.len(), racy, cases.len() - racy);
+    for tool in rma_suite::Tool::ALL {
+        let c = rma_suite::evaluate(&cases, tool);
+        println!("{:18} FP={} FN={} TP={} TN={}", tool.name(), c.false_positives, c.false_negatives, c.true_positives, c.true_negatives);
+    }
+}

@@ -1,0 +1,338 @@
+//! Case model: one microbenchmark = an ordered pair of memory operations
+//! sharing (or deliberately not sharing) one location, plus a
+//! ground-truth verdict derived from MPI-RMA semantics.
+//!
+//! The paper's suite (Section 5.2) "contains every combination of two
+//! one-sided operations by varying the order of the operations, the
+//! callers of the operations, and the location that will be accessed
+//! twice". We regenerate that combination space:
+//!
+//! * the first operation is always a one-sided operation issued by the
+//!   process `ORIGIN1` (rank 0) — except for the order-swapped `ll_*`
+//!   codes where `ORIGIN1`'s local access comes first;
+//! * the second operation is issued by `ORIGIN1` (`ll_`), by the target
+//!   process `TARGET` (rank 1, `lt_`), or by a third process `ORIGIN2`
+//!   (rank 2, `lo2_`);
+//! * the shared location (*site*) is in `ORIGIN1`'s window
+//!   (`inwindow_origin`), in `ORIGIN1`'s non-window memory
+//!   (`outwindow_origin`), or in `TARGET`'s window (`inwindow_target`);
+//! * a one-sided operation can touch the site as its **origin buffer**
+//!   (a put reads it, a get writes it) or as its **target region** (a put
+//!   writes it, a get reads it) — reading one's own window through a
+//!   self-targeted get is how the paper's
+//!   `ll_get_get_inwindow_origin_safe` code is safe (two remote reads);
+//!   we render that role as `sget`/`sput`;
+//! * each combination exists in three variants: `Overlap` (the two
+//!   operations really share the location), `Disjoint` (same shape,
+//!   different locations — must always be safe) and `Epochs` (same
+//!   location, but the operations are separated by
+//!   `unlock_all; barrier; lock_all` — synchronized, safe).
+//!
+//! Buffer placement matches the paper's C codes: windows are created over
+//! **stack arrays** (`MPI_Win_create` on `int X[N]`) — which is what
+//! makes local window accesses invisible to ThreadSanitizer-based tools —
+//! while out-of-window buffers are heap allocations.
+
+use rma_core::AccessKind;
+use rma_sim::RankId;
+
+/// The ranks of every generated program.
+pub const ORIGIN1: RankId = RankId(0);
+/// Target process.
+pub const TARGET: RankId = RankId(1);
+/// Second origin process.
+pub const ORIGIN2: RankId = RankId(2);
+/// World size used by all cases.
+pub const SUITE_RANKS: u32 = 3;
+
+/// Operation kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// `MPI_Get`.
+    Get,
+    /// `MPI_Put`.
+    Put,
+    /// Plain CPU read.
+    Load,
+    /// Plain CPU write.
+    Store,
+}
+
+impl Op {
+    /// Is this a one-sided operation?
+    pub fn is_rma(self) -> bool {
+        matches!(self, Op::Get | Op::Put)
+    }
+}
+
+/// How a one-sided operation touches the shared site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// The site is the operation's origin buffer (gets write it, puts
+    /// read it). Only possible when the issuing rank owns the site.
+    OriginBuf,
+    /// The site is the operation's target region inside a window (gets
+    /// read it, puts write it). Possible for any rank — including the
+    /// owner itself (self-targeted RMA).
+    Target,
+}
+
+/// Where the shared location lives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Site {
+    /// In `ORIGIN1`'s window (stack memory, remotely accessible).
+    OriginInWin,
+    /// In `ORIGIN1`'s non-window heap memory.
+    OriginOutWin,
+    /// In `TARGET`'s window.
+    TargetWin,
+}
+
+impl Site {
+    /// Rank owning the site's memory.
+    pub fn owner(self) -> RankId {
+        match self {
+            Site::OriginInWin | Site::OriginOutWin => ORIGIN1,
+            Site::TargetWin => TARGET,
+        }
+    }
+
+    /// Is the site remotely accessible (window memory)?
+    pub fn is_window(self) -> bool {
+        !matches!(self, Site::OriginOutWin)
+    }
+
+    /// Name fragment used by the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::OriginInWin => "inwindow_origin",
+            Site::OriginOutWin => "outwindow_origin",
+            Site::TargetWin => "inwindow_target",
+        }
+    }
+}
+
+/// Sharing variant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Both operations access the site.
+    Overlap,
+    /// The second operation accesses a different location (always safe).
+    Disjoint,
+    /// Both access the site but in different epochs separated by a
+    /// barrier (always safe).
+    Epochs,
+}
+
+/// One operation of a case.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Action {
+    /// Issuing rank.
+    pub actor: RankId,
+    /// Operation.
+    pub op: Op,
+    /// Site role (meaningful only for RMA operations).
+    pub role: Role,
+}
+
+impl Action {
+    /// The access kind this action performs *at the site*.
+    pub fn kind_at_site(&self) -> AccessKind {
+        match (self.op, self.role) {
+            (Op::Load, _) => AccessKind::LocalRead,
+            (Op::Store, _) => AccessKind::LocalWrite,
+            (Op::Get, Role::OriginBuf) => AccessKind::RmaWrite,
+            (Op::Get, Role::Target) => AccessKind::RmaRead,
+            (Op::Put, Role::OriginBuf) => AccessKind::RmaRead,
+            (Op::Put, Role::Target) => AccessKind::RmaWrite,
+        }
+    }
+
+    /// Name fragment: `get`/`put` plain, `sget`/`sput` for self-targeted
+    /// operations on the issuer's own window, `load`/`store` for locals.
+    pub fn name(&self, site: Site) -> &'static str {
+        match self.op {
+            Op::Load => "load",
+            Op::Store => "store",
+            Op::Get => {
+                if self.role == Role::Target && site.owner() == self.actor {
+                    "sget"
+                } else {
+                    "get"
+                }
+            }
+            Op::Put => {
+                if self.role == Role::Target && site.owner() == self.actor {
+                    "sput"
+                } else {
+                    "put"
+                }
+            }
+        }
+    }
+}
+
+/// A fully specified microbenchmark case.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CaseSpec {
+    /// Executed (or issued) first.
+    pub first: Action,
+    /// Executed second.
+    pub second: Action,
+    /// Shared location.
+    pub site: Site,
+    /// Sharing variant.
+    pub variant: Variant,
+}
+
+impl CaseSpec {
+    /// Caller-combination prefix, paper style.
+    pub fn party(&self) -> &'static str {
+        let other = if self.first.actor != ORIGIN1 { self.first.actor } else { self.second.actor };
+        match other {
+            ORIGIN1 => "ll",
+            TARGET => "lt",
+            _ => "lo2",
+        }
+    }
+
+    /// Ground truth: does this program contain a data race?
+    ///
+    /// A race needs the two operations to touch a common location (only
+    /// the `Overlap` variant), with at least one one-sided access and at
+    /// least one write, and no ordering between them. The only ordered
+    /// pair within an epoch is *local access, then one-sided operation
+    /// issued later by the same process* — the issuing process's program
+    /// order guarantees the local access completed before the
+    /// communication started. Everything else in an epoch is concurrent
+    /// (completion + ordering properties), including two operations
+    /// issued by the same origin.
+    pub fn races(&self) -> bool {
+        if self.variant != Variant::Overlap {
+            return false;
+        }
+        let a = self.first.kind_at_site();
+        let b = self.second.kind_at_site();
+        let rma = a.is_rma() || b.is_rma();
+        let write = a.is_write() || b.is_write();
+        let ordered = a.is_local() && b.is_rma() && self.first.actor == self.second.actor;
+        rma && write && !ordered
+    }
+
+    /// Paper-style code name, e.g. `ll_get_load_outwindow_origin_race`.
+    pub fn name(&self) -> String {
+        let variant = match self.variant {
+            Variant::Overlap => "",
+            Variant::Disjoint => "disjoint_",
+            Variant::Epochs => "epochs_",
+        };
+        format!(
+            "{}_{}_{}_{}_{}{}",
+            self.party(),
+            self.first.name(self.site),
+            self.second.name(self.site),
+            self.site.name(),
+            variant,
+            if self.races() { "race" } else { "safe" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rma(actor: RankId, op: Op, role: Role) -> Action {
+        Action { actor, op, role }
+    }
+    fn local(actor: RankId, op: Op) -> Action {
+        Action { actor, op, role: Role::OriginBuf }
+    }
+
+    #[test]
+    fn table2_row1_name_and_truth() {
+        // MPI_Get then Load on the same out-of-window origin buffer: race.
+        let case = CaseSpec {
+            first: rma(ORIGIN1, Op::Get, Role::OriginBuf),
+            second: local(ORIGIN1, Op::Load),
+            site: Site::OriginOutWin,
+            variant: Variant::Overlap,
+        };
+        assert!(case.races());
+        assert_eq!(case.name(), "ll_get_load_outwindow_origin_race");
+    }
+
+    #[test]
+    fn table2_row2_self_gets_safe() {
+        // Two self-targeted gets reading the same own-window location.
+        let case = CaseSpec {
+            first: rma(ORIGIN1, Op::Get, Role::Target),
+            second: rma(ORIGIN1, Op::Get, Role::Target),
+            site: Site::OriginInWin,
+            variant: Variant::Overlap,
+        };
+        assert!(!case.races());
+        assert_eq!(case.name(), "ll_sget_sget_inwindow_origin_safe");
+    }
+
+    #[test]
+    fn table2_row3_name_and_truth() {
+        let case = CaseSpec {
+            first: rma(ORIGIN1, Op::Get, Role::OriginBuf),
+            second: local(ORIGIN1, Op::Load),
+            site: Site::OriginInWin,
+            variant: Variant::Overlap,
+        };
+        assert!(case.races());
+        assert_eq!(case.name(), "ll_get_load_inwindow_origin_race");
+    }
+
+    #[test]
+    fn table2_row4_ordered_safe() {
+        let case = CaseSpec {
+            first: local(ORIGIN1, Op::Load),
+            second: rma(ORIGIN1, Op::Get, Role::OriginBuf),
+            site: Site::OriginInWin,
+            variant: Variant::Overlap,
+        };
+        assert!(!case.races(), "Load; MPI_Get by one process is ordered");
+        assert_eq!(case.name(), "ll_load_get_inwindow_origin_safe");
+    }
+
+    #[test]
+    fn duplicated_put_races_fig9() {
+        let case = CaseSpec {
+            first: rma(ORIGIN1, Op::Put, Role::Target),
+            second: rma(ORIGIN1, Op::Put, Role::Target),
+            site: Site::TargetWin,
+            variant: Variant::Overlap,
+        };
+        assert!(case.races(), "same-origin duplicated puts race (ordering property)");
+    }
+
+    #[test]
+    fn disjoint_and_epoch_variants_never_race() {
+        let base = CaseSpec {
+            first: rma(ORIGIN1, Op::Put, Role::Target),
+            second: rma(ORIGIN2, Op::Put, Role::Target),
+            site: Site::TargetWin,
+            variant: Variant::Overlap,
+        };
+        assert!(base.races());
+        assert!(!CaseSpec { variant: Variant::Disjoint, ..base }.races());
+        assert!(!CaseSpec { variant: Variant::Epochs, ..base }.races());
+    }
+
+    #[test]
+    fn cross_process_store_then_put_still_races() {
+        // Unlike the same-process case, a target store followed by a
+        // remote put is NOT ordered.
+        let case = CaseSpec {
+            first: local(TARGET, Op::Store),
+            second: rma(ORIGIN1, Op::Put, Role::Target),
+            site: Site::TargetWin,
+            variant: Variant::Overlap,
+        };
+        assert!(case.races());
+    }
+}

@@ -1,0 +1,96 @@
+//! The suite's headline results: Table 2 row-for-row, and the Table 3
+//! shape (contribution perfect; legacy has FPs but no FNs; MUST has FNs
+//! but no FPs).
+
+use rma_suite::{evaluate, find_case, generate_suite, misclassified, run_case, Tool, Variant};
+
+/// Table 2, all four rows, all three tools.
+#[test]
+fn table2_verdicts() {
+    let cases = generate_suite();
+    // (code, legacy, must, contribution) — ✓ = race reported.
+    let rows = [
+        ("ll_get_load_outwindow_origin_race", true, true, true),
+        ("ll_get_get_inwindow_origin_safe", false, false, false),
+        ("ll_get_load_inwindow_origin_race", true, false, true),
+        ("ll_load_get_inwindow_origin_safe", true, false, false),
+    ];
+    for (name, legacy, must, ours) in rows {
+        let case = find_case(&cases, name).expect(name);
+        assert_eq!(run_case(&case, Tool::Legacy), legacy, "{name} / legacy");
+        assert_eq!(run_case(&case, Tool::MustRma), must, "{name} / must");
+        assert_eq!(run_case(&case, Tool::Contribution), ours, "{name} / contribution");
+    }
+}
+
+/// Table 3 shape on the Overlap subset (fast: 80 cases per tool).
+#[test]
+fn table3_shape_overlap_subset() {
+    let cases: Vec<_> = generate_suite()
+        .into_iter()
+        .filter(|c| c.variant == Variant::Overlap)
+        .collect();
+
+    let ours = evaluate(&cases, Tool::Contribution);
+    assert_eq!(ours.false_positives, 0, "contribution has no false positives");
+    assert_eq!(ours.false_negatives, 0, "contribution has no false negatives");
+
+    let legacy = evaluate(&cases, Tool::Legacy);
+    assert_eq!(legacy.false_negatives, 0, "two-access codes cannot trigger the path FN");
+    assert!(legacy.false_positives > 0, "local-then-RMA safe codes must be flagged");
+
+    let must = evaluate(&cases, Tool::MustRma);
+    assert_eq!(must.false_positives, 0, "HB-based detection has no FPs here");
+    assert!(must.false_negatives > 0, "stack-window local races must be missed");
+    assert!(
+        must.true_positives < ours.true_positives,
+        "MUST must catch fewer races than the contribution"
+    );
+}
+
+/// Every legacy false positive is a local-then-RMA ordered pair; every
+/// MUST false negative involves a local access (the stack blind spot).
+#[test]
+fn misclassification_causes() {
+    let cases: Vec<_> = generate_suite()
+        .into_iter()
+        .filter(|c| c.variant == Variant::Overlap)
+        .collect();
+
+    for (name, truth) in misclassified(&cases, Tool::Legacy) {
+        assert!(!truth, "legacy FN appeared: {name}");
+        // FP names look like ll_{load|store}_{rma}_..._safe
+        assert!(
+            name.starts_with("ll_load_") || name.starts_with("ll_store_"),
+            "unexpected legacy FP: {name}"
+        );
+    }
+    for (name, truth) in misclassified(&cases, Tool::MustRma) {
+        assert!(truth, "MUST FP appeared: {name}");
+        assert!(
+            name.contains("load") || name.contains("store"),
+            "MUST FN without a local access: {name}"
+        );
+        assert!(
+            name.contains("inwindow"),
+            "MUST FN outside a (stack) window: {name}"
+        );
+    }
+}
+
+/// The Disjoint and Epochs variants are safe and no tool flags them —
+/// except the legacy tool's known order-insensitivity, which still fires
+/// on same-epoch pairs... but Disjoint pairs never overlap and Epoch
+/// pairs are separated by a cleared store, so even legacy is quiet.
+#[test]
+fn safe_variants_are_quiet_everywhere() {
+    let cases: Vec<_> = generate_suite()
+        .into_iter()
+        .filter(|c| c.variant != Variant::Overlap)
+        .collect();
+    for tool in Tool::ALL {
+        let c = evaluate(&cases, tool);
+        assert_eq!(c.false_positives, 0, "{tool:?} flagged a {:?} case", c);
+        assert_eq!(c.true_positives + c.false_negatives, 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Run the generated microbenchmark suite through the three detectors
+//! and print every disagreement — a miniature of the paper's Section 5.2
+//! validation campaign.
+//!
+//! ```sh
+//! cargo run --release --example race_hunt
+//! ```
+
+use mpi_rma_race::prelude::*;
+use mpi_rma_race::suite::{evaluate, Variant};
+
+fn main() {
+    let cases = generate_suite();
+    let racy = cases.iter().filter(|c| c.races()).count();
+    println!(
+        "generated suite: {} codes ({} racy, {} safe)\n",
+        cases.len(),
+        racy,
+        cases.len() - racy
+    );
+
+    for tool in Tool::ALL {
+        let c = evaluate(&cases, tool);
+        println!(
+            "{:18} FP={:2}  FN={:2}  TP={:2}  TN={:3}",
+            tool.name(),
+            c.false_positives,
+            c.false_negatives,
+            c.true_positives,
+            c.true_negatives
+        );
+    }
+
+    println!("\ndisagreements with ground truth (Overlap variant):");
+    for case in cases.iter().filter(|c| c.variant == Variant::Overlap) {
+        let verdicts: Vec<(Tool, bool)> =
+            Tool::ALL.iter().map(|&t| (t, run_case(case, t))).collect();
+        let wrong: Vec<String> = verdicts
+            .iter()
+            .filter(|(_, v)| *v != case.races())
+            .map(|(t, v)| format!("{} says {}", t.name(), if *v { "race" } else { "safe" }))
+            .collect();
+        if !wrong.is_empty() {
+            println!(
+                "  {:45} truth={:4}: {}",
+                case.name(),
+                if case.races() { "race" } else { "safe" },
+                wrong.join(", ")
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! # mpi-rma-race — facade crate
+//!
+//! Umbrella over the workspace reproducing *"Rethinking Data Race
+//! Detection in MPI-RMA Programs"* (Vinayagame et al., SC-W/Correctness
+//! 2023). Re-exports the commonly used types so examples and downstream
+//! users need a single dependency:
+//!
+//! * [`core`] (`rma-core`) — interval stores and the detection
+//!   algorithms (legacy RMA-Analyzer and the paper's
+//!   fragmentation+merging insertion);
+//! * [`sim`] (`rma-sim`) — the thread-per-rank MPI-RMA runtime simulator;
+//! * [`monitor`] (`rma-monitor`) — the RMA-Analyzer instrumentation
+//!   runtime;
+//! * [`must`] (`rma-must`) — the MUST-RMA-like baseline detector;
+//! * [`suite`] (`rma-suite`) — the generated validation microbenchmarks;
+//! * [`apps`] (`rma-apps`) — MiniVite-sim and CFD-Proxy-sim.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpi_rma_race::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Attach the paper's detector to a 2-rank world and race two puts.
+//! let analyzer = Arc::new(RmaAnalyzer::new(AnalyzerCfg::default()));
+//! let outcome = World::run(WorldCfg::with_ranks(2), analyzer.clone(), |ctx| {
+//!     let win = ctx.win_allocate(64);
+//!     let buf = ctx.alloc(8);
+//!     ctx.win_lock_all(win);
+//!     if ctx.rank() == RankId(0) {
+//!         ctx.put(&buf, 0, 8, RankId(1), 0, win);
+//!         ctx.put(&buf, 0, 8, RankId(1), 0, win); // duplicated: race
+//!     }
+//!     ctx.win_unlock_all(win);
+//! });
+//! assert!(outcome.raced());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use rma_apps as apps;
+pub use rma_core as core;
+pub use rma_monitor as monitor;
+pub use rma_must as must;
+pub use rma_sim as sim;
+pub use rma_suite as suite;
+
+/// The commonly used types in one import.
+pub mod prelude {
+    pub use rma_apps::{
+        run_bfs, run_cfd, run_minivite, BfsCfg, CfdCfg, Graph, Method, MethodRun, MiniViteCfg,
+    };
+    pub use rma_core::{
+        AccessKind, AccessStore, FragMergeStore, Interval, LegacyStore, MemAccess, RaceReport,
+        RankId, SrcLoc,
+    };
+    pub use rma_monitor::{Algorithm, AnalyzerCfg, Delivery, OnRace, RmaAnalyzer};
+    pub use rma_must::MustRma;
+    pub use rma_sim::{Buf, Monitor, NullMonitor, RankCtx, RunOutcome, WinId, World, WorldCfg};
+    pub use rma_suite::{generate_suite, run_case, Tool};
+}

@@ -1,0 +1,67 @@
+//! Cross-crate integration tests: the paper's validation tables,
+//! regenerated end-to-end through the facade.
+
+use mpi_rma_race::prelude::*;
+use mpi_rma_race::suite::{evaluate, find_case, Variant};
+
+/// Table 2, row for row.
+#[test]
+fn table2_matrix() {
+    let cases = generate_suite();
+    let rows = [
+        // (code, RMA-Analyzer, MUST-RMA, Our Contribution)
+        ("ll_get_load_outwindow_origin_race", true, true, true),
+        ("ll_get_get_inwindow_origin_safe", false, false, false),
+        ("ll_get_load_inwindow_origin_race", true, false, true),
+        ("ll_load_get_inwindow_origin_safe", true, false, false),
+    ];
+    for (name, legacy, must, ours) in rows {
+        let case = find_case(&cases, name).expect(name);
+        assert_eq!(run_case(&case, Tool::Legacy), legacy, "{name}/legacy");
+        assert_eq!(run_case(&case, Tool::MustRma), must, "{name}/must");
+        assert_eq!(run_case(&case, Tool::Contribution), ours, "{name}/ours");
+    }
+}
+
+/// Table 3's qualitative content over the full suite (all variants):
+/// the contribution is perfect; the legacy tool has only FPs; MUST has
+/// only FNs.
+#[test]
+fn table3_shape_full_suite() {
+    let cases = generate_suite();
+    let ours = evaluate(&cases, Tool::Contribution);
+    assert_eq!((ours.false_positives, ours.false_negatives), (0, 0));
+    let legacy = evaluate(&cases, Tool::Legacy);
+    assert_eq!(legacy.false_negatives, 0);
+    assert!(legacy.false_positives > 0);
+    let must = evaluate(&cases, Tool::MustRma);
+    assert_eq!(must.false_positives, 0);
+    assert!(must.false_negatives > 0);
+    // All three agree on every non-Overlap (trivially safe) case.
+    let quiet: Vec<_> = cases.iter().filter(|c| c.variant != Variant::Overlap).collect();
+    assert!(quiet.iter().all(|c| !c.races()));
+}
+
+/// The detectors' verdicts are deterministic across repeated executions
+/// (scheduling noise must not flip any verdict).
+#[test]
+fn suite_verdicts_are_stable() {
+    let cases = generate_suite();
+    // A hand-picked set covering cross-process concurrency.
+    let sample: Vec<_> = cases
+        .iter()
+        .filter(|c| c.variant == Variant::Overlap && c.party() != "ll")
+        .take(12)
+        .collect();
+    for case in sample {
+        let first = run_case(case, Tool::Contribution);
+        for _ in 0..5 {
+            assert_eq!(
+                run_case(case, Tool::Contribution),
+                first,
+                "verdict flipped for {}",
+                case.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Failure injection and robustness: deferred completion must not change
+//! verdicts; misuse is reported, not hung; aborts tear the world down.
+
+use mpi_rma_race::prelude::*;
+use std::sync::Arc;
+
+/// The completion property (deferred data movement, shuffled order) must
+/// not change any detector verdict: detection is based on issue events,
+/// not data timing.
+#[test]
+fn deferred_completion_does_not_change_verdicts() {
+    for inject in [false, true] {
+        let mut verdicts = Vec::new();
+        for (deferred, seed) in [(false, 1u64), (true, 1), (true, 99), (true, 12345)] {
+            let analyzer = Arc::new(RmaAnalyzer::new(AnalyzerCfg {
+                on_race: OnRace::Collect,
+                ..AnalyzerCfg::default()
+            }));
+            let cfg = WorldCfg { nranks: 3, deferred_completion: deferred, seed, ..WorldCfg::default() };
+            let out: RunOutcome<()> = World::run(cfg, analyzer.clone(), |ctx| {
+                let win = ctx.win_allocate(64);
+                let buf = ctx.alloc(16);
+                ctx.win_lock_all(win);
+                if ctx.rank() == RankId(0) {
+                    ctx.put(&buf, 0, 16, RankId(2), 0, win);
+                    if inject {
+                        ctx.put(&buf, 0, 16, RankId(2), 0, win);
+                    } else {
+                        ctx.put(&buf, 0, 16, RankId(2), 16, win);
+                    }
+                }
+                ctx.win_unlock_all(win);
+                ctx.barrier();
+            });
+            assert!(out.is_clean());
+            verdicts.push(!analyzer.races().is_empty());
+        }
+        assert!(
+            verdicts.iter().all(|&v| v == inject),
+            "verdicts varied with completion timing: {verdicts:?} (inject={inject})"
+        );
+    }
+}
+
+/// An aborting detector stops every rank: no partial results escape.
+#[test]
+fn abort_mode_stops_the_world() {
+    let analyzer = Arc::new(RmaAnalyzer::new(AnalyzerCfg::default())); // Abort
+    let out: RunOutcome<u32> = World::run(WorldCfg::with_ranks(4), analyzer, |ctx| {
+        let win = ctx.win_allocate(64);
+        let buf = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.put(&buf, 0, 8, RankId(3), 0, win);
+            ctx.put(&buf, 0, 8, RankId(3), 0, win);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+        42
+    });
+    assert!(out.raced());
+    assert!(out.results.iter().all(Option::is_none), "no rank may complete");
+}
+
+/// Epoch misuse surfaces as a reported program error on the right rank.
+#[test]
+fn misuse_is_reported_not_hung() {
+    let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(3), Arc::new(NullMonitor), |ctx| {
+        let win = ctx.win_allocate(8);
+        if ctx.rank() == RankId(1) {
+            ctx.win_lock_all(win);
+            ctx.win_lock_all(win); // nested lock_all: program error
+        }
+        ctx.barrier();
+    });
+    assert_eq!(out.panics.len(), 1);
+    assert_eq!(out.panics[0].0, RankId(1));
+    assert!(out.panics[0].1.contains("nested lock_all"));
+}
+
+/// A rank death releases ranks blocked in collectives and point-to-point
+/// receives (no deadlock).
+#[test]
+fn blocked_ranks_unwind_on_peer_death() {
+    let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(3), Arc::new(NullMonitor), |ctx| {
+        match ctx.rank().0 {
+            0 => panic!("rank 0 dies"),
+            1 => {
+                let _ = ctx.recv(Some(RankId(0)), 7); // never arrives
+            }
+            _ => {
+                let _ = ctx.allreduce_sum_u64(&[1]); // never completes
+            }
+        }
+    });
+    assert_eq!(out.panics.len(), 1);
+    assert!(out.results.iter().all(Option::is_none));
+}
+
+/// Both analyzer delivery modes and the MUST transport survive a racy
+/// abort without leaking detached threads into a hang.
+#[test]
+fn detectors_tear_down_cleanly_after_abort() {
+    for delivery in [Delivery::Direct, Delivery::Messages] {
+        let analyzer = Arc::new(RmaAnalyzer::new(AnalyzerCfg {
+            delivery,
+            ..AnalyzerCfg::default()
+        }));
+        let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(3), analyzer, |ctx| {
+            let win = ctx.win_allocate(64);
+            let buf = ctx.alloc(8);
+            ctx.win_lock_all(win);
+            if ctx.rank() == RankId(0) {
+                ctx.put(&buf, 0, 8, RankId(1), 0, win);
+                ctx.put(&buf, 0, 8, RankId(1), 0, win);
+            }
+            ctx.win_unlock_all(win);
+            ctx.barrier();
+        });
+        assert!(out.raced(), "{delivery:?}");
+    }
+
+    let must = Arc::new(MustRma::for_world(3, mpi_rma_race::must::OnRace::Abort));
+    let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(3), must.clone(), |ctx| {
+        let win = ctx.win_allocate(64);
+        let buf = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(out.raced() || !must.races().is_empty());
+}
+
+/// Two worlds can share one process sequentially (fresh monitors each).
+#[test]
+fn sequential_worlds_are_isolated() {
+    for _ in 0..3 {
+        let analyzer = Arc::new(RmaAnalyzer::new(AnalyzerCfg::default()));
+        let out = World::run(WorldCfg::with_ranks(2), analyzer.clone(), |ctx| {
+            let win = ctx.win_allocate(8);
+            ctx.win_lock_all(win);
+            ctx.win_unlock_all(win);
+            ctx.rank().0
+        });
+        assert_eq!(out.expect_clean("isolated"), vec![0, 1]);
+        assert!(analyzer.races().is_empty());
+    }
+}
