@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Tier-1 verification for the hermetic workspace.
+#
+# Runs entirely offline: the workspace has zero external dependencies
+# (see crates/substrate), so this must succeed from a clean checkout
+# with an empty cargo registry cache and no network.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> hermeticity check: no external dependency declarations"
+if grep -rn "proptest\|criterion\|crossbeam\|parking_lot\|^rand" \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "ERROR: external dependency declaration found above" >&2
+    exit 1
+fi
+
+echo "ci.sh: all checks passed"

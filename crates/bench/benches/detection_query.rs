@@ -1,16 +1,15 @@
-//! Criterion bench of the per-access race check as a function of tree
-//! size — the Section 4.2 complexity claim ("searches, insertions and
-//! deletions... logarithmic in time as we use a (balanced) BST").
+//! Bench of the per-access race check as a function of tree size — the
+//! Section 4.2 complexity claim ("searches, insertions and deletions...
+//! logarithmic in time as we use a (balanced) BST").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rma_core::{
     AccessKind, AccessStore, FragMergeStore, Interval, LegacyStore, MemAccess, RankId, SrcLoc,
 };
+use rma_substrate::bench::BenchGroup;
 use std::hint::black_box;
 
 fn filled_frag(n: u64) -> FragMergeStore {
     let mut s = FragMergeStore::new();
-    let loc = SrcLoc::synthetic("bench.c", 1);
     for i in 0..n {
         // Distinct source lines prevent merging: the tree really holds n
         // nodes.
@@ -22,7 +21,6 @@ fn filled_frag(n: u64) -> FragMergeStore {
         ))
         .expect("reads never race");
     }
-    let _ = loc;
     s
 }
 
@@ -40,8 +38,8 @@ fn filled_legacy(n: u64) -> LegacyStore {
     s
 }
 
-fn bench_check(c: &mut Criterion) {
-    let mut group = c.benchmark_group("race_check_vs_tree_size");
+fn main() {
+    let mut group = BenchGroup::new("race_check_vs_tree_size");
     group.sample_size(30);
     for n in [1_000u64, 4_000, 16_000, 64_000] {
         let frag = filled_frag(n);
@@ -51,25 +49,20 @@ fn bench_check(c: &mut Criterion) {
             RankId(0),
             SrcLoc::synthetic("bench.c", 1),
         );
-        group.bench_with_input(BenchmarkId::new("interval-query", n), &n, |b, _| {
-            b.iter(|| black_box(frag.check(black_box(&probe))));
+        group.bench(format!("interval-query/{n}"), || {
+            black_box(frag.check(black_box(&probe)))
         });
 
         let legacy = filled_legacy(n);
-        group.bench_with_input(BenchmarkId::new("legacy-path-check", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    legacy
-                        .tree()
-                        .first_conflict_on_path(black_box(&probe), |s| {
-                            rma_core::legacy_conflicts(s, &probe)
-                        }),
-                )
-            });
+        group.bench(format!("legacy-path-check/{n}"), || {
+            black_box(
+                legacy
+                    .tree()
+                    .first_conflict_on_path(black_box(&probe), |s| {
+                        rma_core::legacy_conflicts(s, &probe)
+                    }),
+            )
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_check);
-criterion_main!(benches);

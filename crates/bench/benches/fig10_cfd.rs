@@ -1,27 +1,22 @@
-//! Criterion bench behind Figure 10: CFD-Proxy-sim epoch time per
-//! method. A reduced configuration keeps `cargo bench` tractable; the
-//! paper-sized run lives in the `repro_fig10` binary.
+//! Bench behind Figure 10: CFD-Proxy-sim epoch time per method. A
+//! reduced configuration keeps `cargo bench` tractable; the paper-sized
+//! run lives in the `repro_fig10` binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rma_apps::{run_cfd, CfdCfg, Method, MethodRun};
+use rma_substrate::bench::BenchGroup;
 use std::hint::black_box;
 
-fn bench_cfd(c: &mut Criterion) {
+fn main() {
     let cfg = CfdCfg { nranks: 6, iterations: 5, halo_cells: 24, interior_cells: 64, ..CfdCfg::default() };
-    let mut group = c.benchmark_group("fig10_cfd_epoch");
+    let mut group = BenchGroup::new("fig10_cfd_epoch");
     group.sample_size(10);
     for method in Method::PAPER_SET {
-        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &cfg, |b, cfg| {
-            b.iter(|| {
-                let run = MethodRun::new(method, cfg.nranks);
-                let report = run_cfd(cfg, &run);
-                assert!(!report.raced);
-                black_box(report.epoch_secs())
-            });
+        group.bench(method.name(), || {
+            let run = MethodRun::new(method, cfg.nranks);
+            let report = run_cfd(&cfg, &run);
+            assert!(!report.raced);
+            black_box(report.epoch_secs())
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_cfd);
-criterion_main!(benches);

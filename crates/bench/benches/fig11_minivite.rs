@@ -1,30 +1,24 @@
-//! Criterion bench behind Figures 11/12: MiniVite-sim epoch time per
-//! method at two rank counts (reduced; the paper-sized sweeps live in
-//! the `repro_fig11`/`repro_fig12` binaries).
+//! Bench behind Figures 11/12: MiniVite-sim epoch time per method at
+//! two rank counts (reduced; the paper-sized sweeps live in the
+//! `repro_fig11`/`repro_fig12` binaries).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rma_apps::{run_minivite, Method, MethodRun, MiniViteCfg};
+use rma_substrate::bench::BenchGroup;
 use std::hint::black_box;
 
-fn bench_minivite(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11_minivite_epoch");
+fn main() {
+    let mut group = BenchGroup::new("fig11_minivite_epoch");
     group.sample_size(10);
     for nranks in [8u32, 32] {
         for method in Method::PAPER_SET {
             let cfg = MiniViteCfg { nranks, nv: 4_000, ..MiniViteCfg::default() };
-            let id = format!("{}/P{}", method.name(), nranks);
-            group.bench_with_input(BenchmarkId::from_parameter(id), &cfg, |b, cfg| {
-                b.iter(|| {
-                    let run = MethodRun::new(method, cfg.nranks);
-                    let report = run_minivite(cfg, &run);
-                    assert!(!report.raced);
-                    black_box(report.epoch_secs())
-                });
+            group.bench(format!("{}/P{}", method.name(), nranks), || {
+                let run = MethodRun::new(method, cfg.nranks);
+                let report = run_minivite(&cfg, &run);
+                assert!(!report.raced);
+                black_box(report.epoch_secs())
             });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_minivite);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
-//! Criterion micro-benchmarks of the insertion algorithms (the ablation
-//! bench for the paper's core design choices): legacy vs fragmentation
-//! vs fragmentation+merging vs a flat full-history store, across the
+//! Micro-benchmarks of the insertion algorithms (the ablation bench for
+//! the paper's core design choices): legacy vs fragmentation vs
+//! fragmentation+merging vs a flat full-history store, across the
 //! access patterns that drive the evaluation:
 //!
 //! * `adjacent`  — Code 2 / CFD-Proxy: same-line adjacent accesses (the
@@ -12,13 +12,12 @@
 //! * `random`    — uniformly random small intervals (fragmentation worst
 //!   case).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use rma_core::{
     AccessKind, AccessStore, FragMergeStore, Interval, LegacyStore, MemAccess, NaiveStore,
     RankId, SrcLoc,
 };
+use rma_substrate::bench::BenchGroup;
+use rma_substrate::rng::SmallRng;
 use std::hint::black_box;
 
 const N: u64 = 2_000;
@@ -55,32 +54,22 @@ fn make_store(algo: &str) -> Box<dyn AccessStore> {
     }
 }
 
-fn bench_insertion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("insertion");
+fn main() {
+    let mut group = BenchGroup::new("insertion");
     group.sample_size(20);
     for pattern in ["adjacent", "strided", "duplicate", "random"] {
         let accs = stream(pattern);
-        group.throughput(Throughput::Elements(N));
         for algo in ["legacy", "fragment-only", "frag+merge", "full-history"] {
             // The quadratic stores are too slow for the random pattern at
             // full N in CI-sized runs; keep them, but they are the point.
-            group.bench_with_input(
-                BenchmarkId::new(algo, pattern),
-                &accs,
-                |b, accs| {
-                    b.iter(|| {
-                        let mut store = make_store(algo);
-                        for a in accs {
-                            let _ = black_box(store.record(*a));
-                        }
-                        black_box(store.len())
-                    });
-                },
-            );
+            group.bench(format!("{algo}/{pattern}"), || {
+                let mut store = make_store(algo);
+                for a in &accs {
+                    let _ = black_box(store.record(*a));
+                }
+                black_box(store.len())
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_insertion);
-criterion_main!(benches);

@@ -1,4 +1,6 @@
-//! Property-based tests of the core detection algorithms.
+//! Property-based tests of the core detection algorithms, running on
+//! the in-tree `rma_substrate::prop` harness (seeded cases, halving
+//! shrink, failing-seed reporting — see that module for replay knobs).
 //!
 //! Streams are *well-formed*: local accesses are always issued by the
 //! owner of the address space (rank 0 here), as in the real model where a
@@ -6,31 +8,35 @@
 //! RMA accesses may be issued by anyone (including rank 0, which models
 //! origin-side records).
 
-use proptest::prelude::*;
 use rma_core::{
     AccessKind, AccessStore, FragMergeStore, Interval, LegacyStore, MemAccess, NaiveStore,
     RankId, ShadowRef, SrcLoc,
 };
+use rma_substrate::prop::{shrink_vec, Gen, Prop};
 
 const OWNER: RankId = RankId(0);
 
-fn arb_access() -> impl Strategy<Value = MemAccess> {
-    (0u64..64, 1u64..16, 0usize..5, 0u32..3, 1u32..6).prop_map(
-        |(lo, len, kind_ix, issuer, line)| {
-            let kind = AccessKind::ALL[kind_ix];
-            let issuer = if kind.is_local() { OWNER } else { RankId(issuer) };
-            MemAccess::new(
-                Interval::sized(lo, len),
-                kind,
-                issuer,
-                SrcLoc::synthetic("prop.c", line),
-            )
-        },
+fn arb_access(g: &mut Gen) -> MemAccess {
+    let lo = g.range(0u64..64);
+    let len = g.range(1u64..16);
+    let kind = AccessKind::ALL[g.range(0usize..5)];
+    let issuer = if kind.is_local() { OWNER } else { RankId(g.range(0u32..3)) };
+    let line = g.range(1u32..6);
+    MemAccess::new(
+        Interval::sized(lo, len),
+        kind,
+        issuer,
+        SrcLoc::synthetic("prop.c", line),
     )
 }
 
-fn arb_stream() -> impl Strategy<Value = Vec<MemAccess>> {
-    proptest::collection::vec(arb_access(), 1..120)
+fn arb_stream(g: &mut Gen) -> Vec<MemAccess> {
+    g.vec(1..120, arb_access)
+}
+
+/// Shorthand: run a stream property over `arb_stream` with vec shrink.
+fn forall_streams(name: &'static str, check: impl Fn(&Vec<MemAccess>)) {
+    Prop::new(name).run(arb_stream, |v| shrink_vec(v), check);
 }
 
 /// Addresses covered by a set of accesses.
@@ -44,118 +50,142 @@ fn coverage(accs: &[MemAccess]) -> Vec<bool> {
     cov
 }
 
-proptest! {
-    /// The FragMerge store always keeps its intervals disjoint and its
-    /// tree a valid AVL.
-    #[test]
-    fn fragmerge_always_disjoint(stream in arb_stream()) {
+/// The FragMerge store always keeps its intervals disjoint and its
+/// tree a valid AVL.
+#[test]
+fn fragmerge_always_disjoint() {
+    forall_streams("fragmerge_always_disjoint", |stream| {
         let mut s = FragMergeStore::new();
         for acc in stream {
-            let _ = s.record(acc);
+            let _ = s.record(*acc);
             s.assert_disjoint();
             s.tree().validate();
         }
-    }
+    });
+}
 
-    /// Same for the fragmentation-only ablation.
-    #[test]
-    fn fragment_only_always_disjoint(stream in arb_stream()) {
+/// Same for the fragmentation-only ablation.
+#[test]
+fn fragment_only_always_disjoint() {
+    forall_streams("fragment_only_always_disjoint", |stream| {
         let mut s = FragMergeStore::without_merging();
         for acc in stream {
-            let _ = s.record(acc);
+            let _ = s.record(*acc);
             s.assert_disjoint();
             s.tree().validate();
         }
-    }
+    });
+}
 
-    /// FragMerge is verdict- and node-count-equivalent to the per-address
-    /// reference implementation of the paper's semantics ([`ShadowRef`]):
-    /// same race decision at every access, and — since both apply the same
-    /// pointwise combine and the same merging condition — the same number
-    /// of stored nodes and identical snapshots.
-    #[test]
-    fn fragmerge_matches_shadow_reference(stream in arb_stream()) {
-        let mut frag = FragMergeStore::new();
-        let mut shadow = ShadowRef::new();
-        for (i, acc) in stream.iter().enumerate() {
-            let f = frag.record(*acc);
-            let s = shadow.record(*acc);
-            prop_assert_eq!(
-                f.is_err(), s.is_err(),
-                "verdict diverged at access #{}: {:?} (frag {:?}, shadow {:?})",
-                i, acc, f.err(), s.err()
-            );
-            if f.is_err() {
-                break; // the real tool aborts here
-            }
-            prop_assert_eq!(frag.snapshot(), shadow.snapshot(), "at access #{}", i);
+/// FragMerge is verdict- and node-count-equivalent to the per-address
+/// reference implementation of the paper's semantics ([`ShadowRef`]):
+/// same race decision at every access, and — since both apply the same
+/// pointwise combine and the same merging condition — the same number
+/// of stored nodes and identical snapshots.
+#[test]
+fn fragmerge_matches_shadow_reference() {
+    forall_streams("fragmerge_matches_shadow_reference", |stream| {
+        assert_fragmerge_matches_shadow(stream);
+    });
+}
+
+fn assert_fragmerge_matches_shadow(stream: &[MemAccess]) {
+    let mut frag = FragMergeStore::new();
+    let mut shadow = ShadowRef::new();
+    for (i, acc) in stream.iter().enumerate() {
+        let f = frag.record(*acc);
+        let s = shadow.record(*acc);
+        assert_eq!(
+            f.is_err(),
+            s.is_err(),
+            "verdict diverged at access #{}: {:?} (frag {:?}, shadow {:?})",
+            i,
+            acc,
+            f.err(),
+            s.err()
+        );
+        if f.is_err() {
+            break; // the real tool aborts here
+        }
+        assert_eq!(frag.snapshot(), shadow.snapshot(), "at access #{i}");
+    }
+}
+
+/// Containment against the strictly-more-precise full-history
+/// detector: every race the fragmenting store reports is a real
+/// conflict the full history also contains. (The converse does not
+/// hold — see `absorption_false_negative` in `naive.rs`.)
+#[test]
+fn fragmerge_races_contained_in_naive() {
+    forall_streams("fragmerge_races_contained_in_naive", |stream| {
+        assert_fragmerge_contained_in_naive(stream);
+    });
+}
+
+fn assert_fragmerge_contained_in_naive(stream: &[MemAccess]) {
+    let mut frag = FragMergeStore::new();
+    let mut naive = NaiveStore::new();
+    for acc in stream {
+        let f = frag.record(*acc);
+        let n = naive.record(*acc);
+        if f.is_err() {
+            assert!(n.is_err(), "frag-only race on {acc:?}");
+            break;
+        }
+        if n.is_err() {
+            break; // naive-only race: the documented absorption gap
         }
     }
+}
 
-    /// Containment against the strictly-more-precise full-history
-    /// detector: every race the fragmenting store reports is a real
-    /// conflict the full history also contains. (The converse does not
-    /// hold — see `absorption_false_negative` in `naive.rs`.)
-    #[test]
-    fn fragmerge_races_contained_in_naive(stream in arb_stream()) {
-        let mut frag = FragMergeStore::new();
-        let mut naive = NaiveStore::new();
-        for acc in stream {
-            let f = frag.record(acc);
-            let n = naive.record(acc);
-            if f.is_err() {
-                prop_assert!(n.is_err(), "frag-only race on {:?}", acc);
-                break;
-            }
-            if n.is_err() {
-                break; // naive-only race: the documented absorption gap
-            }
-        }
-    }
-
-    /// Merging never changes verdicts: fragmentation-only and full
-    /// fragmentation+merging agree on every access.
-    #[test]
-    fn merging_preserves_verdicts(stream in arb_stream()) {
+/// Merging never changes verdicts: fragmentation-only and full
+/// fragmentation+merging agree on every access.
+#[test]
+fn merging_preserves_verdicts() {
+    forall_streams("merging_preserves_verdicts", |stream| {
         let mut merged = FragMergeStore::new();
         let mut plain = FragMergeStore::without_merging();
         for acc in stream {
-            let m = merged.record(acc);
-            let p = plain.record(acc);
-            prop_assert_eq!(m.is_err(), p.is_err());
+            let m = merged.record(*acc);
+            let p = plain.record(*acc);
+            assert_eq!(m.is_err(), p.is_err());
             if m.is_err() {
                 break;
             }
         }
-    }
+    });
+}
 
-    /// The stored intervals cover exactly the addresses touched by the
-    /// accepted accesses — fragmentation and merging lose no coverage and
-    /// invent none.
-    #[test]
-    fn coverage_preserved(stream in arb_stream()) {
+/// The stored intervals cover exactly the addresses touched by the
+/// accepted accesses — fragmentation and merging lose no coverage and
+/// invent none.
+#[test]
+fn coverage_preserved() {
+    forall_streams("coverage_preserved", |stream| {
         let mut s = FragMergeStore::new();
         let mut accepted = Vec::new();
         for acc in stream {
-            if s.record(acc).is_ok() {
-                accepted.push(acc);
+            if s.record(*acc).is_ok() {
+                accepted.push(*acc);
             } else {
                 break;
             }
         }
-        prop_assert_eq!(coverage(&s.snapshot()), coverage(&accepted));
-    }
+        assert_eq!(coverage(&s.snapshot()), coverage(&accepted));
+    });
+}
 
-    /// At every covered address, the stored access type is the
-    /// maximum-precedence type among the accepted accesses covering it
-    /// (Table 1: RMA over local, WRITE over READ).
-    #[test]
-    fn stored_kind_is_max_precedence(stream in arb_stream()) {
+/// At every covered address, the stored access type is the
+/// maximum-precedence type among the accepted accesses covering it
+/// (Table 1: RMA over local, WRITE over READ).
+#[test]
+fn stored_kind_is_max_precedence() {
+    forall_streams("stored_kind_is_max_precedence", |stream| {
         let mut s = FragMergeStore::new();
         let mut accepted: Vec<MemAccess> = Vec::new();
         for acc in stream {
-            if s.record(acc).is_ok() {
-                accepted.push(acc);
+            if s.record(*acc).is_ok() {
+                accepted.push(*acc);
             } else {
                 break;
             }
@@ -168,95 +198,108 @@ proptest! {
                     .map(|a| a.kind.precedence())
                     .max()
                     .expect("stored address must be covered by an accepted access");
-                prop_assert_eq!(
-                    stored.kind.precedence(), max,
-                    "addr {} stored {:?}", addr, stored
+                assert_eq!(
+                    stored.kind.precedence(),
+                    max,
+                    "addr {addr} stored {stored:?}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Merge-maximality: with merging enabled, no two neighbouring stored
-    /// nodes are both adjacent and of identical provenance.
-    #[test]
-    fn merge_is_maximal(stream in arb_stream()) {
+/// Merge-maximality: with merging enabled, no two neighbouring stored
+/// nodes are both adjacent and of identical provenance.
+#[test]
+fn merge_is_maximal() {
+    forall_streams("merge_is_maximal", |stream| {
         let mut s = FragMergeStore::new();
         for acc in stream {
-            if s.record(acc).is_err() {
+            if s.record(*acc).is_err() {
                 break;
             }
         }
         let snap = s.snapshot();
         for w in snap.windows(2) {
-            prop_assert!(
+            assert!(
                 !(w[0].interval.precedes_adjacent(&w[1].interval)
                     && w[0].same_provenance(&w[1])),
-                "unmerged neighbours: {:?} {:?}", w[0], w[1]
+                "unmerged neighbours: {:?} {:?}",
+                w[0],
+                w[1]
             );
         }
-    }
+    });
+}
 
-    /// The legacy store never has false positives *relative to its own
-    /// order-insensitive matrix*... but it may have false negatives
-    /// relative to the naive detector. Check containment: every race the
-    /// legacy store reports on a race-free-so-far stream is also reported
-    /// by a naive detector running the order-insensitive matrix.
-    #[test]
-    fn legacy_races_are_real_legacy_conflicts(stream in arb_stream()) {
+/// The legacy store never has false positives *relative to its own
+/// order-insensitive matrix*... but it may have false negatives
+/// relative to the naive detector. Check containment: every race the
+/// legacy store reports on a race-free-so-far stream is also reported
+/// by a naive detector running the order-insensitive matrix.
+#[test]
+fn legacy_races_are_real_legacy_conflicts() {
+    forall_streams("legacy_races_are_real_legacy_conflicts", |stream| {
         let mut legacy = LegacyStore::new();
         let mut recorded: Vec<MemAccess> = Vec::new();
         for acc in stream {
-            match legacy.record(acc) {
-                Ok(()) => recorded.push(acc),
+            match legacy.record(*acc) {
+                Ok(()) => recorded.push(*acc),
                 Err(report) => {
                     // The reported pair must genuinely satisfy the legacy
                     // conflict rule against a previously recorded access.
-                    prop_assert!(recorded.contains(&report.existing));
-                    prop_assert!(rma_core::legacy_conflicts(&report.existing, &acc));
+                    assert!(recorded.contains(&report.existing));
+                    assert!(rma_core::legacy_conflicts(&report.existing, acc));
                     break;
                 }
             }
         }
-    }
+    });
+}
 
-    /// The legacy store's node count equals the number of accepted
-    /// accesses (no compaction ever).
-    #[test]
-    fn legacy_node_count_linear(stream in arb_stream()) {
+/// The legacy store's node count equals the number of accepted
+/// accesses (no compaction ever).
+#[test]
+fn legacy_node_count_linear() {
+    forall_streams("legacy_node_count_linear", |stream| {
         let mut legacy = LegacyStore::new();
         let mut accepted = 0usize;
         for acc in stream {
-            if legacy.record(acc).is_ok() {
+            if legacy.record(*acc).is_ok() {
                 accepted += 1;
             } else {
                 break;
             }
         }
-        prop_assert_eq!(legacy.len(), accepted);
-    }
+        assert_eq!(legacy.len(), accepted);
+    });
+}
 
-    /// FragMerge node count is never larger than fragmentation-only's.
-    #[test]
-    fn merging_never_grows_tree(stream in arb_stream()) {
+/// FragMerge node count is never larger than fragmentation-only's.
+#[test]
+fn merging_never_grows_tree() {
+    forall_streams("merging_never_grows_tree", |stream| {
         let mut merged = FragMergeStore::new();
         let mut plain = FragMergeStore::without_merging();
         for acc in stream {
-            if merged.record(acc).is_err() {
-                let _ = plain.record(acc);
+            if merged.record(*acc).is_err() {
+                let _ = plain.record(*acc);
                 break;
             }
-            let _ = plain.record(acc);
-            prop_assert!(merged.len() <= plain.len());
+            let _ = plain.record(*acc);
+            assert!(merged.len() <= plain.len());
         }
-    }
+    });
+}
 
-    /// Replaying a store's own snapshot into a fresh store reproduces the
-    /// same snapshot (fixed point of the insertion algorithm).
-    #[test]
-    fn snapshot_replay_is_fixed_point(stream in arb_stream()) {
+/// Replaying a store's own snapshot into a fresh store reproduces the
+/// same snapshot (fixed point of the insertion algorithm).
+#[test]
+fn snapshot_replay_is_fixed_point() {
+    forall_streams("snapshot_replay_is_fixed_point", |stream| {
         let mut s = FragMergeStore::new();
         for acc in stream {
-            if s.record(acc).is_err() {
+            if s.record(*acc).is_err() {
                 break;
             }
         }
@@ -267,6 +310,62 @@ proptest! {
             // conflicts; stored pairs are disjoint, hence never conflict.
             replay.record(*acc).expect("disjoint snapshot cannot race");
         }
-        prop_assert_eq!(replay.snapshot(), snap);
+        assert_eq!(replay.snapshot(), snap);
+    });
+}
+
+// ----------------------------------------------------------------
+// Regressions: counterexamples proptest found historically, preserved
+// as explicit named tests across the proptest removal (the old
+// `proptests.proptest-regressions` seed file).
+// ----------------------------------------------------------------
+mod regressions {
+    use super::*;
+
+    /// Seed `2af6282d…`, shrunk to: a local write at [17], an RMA read
+    /// over [6..=17] by the owner, then an overlapping RMA read over
+    /// [8..=17] by another rank. Exercises absorption of a local access
+    /// by a wider RMA access from two issuers.
+    fn seed_2af6282d_stream() -> Vec<MemAccess> {
+        vec![
+            MemAccess::new(
+                Interval::point(17),
+                AccessKind::LocalWrite,
+                RankId(0),
+                SrcLoc::synthetic("prop.c", 1),
+            ),
+            MemAccess::new(
+                Interval::new(6, 17),
+                AccessKind::RmaRead,
+                RankId(0),
+                SrcLoc::synthetic("prop.c", 1),
+            ),
+            MemAccess::new(
+                Interval::new(8, 17),
+                AccessKind::RmaRead,
+                RankId(1),
+                SrcLoc::synthetic("prop.c", 1),
+            ),
+        ]
+    }
+
+    #[test]
+    fn seed_2af6282d_fragmerge_matches_shadow_reference() {
+        assert_fragmerge_matches_shadow(&seed_2af6282d_stream());
+    }
+
+    #[test]
+    fn seed_2af6282d_races_contained_in_naive() {
+        assert_fragmerge_contained_in_naive(&seed_2af6282d_stream());
+    }
+
+    #[test]
+    fn seed_2af6282d_stays_disjoint_and_balanced() {
+        let mut s = FragMergeStore::new();
+        for acc in seed_2af6282d_stream() {
+            let _ = s.record(acc);
+            s.assert_disjoint();
+            s.tree().validate();
+        }
     }
 }

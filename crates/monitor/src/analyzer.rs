@@ -25,8 +25,8 @@
 //! that difference is a measured overhead source in the paper.)
 
 use crate::reduce::KeyedReduce;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex, RwLock};
+use rma_substrate::channel::{unbounded, Receiver, Sender};
+use rma_substrate::sync::{Condvar, Mutex, RwLock};
 use rma_core::{
     AccessStore, FragMergeStore, LegacyStore, MemAccess, NaiveStore, RaceReport, StoreStats,
 };

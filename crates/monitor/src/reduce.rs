@@ -8,7 +8,7 @@
 //! analyzer owns its synchronization — and pays for it, which is part of
 //! the measured overhead.
 
-use parking_lot::{Condvar, Mutex};
+use rma_substrate::sync::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::time::Duration;
 

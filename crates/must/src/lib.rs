@@ -34,7 +34,7 @@ mod transport;
 
 pub use clock::VClock;
 
-use parking_lot::Mutex;
+use rma_substrate::sync::Mutex;
 use rma_core::RaceReport;
 use rma_sim::{HookResult, LocalEvent, Monitor, RankId, RmaEvent, WinId};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

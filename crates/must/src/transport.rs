@@ -15,8 +15,8 @@
 
 use crate::clock::VClock;
 use crate::shadow::{Shadow, ShadowAccess};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use rma_substrate::channel::{unbounded, Receiver, Sender};
+use rma_substrate::sync::{Condvar, Mutex};
 use rma_core::{AccessKind, Interval, RaceReport, RankId, SrcLoc};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

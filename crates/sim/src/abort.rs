@@ -5,7 +5,7 @@
 //! so all other ranks unwind promptly instead of deadlocking on a
 //! rendezvous the aborting rank will never join.
 
-use parking_lot::Mutex;
+use rma_substrate::sync::Mutex;
 use rma_core::{RaceReport, RankId};
 use std::sync::atomic::{AtomicBool, Ordering};
 

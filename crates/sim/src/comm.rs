@@ -9,7 +9,7 @@
 //! parked on a rendezvous that will never complete.
 
 use crate::abort::{unwind_abort, AbortCtl};
-use parking_lot::{Condvar, Mutex};
+use rma_substrate::sync::{Condvar, Mutex};
 use rma_core::RankId;
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;

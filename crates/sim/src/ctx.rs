@@ -7,9 +7,7 @@ use crate::buf::{Buf, BufKind, LocalArena};
 use crate::event::{LocalEvent, Monitor, RmaDir, RmaEvent};
 use crate::window::{WinId, WinMem, WinView};
 use crate::world::WorldShared;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rma_substrate::rng::{SliceRandom, SmallRng};
 use rma_core::{AccessKind, RaceReport, RankId, SrcLoc};
 use std::sync::Arc;
 

@@ -7,7 +7,7 @@
 //! detectors' job is to find those races), while the Rust implementation
 //! remains free of undefined behaviour, as the concurrency guides demand.
 
-use parking_lot::Mutex;
+use rma_substrate::sync::Mutex;
 use rma_core::{Addr, RankId};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;

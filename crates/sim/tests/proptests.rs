@@ -1,127 +1,152 @@
-//! Property tests of the simulator's memory and transfer semantics.
+//! Property tests of the simulator's memory and transfer semantics,
+//! on the `rma_substrate::prop` harness.
 
-use proptest::prelude::*;
 use rma_sim::{Monitor, NullMonitor, RankId, World, WorldCfg};
+use rma_substrate::prop::{shrink_vec, Gen, Prop};
 use std::sync::Arc;
 
 fn null() -> Arc<dyn Monitor> {
     Arc::new(NullMonitor)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Byte-level round trip through private memory: whatever is stored
+/// is loaded back, at any offset and length.
+#[test]
+fn local_store_load_roundtrip() {
+    Prop::new("local_store_load_roundtrip").cases(24).run(
+        |g| (g.vec(1..64, Gen::u8_any), g.range(0u64..32)),
+        |(data, off)| shrink_vec(data).into_iter().map(|d| (d, *off)).collect(),
+        |(data, off)| {
+            let out = World::run(WorldCfg::with_ranks(1), null(), |ctx| {
+                let buf = ctx.alloc(128);
+                ctx.store_bytes(&buf, *off, data);
+                ctx.load_bytes(&buf, *off, data.len() as u64)
+            });
+            let got = out.expect_clean("roundtrip");
+            assert_eq!(&got[0], data);
+        },
+    );
+}
 
-    /// Byte-level round trip through private memory: whatever is stored
-    /// is loaded back, at any offset and length.
-    #[test]
-    fn local_store_load_roundtrip(
-        data in proptest::collection::vec(any::<u8>(), 1..64),
-        off in 0u64..32,
-    ) {
-        let out = World::run(WorldCfg::with_ranks(1), null(), |ctx| {
-            let buf = ctx.alloc(128);
-            ctx.store_bytes(&buf, off, &data);
-            ctx.load_bytes(&buf, off, data.len() as u64)
-        });
-        let got = out.expect_clean("roundtrip");
-        prop_assert_eq!(&got[0], &data);
-    }
-
-    /// put-then-get through a window returns the original bytes, with
-    /// and without deferred completion.
-    #[test]
-    fn put_get_roundtrip(
-        data in proptest::collection::vec(any::<u8>(), 1..48),
-        toff in 0u64..16,
-        deferred in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
-        let cfg = WorldCfg {
-            nranks: 2,
-            deferred_completion: deferred,
-            seed,
-            ..WorldCfg::default()
-        };
-        let expect = data.clone();
-        let out = World::run(cfg, null(), |ctx| {
-            let win = ctx.win_allocate(64);
-            let src = ctx.alloc(64);
-            let dst = ctx.alloc(64);
-            ctx.win_lock_all(win);
-            if ctx.rank() == RankId(0) {
-                ctx.store_bytes(&src, 0, &data);
-                ctx.put(&src, 0, data.len() as u64, RankId(1), toff, win);
-            }
-            ctx.win_unlock_all(win);
-            ctx.barrier();
-            ctx.win_lock_all(win);
-            if ctx.rank() == RankId(0) {
-                ctx.get(&dst, 0, data.len() as u64, RankId(1), toff, win);
-            }
-            ctx.win_unlock_all(win);
-            ctx.load_bytes(&dst, 0, data.len() as u64)
-        });
-        let got = out.expect_clean("put/get");
-        prop_assert_eq!(&got[0], &expect);
-    }
-
-    /// Accumulate(SUM) is a commutative exact reduction regardless of
-    /// rank count, per-rank operation count and completion mode.
-    #[test]
-    fn accumulate_sum_is_exact(
-        nranks in 2u32..6,
-        per_rank in 1u64..12,
-        deferred in any::<bool>(),
-    ) {
-        let cfg = WorldCfg {
-            nranks,
-            deferred_completion: deferred,
-            ..WorldCfg::default()
-        };
-        let out = World::run(cfg, null(), |ctx| {
-            let win = ctx.win_allocate(8);
-            let src = ctx.alloc(8);
-            ctx.store_u64(&src, 0, 1 + u64::from(ctx.rank().0));
-            ctx.win_lock_all(win);
-            if ctx.rank() != RankId(0) {
-                for _ in 0..per_rank {
-                    ctx.accumulate(&src, 0, 8, RankId(0), 0, win, rma_sim::AccumOp::Sum);
+/// put-then-get through a window returns the original bytes, with
+/// and without deferred completion.
+#[test]
+fn put_get_roundtrip() {
+    Prop::new("put_get_roundtrip").cases(24).run(
+        |g| {
+            (
+                g.vec(1..48, Gen::u8_any),
+                g.range(0u64..16),
+                g.bool(),
+                g.u64_any(),
+            )
+        },
+        |(data, toff, deferred, seed)| {
+            shrink_vec(data)
+                .into_iter()
+                .map(|d| (d, *toff, *deferred, *seed))
+                .collect()
+        },
+        |(data, toff, deferred, seed)| {
+            let cfg = WorldCfg {
+                nranks: 2,
+                deferred_completion: *deferred,
+                seed: *seed,
+                ..WorldCfg::default()
+            };
+            let out = World::run(cfg, null(), |ctx| {
+                let win = ctx.win_allocate(64);
+                let src = ctx.alloc(64);
+                let dst = ctx.alloc(64);
+                ctx.win_lock_all(win);
+                if ctx.rank() == RankId(0) {
+                    ctx.store_bytes(&src, 0, data);
+                    ctx.put(&src, 0, data.len() as u64, RankId(1), *toff, win);
                 }
-            }
-            ctx.win_unlock_all(win);
-            ctx.barrier();
-            let wb = ctx.win_buf(win);
-            ctx.load_u64(&wb, 0)
-        });
-        let total = out.expect_clean("accumulate")[0];
-        let expect: u64 = (1..nranks as u64).map(|r| (r + 1) * per_rank).sum();
-        prop_assert_eq!(total, expect);
-    }
+                ctx.win_unlock_all(win);
+                ctx.barrier();
+                ctx.win_lock_all(win);
+                if ctx.rank() == RankId(0) {
+                    ctx.get(&dst, 0, data.len() as u64, RankId(1), *toff, win);
+                }
+                ctx.win_unlock_all(win);
+                ctx.load_bytes(&dst, 0, data.len() as u64)
+            });
+            let got = out.expect_clean("put/get");
+            assert_eq!(&got[0], data);
+        },
+    );
+}
 
-    /// Allreduce matches a locally computed sum for arbitrary inputs.
-    #[test]
-    fn allreduce_matches_local_sum(
-        vals in proptest::collection::vec(0u64..1_000_000, 1..8),
-        nranks in 2u32..6,
-    ) {
-        let expect: Vec<u64> = vals
-            .iter()
-            .map(|v| {
-                (0..u64::from(nranks))
-                    .map(|r| v.wrapping_add(r))
-                    .sum()
-            })
-            .collect();
-        let vals2 = vals.clone();
-        let out = World::run(WorldCfg::with_ranks(nranks), null(), |ctx| {
-            let mine: Vec<u64> = vals2
+/// Accumulate(SUM) is a commutative exact reduction regardless of
+/// rank count, per-rank operation count and completion mode.
+#[test]
+fn accumulate_sum_is_exact() {
+    Prop::new("accumulate_sum_is_exact").cases(24).run(
+        |g| (g.range(2u32..6), g.range(1u64..12), g.bool()),
+        |&(nranks, per_rank, deferred)| {
+            // Halve towards the smallest world (2 ranks, 1 op).
+            let mut out = Vec::new();
+            if nranks > 2 {
+                out.push((2, per_rank, deferred));
+            }
+            if per_rank > 1 {
+                out.push((nranks, per_rank / 2, deferred));
+            }
+            out
+        },
+        |&(nranks, per_rank, deferred)| {
+            let cfg = WorldCfg {
+                nranks,
+                deferred_completion: deferred,
+                ..WorldCfg::default()
+            };
+            let out = World::run(cfg, null(), |ctx| {
+                let win = ctx.win_allocate(8);
+                let src = ctx.alloc(8);
+                ctx.store_u64(&src, 0, 1 + u64::from(ctx.rank().0));
+                ctx.win_lock_all(win);
+                if ctx.rank() != RankId(0) {
+                    for _ in 0..per_rank {
+                        ctx.accumulate(&src, 0, 8, RankId(0), 0, win, rma_sim::AccumOp::Sum);
+                    }
+                }
+                ctx.win_unlock_all(win);
+                ctx.barrier();
+                let wb = ctx.win_buf(win);
+                ctx.load_u64(&wb, 0)
+            });
+            let total = out.expect_clean("accumulate")[0];
+            let expect: u64 = (1..u64::from(nranks)).map(|r| (r + 1) * per_rank).sum();
+            assert_eq!(total, expect);
+        },
+    );
+}
+
+/// Allreduce matches a locally computed sum for arbitrary inputs.
+#[test]
+fn allreduce_matches_local_sum() {
+    Prop::new("allreduce_matches_local_sum").cases(24).run(
+        |g| (g.vec(1..8, |g| g.range(0u64..1_000_000)), g.range(2u32..6)),
+        |(vals, nranks)| {
+            shrink_vec(vals).into_iter().map(|v| (v, *nranks)).collect()
+        },
+        |(vals, nranks)| {
+            let nranks = *nranks;
+            let expect: Vec<u64> = vals
                 .iter()
-                .map(|v| v.wrapping_add(u64::from(ctx.rank().0)))
+                .map(|v| (0..u64::from(nranks)).map(|r| v.wrapping_add(r)).sum())
                 .collect();
-            ctx.allreduce_sum_u64(&mine)
-        });
-        for got in out.expect_clean("allreduce") {
-            prop_assert_eq!(&got, &expect);
-        }
-    }
+            let out = World::run(WorldCfg::with_ranks(nranks), null(), |ctx| {
+                let mine: Vec<u64> = vals
+                    .iter()
+                    .map(|v| v.wrapping_add(u64::from(ctx.rank().0)))
+                    .collect();
+                ctx.allreduce_sum_u64(&mine)
+            });
+            for got in out.expect_clean("allreduce") {
+                assert_eq!(&got, &expect);
+            }
+        },
+    );
 }

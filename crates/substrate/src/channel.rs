@@ -1,0 +1,216 @@
+//! An unbounded MPMC channel with disconnect semantics — the subset of
+//! `crossbeam::channel` this workspace used, plus clonable receivers.
+//!
+//! Senders and receivers are both clonable. When the last `Sender` is
+//! dropped the channel *disconnects*: blocked and future `recv` calls
+//! return [`RecvError`] once the queue drains. When the last `Receiver`
+//! is dropped, `send` returns the value back inside [`SendError`].
+//! Sender/receiver accounting lives *inside* the queue mutex, so wakeups
+//! cannot be lost between a count check and a condvar park.
+
+use crate::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Error returned by [`Sender::send`] when every receiver is gone;
+/// carries the unsent value back.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Like crossbeam: `Debug` without requiring `T: Debug`, so `.expect()`
+// works for any payload type.
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the queue is empty and
+/// every sender is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Queue momentarily empty; senders still connected.
+    Empty,
+    /// Queue empty and all senders dropped.
+    Disconnected,
+}
+
+struct State<T> {
+    q: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State { q: VecDeque::new(), senders: 1, receivers: 1 }),
+        cv: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+/// The sending half; clonable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, waking one blocked receiver. Fails (returning
+    /// the value) when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.state.lock();
+        if st.receivers == 0 {
+            return Err(SendError(value));
+        }
+        st.q.push_back(value);
+        drop(st);
+        self.chan.cv.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().senders += 1;
+        Sender { chan: self.chan.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock();
+        st.senders -= 1;
+        let disconnected = st.senders == 0;
+        drop(st);
+        if disconnected {
+            // Blocked receivers must re-check and observe the disconnect.
+            self.chan.cv.notify_all();
+        }
+    }
+}
+
+/// The receiving half; clonable (each message is delivered to exactly
+/// one receiver).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking while the channel is empty
+    /// and at least one sender is alive.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.state.lock();
+        loop {
+            if let Some(v) = st.q.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            self.chan.cv.wait(&mut st);
+        }
+    }
+
+    /// Like [`recv`](Self::recv) but gives up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, TryRecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.chan.state.lock();
+        loop {
+            if let Some(v) = st.q.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(TryRecvError::Empty);
+            }
+            self.chan.cv.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.state.lock();
+        if let Some(v) = st.q.pop_front() {
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().receivers += 1;
+        Receiver { chan: self.chan.clone() }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan.state.lock().receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_thread() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_fails_after_last_sender_drops() {
+        let (tx, rx) = unbounded();
+        tx.send(1u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1), "queued messages drain first");
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_last_receiver_drops() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(41u8), Err(SendError(41)));
+    }
+
+    #[test]
+    fn recv_timeout_reports_empty() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(TryRecvError::Empty)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(TryRecvError::Disconnected)
+        );
+    }
+}

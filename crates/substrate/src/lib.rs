@@ -1,0 +1,31 @@
+//! # rma-substrate — in-tree substitutes for external crates
+//!
+//! The build environment for this workspace has no registry access, so
+//! the workspace is *hermetic*: nothing outside the standard library is
+//! linked. This crate provides the four pieces of infrastructure the
+//! rest of the workspace needs and previously pulled from crates.io:
+//!
+//! * [`rng`] — a seeded [SplitMix64](rng::SmallRng) PRNG with
+//!   `gen_range` and Fisher–Yates [`shuffle`](rng::SliceRandom::shuffle)
+//!   (replaces `rand::SmallRng`); streams are stable across platforms
+//!   and releases, which the simulator's deferred-completion shuffle
+//!   relies on for reproducible executions.
+//! * [`sync`] — `Mutex`/`Condvar`/`RwLock` shims over `std::sync` with
+//!   the `parking_lot` API shape (no `Result` on `lock()`, poison
+//!   unwrapping, `Condvar::wait_for(&mut guard, timeout)`).
+//! * [`channel`] — an unbounded MPMC channel with clonable senders *and*
+//!   receivers and disconnect semantics (replaces
+//!   `crossbeam::channel::unbounded`).
+//! * [`prop`] — a seeded property-test harness (fixed case count,
+//!   failing-seed reporting, halving shrink for integer/vec inputs)
+//!   replacing `proptest`, and [`bench`] — a warmup + median-of-N timing
+//!   harness with JSON output replacing `criterion`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bench;
+pub mod channel;
+pub mod prop;
+pub mod rng;
+pub mod sync;

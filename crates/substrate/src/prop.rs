@@ -1,0 +1,313 @@
+//! A small seeded property-test harness — the subset of `proptest`'s
+//! value this workspace needs, with none of its machinery.
+//!
+//! A property is three closures: a *generator* drawing an input from a
+//! seeded [`Gen`], a *shrinker* proposing smaller variants of a failing
+//! input, and a *check* that panics (plain `assert!`) when the property
+//! is violated. The runner executes a fixed number of cases, each from
+//! its own reported seed, and on failure greedily shrinks before
+//! panicking with the minimal counterexample, its seed, and the
+//! original assertion message.
+//!
+//! Reproduction: `RMA_PROP_REPLAY=<case-seed>` re-runs exactly the
+//! reported failing case; `RMA_PROP_CASES=<n>` overrides the case
+//! count globally.
+
+use crate::rng::SmallRng;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property (overridable per property with
+/// [`Prop::cases`] or globally with `RMA_PROP_CASES`).
+pub const DEFAULT_CASES: u32 = 96;
+
+/// Hard cap on shrink probes so a pathological shrinker terminates.
+const MAX_SHRINK_PROBES: u32 = 2_000;
+
+/// Seeded input generator handed to property generators.
+pub struct Gen {
+    rng: SmallRng,
+}
+
+impl Gen {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Gen { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform draw from `[range.start, range.end)`.
+    #[inline]
+    pub fn range<T: crate::rng::UniformInt>(&mut self, range: core::ops::Range<T>) -> T {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform boolean.
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.rng.gen_bool()
+    }
+
+    /// Arbitrary 64-bit value.
+    #[inline]
+    pub fn u64_any(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Arbitrary byte.
+    #[inline]
+    pub fn u8_any(&mut self) -> u8 {
+        self.rng.next_u64() as u8
+    }
+
+    /// A vector whose length is drawn from `len`, elements from `f`.
+    pub fn vec<T>(
+        &mut self,
+        len: core::ops::Range<usize>,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.range(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+// ----------------------------------------------------------------
+// Quiet panic capture
+// ----------------------------------------------------------------
+
+thread_local! {
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that stays silent while this
+/// thread probes expected-to-fail cases, delegating everything else to
+/// the previous hook.
+fn install_quiet_probe_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if QUIET.with(Cell::get) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `check` on `input`, capturing a panic as `Err(message)` without
+/// printing it.
+fn probe<T>(check: &impl Fn(&T), input: &T) -> Result<(), String> {
+    install_quiet_probe_hook();
+    QUIET.with(|q| q.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| check(input)));
+    QUIET.with(|q| q.set(false));
+    result.map_err(payload_message)
+}
+
+// ----------------------------------------------------------------
+// Runner
+// ----------------------------------------------------------------
+
+/// A named property with a case budget.
+pub struct Prop {
+    name: &'static str,
+    cases: u32,
+    base_seed: u64,
+}
+
+impl Prop {
+    /// A property named `name` (use the test function's name) with the
+    /// default case count.
+    pub fn new(name: &'static str) -> Self {
+        let cases = std::env::var("RMA_PROP_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        // Per-property base seed: fixed, but decorrelated across
+        // properties so they do not all explore the same stream.
+        let base_seed = name
+            .bytes()
+            .fold(0xC0FF_EE15_F00D_5EEDu64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3)
+            });
+        Prop { name, cases, base_seed }
+    }
+
+    /// Overrides the number of cases.
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Runs the property: `cases` inputs from `gen`, each checked by
+    /// `check`; on failure, `shrink` candidates are probed greedily and
+    /// the minimal failing input is reported. Panics on failure.
+    pub fn run<T, G, S, C>(self, gen: G, shrink: S, check: C)
+    where
+        T: Clone + std::fmt::Debug,
+        G: Fn(&mut Gen) -> T,
+        S: Fn(&T) -> Vec<T>,
+        C: Fn(&T),
+    {
+        if let Some(seed) = std::env::var("RMA_PROP_REPLAY")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            let input = gen(&mut Gen::new(seed));
+            check(&input); // loud on purpose: this is the replay run
+            return;
+        }
+        let mut master = SmallRng::seed_from_u64(self.base_seed);
+        for case in 0..self.cases {
+            let case_seed = master.next_u64();
+            let input = gen(&mut Gen::new(case_seed));
+            if let Err(first_msg) = probe(&check, &input) {
+                let (minimal, msg) = self.shrink_failure(input, first_msg, &shrink, &check);
+                panic!(
+                    "property `{}` failed at case {case} (replay with \
+                     RMA_PROP_REPLAY={case_seed}):\n  minimal input: {minimal:?}\n  \
+                     assertion: {msg}",
+                    self.name
+                );
+            }
+        }
+    }
+
+    /// Greedy descent through `shrink` candidates; returns the smallest
+    /// still-failing input and its assertion message.
+    fn shrink_failure<T, S, C>(&self, first: T, first_msg: String, shrink: &S, check: &C) -> (T, String)
+    where
+        T: Clone + std::fmt::Debug,
+        S: Fn(&T) -> Vec<T>,
+        C: Fn(&T),
+    {
+        let mut current = first;
+        let mut msg = first_msg;
+        let mut probes = 0u32;
+        'outer: loop {
+            for cand in shrink(&current) {
+                probes += 1;
+                if probes > MAX_SHRINK_PROBES {
+                    break 'outer;
+                }
+                if let Err(m) = probe(check, &cand) {
+                    current = cand;
+                    msg = m;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (current, msg)
+    }
+}
+
+// ----------------------------------------------------------------
+// Shrinker building blocks
+// ----------------------------------------------------------------
+
+/// No shrinking.
+pub fn shrink_nothing<T>(_: &T) -> Vec<T> {
+    Vec::new()
+}
+
+/// Halving shrink for vectors: both halves, then (for short inputs)
+/// every leave-one-out variant.
+pub fn shrink_vec<T: Clone>(v: &[T]) -> Vec<Vec<T>> {
+    let n = v.len();
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    if n > 1 {
+        out.push(v[..n / 2].to_vec());
+        out.push(v[n / 2..].to_vec());
+    }
+    if n <= 24 {
+        for i in 0..n {
+            let mut smaller = v.to_vec();
+            smaller.remove(i);
+            out.push(smaller);
+        }
+    } else {
+        out.push(v[1..].to_vec());
+        out.push(v[..n - 1].to_vec());
+    }
+    out
+}
+
+/// Halving shrink for unsigned integers: towards `floor` (usually the
+/// range minimum the generator used).
+pub fn shrink_u64(x: u64, floor: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if x > floor {
+        out.push(floor);
+        let mid = floor + (x - floor) / 2;
+        if mid != floor {
+            out.push(mid);
+        }
+        out.push(x - 1);
+    }
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        // `run` takes Fn closures; count via a Cell.
+        let counter = std::cell::Cell::new(0u32);
+        Prop::new("always_true").cases(17).run(
+            |g| g.range(0u64..100),
+            |&x| shrink_u64(x, 0),
+            |_| counter.set(counter.get() + 1),
+        );
+        count += counter.get();
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal() {
+        let failure = catch_unwind(AssertUnwindSafe(|| {
+            Prop::new("finds_big_values").cases(50).run(
+                |g| g.range(0u64..1000),
+                |&x| shrink_u64(x, 0),
+                |&x| assert!(x < 10, "x too big: {x}"),
+            );
+        }));
+        let msg = payload_message(failure.expect_err("property must fail"));
+        // Greedy halving from any failing value lands exactly on 10.
+        assert!(msg.contains("minimal input: 10"), "{msg}");
+        assert!(msg.contains("RMA_PROP_REPLAY="), "{msg}");
+    }
+
+    #[test]
+    fn vec_shrinker_only_proposes_smaller() {
+        let v: Vec<u32> = (0..30).collect();
+        for cand in shrink_vec(&v) {
+            assert!(cand.len() < v.len());
+        }
+        assert!(shrink_vec::<u32>(&[]).is_empty());
+    }
+
+    #[test]
+    fn same_seed_generates_same_input() {
+        let a = Gen::new(42).vec(1..50, |g| g.range(0u64..1000));
+        let b = Gen::new(42).vec(1..50, |g| g.range(0u64..1000));
+        assert_eq!(a, b);
+    }
+}
