@@ -17,6 +17,23 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> rma-trace CLI smoke test: record -> replay, verdict must match"
+SMOKE_DIR="target/trace-smoke"
+mkdir -p "$SMOKE_DIR"
+SMOKE_CASE=lo2_put_put_inwindow_target_race
+RMA_TRACE=./target/release/rma-trace
+LIVE_VERDICT=$("$RMA_TRACE" record --case "$SMOKE_CASE" \
+    --out "$SMOKE_DIR/smoke.rmatrc" | grep '^verdict:')
+REPLAY_VERDICT=$("$RMA_TRACE" replay "$SMOKE_DIR/smoke.rmatrc" \
+    --store fragmerge | grep '^verdict:')
+"$RMA_TRACE" stat "$SMOKE_DIR/smoke.rmatrc" > /dev/null
+"$RMA_TRACE" diff "$SMOKE_DIR/smoke.rmatrc" "$SMOKE_DIR/smoke.rmatrc" > /dev/null
+if [ "$LIVE_VERDICT" != "$REPLAY_VERDICT" ]; then
+    echo "ERROR: live verdict '$LIVE_VERDICT' != replay verdict '$REPLAY_VERDICT'" >&2
+    exit 1
+fi
+echo "    live == replay: $LIVE_VERDICT"
+
 echo "==> hermeticity check: no external dependency declarations"
 if grep -rn "proptest\|criterion\|crossbeam\|parking_lot\|^rand" \
     Cargo.toml crates/*/Cargo.toml; then

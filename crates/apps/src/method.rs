@@ -5,7 +5,7 @@
 
 use rma_monitor::{Algorithm, AnalyzerCfg, Delivery, OnRace, RmaAnalyzer};
 use rma_must::MustRma;
-use rma_sim::{Monitor, NullMonitor};
+use rma_sim::{Monitor, NullMonitor, Tee};
 use std::sync::Arc;
 
 /// A detection method attached to an application run.
@@ -103,6 +103,15 @@ impl MethodRun {
                 MethodRun { monitor: must.clone(), analyzer: None, must: Some(must) }
             }
         }
+    }
+
+    /// Attaches an extra observer (typically a trace recorder) in front
+    /// of the method's own monitor: the observer sees every hook first,
+    /// then the detector runs. The typed handles keep pointing at the
+    /// detector, so post-run statistics are unaffected by the tee.
+    pub fn observed(mut self, observer: Arc<dyn Monitor>) -> Self {
+        self.monitor = Arc::new(Tee::pair(observer, self.monitor));
+        self
     }
 
     /// Races found by whichever tool ran (empty for the baseline).

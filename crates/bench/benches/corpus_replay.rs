@@ -1,0 +1,148 @@
+//! Corpus-driven detection pipeline bench: replay recorded traces
+//! through the three interval stores (naive full-history, legacy
+//! RMA-Analyzer, fragmentation+merging) and compare offline detection
+//! throughput on identical event streams.
+//!
+//! The live-run benches (fig10/fig11) measure the detectors embedded in
+//! the simulator, where scheduling noise and app work dominate; this
+//! bench isolates *store* cost: the corpus is recorded once, then each
+//! store consumes the exact same events. Alongside the median time, each
+//! trace/store pair reports events/second and the peak node count —
+//! the paper's two axes (overhead and memory).
+//!
+//! The corpus: representative suite cases (racy and clean, put/get/acc
+//! combinations) plus a CFD-Proxy-sim and a MiniVite-sim recording, the
+//! two access patterns of the evaluation (merge-friendly adjacent halo
+//! accesses vs merge-hostile strided attribute accesses). Checked-in
+//! corpus files under `tests/corpus/` are replayed too when present.
+
+use rma_apps::{run_cfd, run_minivite, CfdCfg, Method, MethodRun, MiniViteCfg};
+use rma_substrate::bench::BenchGroup;
+use rma_suite::{find_case, generate_suite, run_case_with_monitor};
+use rma_trace::{replay, Detector, Trace, TraceWriter};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Suite cases covering the racy/clean and remote/local axes.
+const SUITE_CASES: [&str; 3] = [
+    "lo2_put_put_inwindow_target_race",
+    "ll_put_put_inwindow_target_epochs_safe",
+    "ll_get_load_inwindow_origin_race",
+];
+
+fn record_suite(name: &str) -> Trace {
+    let cases = generate_suite();
+    let spec = find_case(&cases, name).unwrap_or_else(|| panic!("unknown suite case {name}"));
+    let writer = Arc::new(TraceWriter::new(name, 0));
+    let out = run_case_with_monitor(&spec, writer.clone());
+    assert!(out.is_clean(), "{name}: recording run panicked");
+    writer.trace()
+}
+
+fn record_cfd() -> Trace {
+    let cfg = CfdCfg {
+        nranks: 4,
+        iterations: 3,
+        halo_cells: 16,
+        interior_cells: 128,
+        neighbors: None,
+        inject_race: false,
+    };
+    let writer = Arc::new(TraceWriter::new("cfd", 0));
+    let method = MethodRun::new(Method::Baseline, cfg.nranks).observed(writer.clone());
+    run_cfd(&cfg, &method);
+    writer.trace()
+}
+
+fn record_minivite() -> Trace {
+    let cfg = MiniViteCfg {
+        nranks: 4,
+        nv: 256,
+        degree: 4,
+        lp_iters: 1,
+        seed: 0xC0FFEE,
+        locality: 16,
+        inject_race: false,
+    };
+    let writer = Arc::new(TraceWriter::new("minivite", 0));
+    let method = MethodRun::new(Method::Baseline, cfg.nranks).observed(writer.clone());
+    run_minivite(&cfg, &method);
+    writer.trace()
+}
+
+/// Checked-in corpus recordings, if the bench runs from the workspace.
+fn checked_in_corpus() -> Vec<(String, Trace)> {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        let corpus = dir.join("tests/corpus");
+        if corpus.is_dir() {
+            let mut out = Vec::new();
+            let Ok(entries) = std::fs::read_dir(&corpus) else { return out };
+            let mut paths: Vec<_> = entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "rmatrc"))
+                .collect();
+            paths.sort();
+            for p in paths {
+                let name = format!(
+                    "corpus/{}",
+                    p.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default()
+                );
+                match std::fs::read(&p).map_err(|_| ()).and_then(|b| {
+                    Trace::decode(&b).map_err(|_| ())
+                }) {
+                    Ok(t) => out.push((name, t)),
+                    Err(()) => eprintln!("skipping unreadable corpus file {}", p.display()),
+                }
+            }
+            return out;
+        }
+        if !dir.pop() {
+            return Vec::new();
+        }
+    }
+}
+
+fn main() {
+    let mut corpus: Vec<(String, Trace)> = SUITE_CASES
+        .iter()
+        .map(|name| (format!("suite/{name}"), record_suite(name)))
+        .collect();
+    corpus.push(("app/cfd".to_string(), record_cfd()));
+    corpus.push(("app/minivite".to_string(), record_minivite()));
+    corpus.extend(checked_in_corpus());
+
+    let mut group = BenchGroup::new("corpus_replay");
+    group.sample_size(10);
+    for (name, trace) in &corpus {
+        let events = trace.event_count();
+        for det in [Detector::Naive, Detector::Legacy, Detector::FragMerge] {
+            let out = replay(trace, det);
+            assert!(out.complete, "{name}: replay incomplete under {}", det.name());
+            eprintln!(
+                "{name}/{}: {events} events, peak {} nodes, {} races",
+                det.name(),
+                out.stats.peak_nodes(),
+                out.races.len(),
+            );
+            group.bench(format!("{name}/{}", det.name()), || {
+                black_box(replay(trace, det).stats.events_processed())
+            });
+        }
+    }
+    let path = group.finish();
+
+    // Events/sec summary derived from the medians just measured.
+    println!("\nthroughput (median):");
+    for (name, trace) in &corpus {
+        let events = trace.event_count() as f64;
+        for det in [Detector::Naive, Detector::Legacy, Detector::FragMerge] {
+            let id = format!("{name}/{}", det.name());
+            if let Some(r) = group.results().iter().find(|r| r.id == id) {
+                println!("{id:<44} {:>12.0} events/s", events / (r.median_ns / 1e9));
+            }
+        }
+    }
+    println!("json: {}", path.display());
+}

@@ -35,6 +35,35 @@ impl StoreStats {
         self.cum_epoch_end_len += len;
         self.len = 0;
     }
+
+    /// Folds another store's statistics into these, for aggregating over
+    /// the per-(rank, window) stores of a whole run. Counters add up;
+    /// `peak_len` reports the largest single store observed (the paper's
+    /// "peak nodes in one BST" metric, not a sum of unrelated peaks).
+    pub fn absorb(&mut self, other: &StoreStats) {
+        self.len += other.len;
+        self.peak_len = self.peak_len.max(other.peak_len);
+        self.recorded += other.recorded;
+        self.races += other.races;
+        self.fragments += other.fragments;
+        self.merges += other.merges;
+        self.epochs += other.epochs;
+        self.cum_epoch_end_len += other.cum_epoch_end_len;
+    }
+
+    /// Dynamic accesses this store has processed (every `record` call,
+    /// whether it inserted, merged, or reported a race). The uniform
+    /// "events processed" counter used by replay throughput reporting.
+    #[inline]
+    pub fn events_processed(&self) -> usize {
+        self.recorded
+    }
+
+    /// Largest node count ever held, the uniform "peak nodes" counter.
+    #[inline]
+    pub fn peak_nodes(&self) -> usize {
+        self.peak_len
+    }
 }
 
 /// A per-(rank, window) store of the current epoch's memory accesses, with

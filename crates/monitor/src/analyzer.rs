@@ -65,7 +65,11 @@ impl Algorithm {
         }
     }
 
-    fn make_store(self) -> Box<dyn AccessStore + Send> {
+    /// Builds one fresh per-(rank, window) store of this algorithm's
+    /// flavour. Public so offline pipelines (trace replay, corpus
+    /// benchmarks) can feed recorded event streams through exactly the
+    /// store the live analyzer would have used.
+    pub fn new_store(self) -> Box<dyn AccessStore + Send> {
         match self {
             Algorithm::Legacy => Box::new(LegacyStore::new()),
             Algorithm::FragMerge => Box::new(FragMergeStore::new()),
@@ -73,6 +77,16 @@ impl Algorithm {
             Algorithm::FullHistory => Box::new(NaiveStore::new()),
             Algorithm::StrideExtension => Box::new(rma_core::StrideMergeStore::new()),
         }
+    }
+
+    /// Aggregated statistics over a set of per-store stats (uniform
+    /// across store flavours — no downcasting).
+    pub fn aggregate_stats(stats: impl IntoIterator<Item = StoreStats>) -> StoreStats {
+        let mut total = StoreStats::default();
+        for s in stats {
+            total.absorb(&s);
+        }
+        total
     }
 }
 
@@ -148,7 +162,7 @@ impl WinDet {
     fn new(nranks: u32, algorithm: Algorithm) -> Self {
         let n = nranks as usize;
         WinDet {
-            stores: (0..n).map(|_| Mutex::new(algorithm.make_store())).collect(),
+            stores: (0..n).map(|_| Mutex::new(algorithm.new_store())).collect(),
             epoch_open: (0..n).map(|_| AtomicBool::new(false)).collect(),
             epoch_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
             sent: (0..n).map(|_| Mutex::new(vec![0; n])).collect(),

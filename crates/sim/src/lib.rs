@@ -46,6 +46,7 @@ mod buf;
 mod comm;
 mod ctx;
 mod event;
+mod tee;
 mod window;
 mod world;
 
@@ -53,6 +54,7 @@ pub use abort::{AbortReason, AbortView};
 pub use buf::{Buf, BufKind};
 pub use ctx::RankCtx;
 pub use event::{HookResult, LocalEvent, Monitor, NullMonitor, RmaDir, RmaEvent};
+pub use tee::Tee;
 pub use window::{AccumOp, WinId};
 pub use world::{RunOutcome, World, WorldCfg};
 

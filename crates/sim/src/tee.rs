@@ -1,0 +1,209 @@
+//! [`Tee`]: fan one instrumentation stream out to several monitors.
+//!
+//! The real MUST infrastructure decouples event *capture* from event
+//! *analysis*: one PMPI interception layer feeds any number of analysis
+//! modules. `Tee` is that hook chain for the simulator — it lets a
+//! detector and a trace recorder (or several detectors) observe the very
+//! same run, each receiving every hook in attachment order.
+
+use crate::abort::AbortView;
+use crate::event::{HookResult, LocalEvent, Monitor, RmaEvent};
+use crate::window::WinId;
+use rma_core::{Addr, RankId};
+use std::sync::Arc;
+
+/// A monitor that forwards every hook to an ordered list of monitors.
+///
+/// Fallible hooks (`on_local`, `on_rma`, `on_unlock_all`) call *every*
+/// attached monitor — a race verdict from one must not starve another of
+/// the event (a recorder tee'd after a collecting detector still sees
+/// the access) — and then report the first error, so abort semantics are
+/// those of the earliest-attached detector that objected.
+pub struct Tee {
+    monitors: Vec<Arc<dyn Monitor>>,
+}
+
+impl Tee {
+    /// A tee over `monitors`, called in the given order.
+    pub fn new(monitors: Vec<Arc<dyn Monitor>>) -> Self {
+        Tee { monitors }
+    }
+
+    /// Convenience: a two-way tee (the common recorder + detector pair).
+    pub fn pair(first: Arc<dyn Monitor>, second: Arc<dyn Monitor>) -> Self {
+        Tee::new(vec![first, second])
+    }
+
+    fn fanout_fallible(&self, mut f: impl FnMut(&dyn Monitor) -> HookResult) -> HookResult {
+        let mut verdict = Ok(());
+        for m in &self.monitors {
+            let r = f(m.as_ref());
+            if verdict.is_ok() {
+                verdict = r;
+            }
+        }
+        verdict
+    }
+}
+
+impl Monitor for Tee {
+    fn on_world_start(&self, nranks: u32) {
+        for m in &self.monitors {
+            m.on_world_start(nranks);
+        }
+    }
+
+    fn on_abort_view(&self, view: AbortView) {
+        for m in &self.monitors {
+            m.on_abort_view(view.clone());
+        }
+    }
+
+    fn on_world_end(&self) {
+        for m in &self.monitors {
+            m.on_world_end();
+        }
+    }
+
+    fn on_rank_finish(&self, rank: RankId) {
+        for m in &self.monitors {
+            m.on_rank_finish(rank);
+        }
+    }
+
+    fn on_local(&self, ev: &LocalEvent) -> HookResult {
+        self.fanout_fallible(|m| m.on_local(ev))
+    }
+
+    fn on_rma(&self, ev: &RmaEvent) -> HookResult {
+        self.fanout_fallible(|m| m.on_rma(ev))
+    }
+
+    fn on_win_allocate(&self, rank: RankId, win: WinId, base: Addr, len: u64) {
+        for m in &self.monitors {
+            m.on_win_allocate(rank, win, base, len);
+        }
+    }
+
+    fn on_win_free(&self, rank: RankId, win: WinId) {
+        for m in &self.monitors {
+            m.on_win_free(rank, win);
+        }
+    }
+
+    fn on_lock_all(&self, rank: RankId, win: WinId) {
+        for m in &self.monitors {
+            m.on_lock_all(rank, win);
+        }
+    }
+
+    fn on_unlock_all(&self, rank: RankId, win: WinId) -> HookResult {
+        self.fanout_fallible(|m| m.on_unlock_all(rank, win))
+    }
+
+    fn on_flush_all(&self, rank: RankId, win: WinId) {
+        for m in &self.monitors {
+            m.on_flush_all(rank, win);
+        }
+    }
+
+    fn on_flush(&self, rank: RankId, win: WinId, target: RankId) {
+        for m in &self.monitors {
+            m.on_flush(rank, win, target);
+        }
+    }
+
+    fn on_fence(&self, rank: RankId, win: WinId) {
+        for m in &self.monitors {
+            m.on_fence(rank, win);
+        }
+    }
+
+    fn on_fence_last(&self, win: WinId) {
+        for m in &self.monitors {
+            m.on_fence_last(win);
+        }
+    }
+
+    fn on_barrier(&self, rank: RankId) {
+        for m in &self.monitors {
+            m.on_barrier(rank);
+        }
+    }
+
+    fn on_barrier_last(&self) {
+        for m in &self.monitors {
+            m.on_barrier_last();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NullMonitor;
+    use rma_core::{AccessKind, Interval, MemAccess, RaceReport, SrcLoc};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counting {
+        locals: AtomicUsize,
+        fail_local: bool,
+    }
+
+    impl Counting {
+        fn new(fail_local: bool) -> Self {
+            Counting { locals: AtomicUsize::new(0), fail_local }
+        }
+    }
+
+    impl Monitor for Counting {
+        fn on_local(&self, ev: &LocalEvent) -> HookResult {
+            self.locals.fetch_add(1, Ordering::Relaxed);
+            if self.fail_local {
+                let acc = MemAccess::new(ev.interval, ev.kind, ev.rank, ev.loc);
+                return Err(Box::new(RaceReport::new(acc, acc)));
+            }
+            Ok(())
+        }
+    }
+
+    fn local_ev() -> LocalEvent {
+        LocalEvent {
+            rank: RankId(0),
+            interval: Interval::new(0, 7),
+            kind: AccessKind::LocalRead,
+            on_stack: false,
+            tracked: true,
+            loc: SrcLoc::here(),
+        }
+    }
+
+    #[test]
+    fn every_monitor_sees_every_event() {
+        let a = Arc::new(Counting::new(false));
+        let b = Arc::new(Counting::new(false));
+        let tee = Tee::pair(a.clone(), b.clone());
+        assert!(tee.on_local(&local_ev()).is_ok());
+        assert_eq!(a.locals.load(Ordering::Relaxed), 1);
+        assert_eq!(b.locals.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn first_error_wins_but_later_monitors_still_run() {
+        let failing = Arc::new(Counting::new(true));
+        let recorder = Arc::new(Counting::new(false));
+        let tee = Tee::pair(failing, recorder.clone());
+        assert!(tee.on_local(&local_ev()).is_err());
+        // The recorder behind the failing detector still saw the event.
+        assert_eq!(recorder.locals.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_and_null_tees_are_inert() {
+        let tee = Tee::new(vec![Arc::new(NullMonitor), Arc::new(NullMonitor)]);
+        assert!(tee.on_local(&local_ev()).is_ok());
+        tee.on_barrier(RankId(0));
+        tee.on_barrier_last();
+        assert!(Tee::new(Vec::new()).on_local(&local_ev()).is_ok());
+    }
+}

@@ -113,6 +113,17 @@ fn case_body(ctx: &mut RankCtx<'_>, spec: &CaseSpec) {
     ctx.barrier();
 }
 
+/// Runs one case's SPMD body under an arbitrary monitor (for recording,
+/// teeing, or driving detectors not covered by [`Tool`]). Returns the
+/// world outcome so callers can check cleanliness themselves.
+pub fn run_case_with_monitor(
+    spec: &CaseSpec,
+    monitor: Arc<dyn Monitor>,
+) -> rma_sim::RunOutcome<()> {
+    let cfg = WorldCfg::with_ranks(SUITE_RANKS);
+    World::run(cfg, monitor, |ctx| case_body(ctx, spec))
+}
+
 /// Runs one case under one tool; `true` when the tool reported a race.
 pub fn run_case(spec: &CaseSpec, tool: Tool) -> bool {
     let cfg = WorldCfg::with_ranks(SUITE_RANKS);

@@ -1,0 +1,329 @@
+//! `rma-trace` — record, replay, inspect and benchmark binary RMA event
+//! traces.
+//!
+//! ```text
+//! rma-trace record  (--case NAME | --app bfs|cfd|minivite) --out FILE [--race]
+//! rma-trace replay  FILE [--store naive|legacy|fragmerge|must]
+//! rma-trace stat    FILE
+//! rma-trace diff    FILE1 FILE2
+//! rma-trace bench   FILE...
+//! ```
+//!
+//! `record` runs the program live with the frag-merge analyzer tee'd
+//! behind a [`TraceWriter`] and prints the live verdict; `replay` prints
+//! the offline verdict in the same canonical format, so the two lines
+//! compare byte-for-byte (this is the round-trip check `ci.sh` gates on).
+
+use rma_apps::{run_bfs, run_cfd, run_minivite, BfsCfg, CfdCfg, Method, MethodRun, MiniViteCfg};
+use rma_monitor::{Algorithm, AnalyzerCfg, Delivery, OnRace, RmaAnalyzer};
+use rma_sim::{Monitor, Tee};
+use rma_substrate::bench::BenchGroup;
+use rma_suite::{find_case, generate_suite, run_case_with_monitor};
+use rma_trace::{replay, verdict_line, Detector, Trace, TraceEvent, TraceWriter};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+const USAGE: &str = "usage:
+  rma-trace record  (--case NAME | --app bfs|cfd|minivite) --out FILE [--race]
+  rma-trace replay  FILE [--store naive|legacy|fragmerge|must]
+  rma-trace stat    FILE
+  rma-trace diff    FILE1 FILE2
+  rma-trace bench   FILE...";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("stat") => cmd_stat(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pulls the value after `flag` out of `args`, if present.
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value\n{USAGE}"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    Trace::decode(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let case = take_opt(&mut args, "--case")?;
+    let app = take_opt(&mut args, "--app")?;
+    let out = take_opt(&mut args, "--out")?.ok_or_else(|| format!("--out required\n{USAGE}"))?;
+    let race = take_flag(&mut args, "--race");
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
+    }
+
+    let analyzer = Arc::new(RmaAnalyzer::new(AnalyzerCfg {
+        algorithm: Algorithm::FragMerge,
+        on_race: OnRace::Collect,
+        delivery: Delivery::Direct,
+    }));
+    let (writer, clean) = match (case.as_deref(), app.as_deref()) {
+        (Some(name), None) => {
+            let cases = generate_suite();
+            let spec = find_case(&cases, name)
+                .ok_or_else(|| format!("unknown suite case {name:?} (see rma-suite)"))?;
+            let writer = Arc::new(TraceWriter::new(name, 0x5EED));
+            let tee: Arc<dyn Monitor> =
+                Arc::new(Tee::pair(writer.clone(), analyzer.clone()));
+            let outcome = run_case_with_monitor(&spec, tee);
+            (writer, outcome.is_clean())
+        }
+        (None, Some(app)) => {
+            let writer = Arc::new(TraceWriter::new(app, 0x5EED));
+            let method =
+                MethodRun::new(Method::Contribution, 4).observed(writer.clone());
+            match app {
+                "bfs" => {
+                    let cfg = BfsCfg { nranks: 4, nv: 256, degree: 4, root: 0, seed: 0xBF5 };
+                    run_bfs(&cfg, &method);
+                }
+                "cfd" => {
+                    let cfg = CfdCfg {
+                        nranks: 4,
+                        iterations: 3,
+                        halo_cells: 8,
+                        neighbors: None,
+                        inject_race: race,
+                        interior_cells: 64,
+                    };
+                    run_cfd(&cfg, &method);
+                }
+                "minivite" => {
+                    let cfg = MiniViteCfg {
+                        nranks: 4,
+                        nv: 400,
+                        degree: 4,
+                        lp_iters: 1,
+                        seed: 0xC0FFEE,
+                        locality: 16,
+                        inject_race: race,
+                    };
+                    run_minivite(&cfg, &method);
+                }
+                other => return Err(format!("unknown app {other:?}\n{USAGE}")),
+            }
+            // MethodRun keeps the analyzer handle; fetch its races below.
+            let races = method.races();
+            let trace = writer.trace();
+            let bytes = trace.encode();
+            std::fs::write(&out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+            println!("recorded {} events ({} bytes) from app {app} -> {out}",
+                trace.event_count(), bytes.len());
+            println!("{}", verdict_line(&races));
+            return Ok(ExitCode::SUCCESS);
+        }
+        _ => return Err(format!("need exactly one of --case / --app\n{USAGE}")),
+    };
+    let trace = writer.trace();
+    let bytes = trace.encode();
+    std::fs::write(&out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "recorded {} events ({} bytes, clean={clean}) -> {out}",
+        trace.event_count(),
+        bytes.len()
+    );
+    println!("{}", verdict_line(&analyzer.races()));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let store = take_opt(&mut args, "--store")?.unwrap_or_else(|| "fragmerge".into());
+    let detector = Detector::parse(&store)
+        .ok_or_else(|| format!("unknown store {store:?} (naive|legacy|fragmerge|must)"))?;
+    let [path] = args.as_slice() else {
+        return Err(format!("replay takes one FILE\n{USAGE}"));
+    };
+    let trace = load_trace(path)?;
+    let t0 = Instant::now();
+    let outcome = replay(&trace, detector);
+    let secs = t0.elapsed().as_secs_f64();
+    let rate = if secs > 0.0 { outcome.events as f64 / secs } else { f64::INFINITY };
+    println!(
+        "replayed {} events through {} in {:.3} ms ({:.0} events/s)",
+        outcome.events,
+        detector.name(),
+        secs * 1e3,
+        rate
+    );
+    println!(
+        "stats: peak_nodes={} processed={} epochs={} fragments={} merges={} unsupported_flushes={}",
+        outcome.stats.peak_nodes(),
+        outcome.stats.events_processed(),
+        outcome.stats.epochs,
+        outcome.stats.fragments,
+        outcome.stats.merges,
+        outcome.unsupported_flushes,
+    );
+    if !outcome.complete {
+        println!("warning: trace incomplete (ranks parked at an unmatched collective)");
+    }
+    println!("{}", verdict_line(&outcome.races));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_stat(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err(format!("stat takes one FILE\n{USAGE}"));
+    };
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let trace = Trace::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let marks = Trace::epoch_marks(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let h = &trace.header;
+    println!(
+        "{path}: format v{} app={:?} nranks={} seed={:#x} ({} bytes)",
+        h.version, h.app, h.nranks, h.seed, bytes.len()
+    );
+    let mut counts = [0usize; 11];
+    for (rank, stream) in trace.streams.iter().enumerate() {
+        let epochs = marks.iter().filter(|m| m.rank == rank as u32).count();
+        println!("  rank {rank}: {} events, {} epoch seek points", stream.len(), epochs);
+        for ev in stream {
+            let slot = match ev {
+                TraceEvent::Local { .. } => 0,
+                TraceEvent::Rma { .. } => 1,
+                TraceEvent::WinAllocate { .. } => 2,
+                TraceEvent::WinFree { .. } => 3,
+                TraceEvent::LockAll { .. } => 4,
+                TraceEvent::UnlockAll { .. } => 5,
+                TraceEvent::FlushAll { .. } => 6,
+                TraceEvent::Flush { .. } => 7,
+                TraceEvent::Fence { .. } => 8,
+                TraceEvent::Barrier => 9,
+                TraceEvent::Finish => 10,
+            };
+            counts[slot] += 1;
+        }
+    }
+    let names = [
+        "local", "rma", "win_allocate", "win_free", "lock_all", "unlock_all", "flush_all",
+        "flush", "fence", "barrier", "finish",
+    ];
+    let summary: Vec<String> = names
+        .iter()
+        .zip(counts)
+        .filter(|&(_, c)| c > 0)
+        .map(|(n, c)| format!("{n}={c}"))
+        .collect();
+    println!("  totals: {} events [{}]", trace.event_count(), summary.join(" "));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let [a_path, b_path] = args else {
+        return Err(format!("diff takes two FILEs\n{USAGE}"));
+    };
+    let a = load_trace(a_path)?;
+    let b = load_trace(b_path)?;
+    let mut differs = false;
+    if a.header != b.header {
+        println!("headers differ: {:?} vs {:?}", a.header, b.header);
+        differs = true;
+    }
+    let nranks = a.streams.len().max(b.streams.len());
+    for r in 0..nranks {
+        let (sa, sb) = (a.streams.get(r), b.streams.get(r));
+        match (sa, sb) {
+            (Some(sa), Some(sb)) => {
+                if let Some(i) = (0..sa.len().max(sb.len()))
+                    .find(|&i| sa.get(i) != sb.get(i))
+                {
+                    println!(
+                        "rank {r}: first divergence at event {i}: {:?} vs {:?}",
+                        sa.get(i),
+                        sb.get(i)
+                    );
+                    differs = true;
+                }
+            }
+            _ => {
+                println!("rank {r}: present in only one trace");
+                differs = true;
+            }
+        }
+    }
+    let va = verdict_line(&replay(&a, Detector::FragMerge).races);
+    let vb = verdict_line(&replay(&b, Detector::FragMerge).races);
+    if va != vb {
+        println!("verdicts differ:\n  {a_path}: {va}\n  {b_path}: {vb}");
+        differs = true;
+    }
+    if differs {
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!("traces identical ({} events) — {va}", a.event_count());
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
+    if args.is_empty() {
+        return Err(format!("bench takes one or more FILEs\n{USAGE}"));
+    }
+    let mut group = BenchGroup::new("trace_replay");
+    group.sample_size(10);
+    for path in args {
+        let trace = load_trace(path)?;
+        let label = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path.as_str())
+            .to_string();
+        for det in Detector::ALL {
+            if det == Detector::Must {
+                // MUST spawns a worker thread per replay; too heavy for a
+                // per-iteration benchmark body, and it has no store to
+                // measure. The store detectors are the comparison the
+                // paper's Table 4 makes.
+                continue;
+            }
+            let outcome = replay(&trace, det);
+            eprintln!(
+                "{label}/{}: {} events, peak_nodes={}, {} race(s)",
+                det.name(),
+                outcome.events,
+                outcome.stats.peak_nodes(),
+                outcome.races.len()
+            );
+            group.bench(format!("{label}/{}", det.name()), || replay(&trace, det).events);
+        }
+    }
+    group.finish();
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,105 @@
+//! LEB128 variable-length integers and zigzag signed mapping — the
+//! primitive encoding layer of the trace format.
+
+use crate::TraceError;
+
+/// Appends `v` as an unsigned LEB128 varint (1–10 bytes).
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint at `*pos`, advancing it.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(TraceError::Truncated)?;
+        *pos += 1;
+        let payload = u64::from(byte & 0x7f);
+        if shift == 63 && payload > 1 {
+            return Err(TraceError::Corrupt("varint overflows u64"));
+        }
+        if shift > 63 {
+            return Err(TraceError::Corrupt("varint longer than 10 bytes"));
+        }
+        v |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-maps a signed value to an unsigned one so small deltas of
+/// either sign stay small on the wire.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a zigzag-coded signed varint.
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+/// Reads a zigzag-coded signed varint.
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Result<i64, TraceError> {
+    Ok(unzigzag(read_u64(buf, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn i64_roundtrip_edges() {
+        for v in [0i64, 1, -1, 63, -64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn truncated_and_overlong_are_errors() {
+        let mut pos = 0;
+        assert!(matches!(read_u64(&[0x80], &mut pos), Err(TraceError::Truncated)));
+        let eleven = [0xff; 11];
+        let mut pos = 0;
+        assert!(read_u64(&eleven, &mut pos).is_err());
+    }
+}

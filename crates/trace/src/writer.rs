@@ -1,0 +1,168 @@
+//! [`TraceWriter`]: a [`Monitor`] that records every hook of a live run
+//! into per-rank event streams.
+//!
+//! The writer is passive — it never reports races — so it composes with
+//! any detector through [`rma_sim::Tee`] (recorder first, detector
+//! second): the same run is analyzed live *and* captured for offline
+//! replay. Hooks run on the acting rank's thread, so each rank appends
+//! to its own stream under a per-rank lock; cross-rank order is not
+//! recorded (it is not observable to a PMPI wrapper either) — the replay
+//! engine reconstructs a legal order from the synchronization records.
+
+use crate::format::TraceEvent;
+use crate::trace::{Trace, TraceHeader, FORMAT_VERSION};
+use rma_core::{AccessKind, RankId};
+use rma_sim::{HookResult, LocalEvent, Monitor, RmaEvent, WinId};
+use rma_substrate::sync::{Mutex, RwLock};
+
+/// Records a live run into a [`Trace`]. Attach (usually inside a
+/// [`rma_sim::Tee`]) to [`rma_sim::World::run`], then call
+/// [`TraceWriter::trace`] after the world ends.
+pub struct TraceWriter {
+    app: String,
+    seed: u64,
+    streams: RwLock<Vec<Mutex<Vec<TraceEvent>>>>,
+}
+
+impl TraceWriter {
+    /// A writer labelling its trace with `app` (program name) and the
+    /// world's `seed`.
+    pub fn new(app: impl Into<String>, seed: u64) -> Self {
+        TraceWriter { app: app.into(), seed, streams: RwLock::new(Vec::new()) }
+    }
+
+    fn push(&self, rank: RankId, ev: TraceEvent) {
+        let streams = self.streams.read();
+        if let Some(stream) = streams.get(rank.index()) {
+            stream.lock().push(ev);
+        }
+    }
+
+    /// The recorded trace (clones the streams; callable once the world
+    /// has ended — or mid-run for a partial snapshot).
+    pub fn trace(&self) -> Trace {
+        let streams: Vec<Vec<TraceEvent>> =
+            self.streams.read().iter().map(|s| s.lock().clone()).collect();
+        Trace {
+            header: TraceHeader {
+                version: FORMAT_VERSION,
+                nranks: streams.len() as u32,
+                seed: self.seed,
+                app: self.app.clone(),
+            },
+            streams,
+        }
+    }
+}
+
+impl Monitor for TraceWriter {
+    fn on_world_start(&self, nranks: u32) {
+        let mut streams = self.streams.write();
+        streams.clear();
+        for _ in 0..nranks {
+            streams.push(Mutex::new(Vec::new()));
+        }
+    }
+
+    fn on_rank_finish(&self, rank: RankId) {
+        self.push(rank, TraceEvent::Finish);
+    }
+
+    fn on_local(&self, ev: &LocalEvent) -> HookResult {
+        self.push(
+            ev.rank,
+            TraceEvent::Local {
+                interval: ev.interval,
+                write: ev.kind == AccessKind::LocalWrite,
+                on_stack: ev.on_stack,
+                tracked: ev.tracked,
+                loc: ev.loc,
+            },
+        );
+        Ok(())
+    }
+
+    fn on_rma(&self, ev: &RmaEvent) -> HookResult {
+        self.push(
+            ev.origin,
+            TraceEvent::Rma {
+                dir: ev.dir,
+                target: ev.target,
+                win: ev.win,
+                origin_interval: ev.origin_interval,
+                target_interval: ev.target_interval,
+                origin_on_stack: ev.origin_on_stack,
+                loc: ev.loc,
+            },
+        );
+        Ok(())
+    }
+
+    fn on_win_allocate(&self, rank: RankId, win: WinId, base: u64, len: u64) {
+        self.push(rank, TraceEvent::WinAllocate { win, base, len });
+    }
+
+    fn on_win_free(&self, rank: RankId, win: WinId) {
+        self.push(rank, TraceEvent::WinFree { win });
+    }
+
+    fn on_lock_all(&self, rank: RankId, win: WinId) {
+        self.push(rank, TraceEvent::LockAll { win });
+    }
+
+    fn on_unlock_all(&self, rank: RankId, win: WinId) -> HookResult {
+        self.push(rank, TraceEvent::UnlockAll { win });
+        Ok(())
+    }
+
+    fn on_flush_all(&self, rank: RankId, win: WinId) {
+        self.push(rank, TraceEvent::FlushAll { win });
+    }
+
+    fn on_flush(&self, rank: RankId, win: WinId, target: RankId) {
+        self.push(rank, TraceEvent::Flush { win, target });
+    }
+
+    fn on_fence(&self, rank: RankId, win: WinId) {
+        self.push(rank, TraceEvent::Fence { win });
+    }
+
+    fn on_barrier(&self, rank: RankId) {
+        self.push(rank, TraceEvent::Barrier);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rma_sim::{World, WorldCfg};
+    use std::sync::Arc;
+
+    #[test]
+    fn records_a_two_rank_epoch() {
+        let writer = Arc::new(TraceWriter::new("unit", 7));
+        let out = World::run(WorldCfg::with_ranks(2), writer.clone(), |ctx| {
+            let win = ctx.win_allocate(64);
+            let buf = ctx.alloc(8);
+            ctx.win_lock_all(win);
+            if ctx.rank() == RankId(0) {
+                ctx.put(&buf, 0, 8, RankId(1), 0, win);
+            }
+            ctx.win_unlock_all(win);
+            ctx.barrier();
+        });
+        assert!(out.is_clean());
+        let trace = writer.trace();
+        assert_eq!(trace.header.nranks, 2);
+        assert_eq!(trace.header.app, "unit");
+        // Rank 0: alloc, barrier (win_create), lock, rma, unlock, barrier, finish.
+        let s0 = &trace.streams[0];
+        assert!(s0.iter().any(|e| matches!(e, TraceEvent::Rma { .. })));
+        assert!(matches!(s0.last(), Some(TraceEvent::Finish)));
+        // Rank 1 issued no RMA.
+        assert!(!trace.streams[1].iter().any(|e| matches!(e, TraceEvent::Rma { .. })));
+        // And the trace round-trips through the container.
+        let bytes = trace.encode();
+        assert_eq!(Trace::decode(&bytes).unwrap(), trace);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property: arbitrary event streams survive encode → decode losslessly,
+//! including empty epochs, zero-length (point) intervals and accesses at
+//! the very top of the address space.
+
+use rma_core::{Interval, SrcLoc};
+use rma_sim::{AccumOp, RankId, RmaDir, WinId};
+use rma_substrate::prop::{shrink_vec, Gen, Prop};
+use rma_trace::{Trace, TraceEvent, TraceHeader, FORMAT_VERSION};
+
+const FILES: [&str; 3] = ["gen/a.c", "gen/b.c", "gen/deep/nested/path/file.rs"];
+
+fn gen_interval(g: &mut Gen) -> Interval {
+    match g.range(0u32..4) {
+        // Zero-length (single-address) intervals.
+        0 => Interval::point(g.u64_any()),
+        // Accesses hugging the top of the address space.
+        1 => {
+            let span = u64::from(g.range(0u32..64));
+            Interval::new(u64::MAX - span, u64::MAX)
+        }
+        // Small typical accesses.
+        2 => {
+            let lo = u64::from(g.range(0u32..4096));
+            Interval::sized(lo, u64::from(g.range(1u32..64)))
+        }
+        // Anywhere, any small size.
+        _ => {
+            let lo = g.u64_any() >> 1;
+            Interval::sized(lo, u64::from(g.range(1u32..1024)))
+        }
+    }
+}
+
+fn gen_loc(g: &mut Gen) -> SrcLoc {
+    let file = FILES[g.range(0usize..FILES.len())];
+    let line = if g.bool() { g.range(1u32..5000) } else { u32::MAX };
+    SrcLoc::synthetic(file, line)
+}
+
+fn gen_dir(g: &mut Gen) -> RmaDir {
+    let op = |g: &mut Gen| match g.range(0u32..4) {
+        0 => AccumOp::Sum,
+        1 => AccumOp::Max,
+        2 => AccumOp::Replace,
+        _ => AccumOp::Bor,
+    };
+    match g.range(0u32..4) {
+        0 => RmaDir::Put,
+        1 => RmaDir::Get,
+        2 => RmaDir::Accum(op(g)),
+        _ => RmaDir::FetchAccum(op(g)),
+    }
+}
+
+fn gen_event(g: &mut Gen) -> TraceEvent {
+    let win = WinId(g.range(0u32..4));
+    match g.range(0u32..12) {
+        0..=2 => TraceEvent::Local {
+            interval: gen_interval(g),
+            write: g.bool(),
+            on_stack: g.bool(),
+            tracked: g.bool(),
+            loc: gen_loc(g),
+        },
+        3..=4 => TraceEvent::Rma {
+            dir: gen_dir(g),
+            target: RankId(g.range(0u32..8)),
+            win,
+            origin_interval: gen_interval(g),
+            target_interval: gen_interval(g),
+            origin_on_stack: g.bool(),
+            loc: gen_loc(g),
+        },
+        5 => TraceEvent::WinAllocate { win, base: g.u64_any(), len: g.u64_any() },
+        6 => TraceEvent::WinFree { win },
+        // Empty epochs arise naturally when LockAll/UnlockAll pairs (or
+        // consecutive UnlockAlls) are generated with no accesses between.
+        7 => TraceEvent::LockAll { win },
+        8 => TraceEvent::UnlockAll { win },
+        9 => TraceEvent::FlushAll { win },
+        10 => TraceEvent::Flush { win, target: RankId(g.range(0u32..8)) },
+        _ => TraceEvent::Fence { win },
+    }
+}
+
+fn gen_trace(g: &mut Gen) -> Trace {
+    let nranks = g.range(1u32..5);
+    let streams = (0..nranks)
+        .map(|_| {
+            let n = g.range(0usize..80);
+            let mut evs: Vec<TraceEvent> = (0..n).map(|_| gen_event(g)).collect();
+            if g.bool() {
+                evs.push(TraceEvent::Barrier);
+                evs.push(TraceEvent::Finish);
+            }
+            evs
+        })
+        .collect();
+    Trace {
+        header: TraceHeader {
+            version: FORMAT_VERSION,
+            nranks,
+            seed: g.u64_any(),
+            app: "prop".to_string(),
+        },
+        streams,
+    }
+}
+
+#[test]
+fn random_event_streams_roundtrip_losslessly() {
+    Prop::new("random_event_streams_roundtrip_losslessly").cases(200).run(
+        gen_trace,
+        |t| {
+            // Shrink by dropping events from streams (keeps the header).
+            let mut out = Vec::new();
+            for (r, stream) in t.streams.iter().enumerate() {
+                for smaller in shrink_vec(stream) {
+                    let mut cand = t.clone();
+                    cand.streams[r] = smaller;
+                    out.push(cand);
+                }
+            }
+            out
+        },
+        |t| {
+            let bytes = t.encode();
+            let back = Trace::decode(&bytes).expect("decode must succeed");
+            assert_eq!(&back, t, "decode(encode(t)) != t");
+        },
+    );
+}
+
+#[test]
+fn epoch_index_matches_full_decode_on_random_traces() {
+    Prop::new("epoch_index_matches_full_decode_on_random_traces").cases(50).run(
+        gen_trace,
+        rma_substrate::prop::shrink_nothing,
+        |t| {
+            let bytes = t.encode();
+            let marks = Trace::epoch_marks(&bytes).expect("index must parse");
+            for rank in 0..t.header.nranks {
+                let rank_marks: Vec<_> =
+                    marks.iter().filter(|m| m.rank == rank).collect();
+                for (k, m) in rank_marks.iter().enumerate() {
+                    let seeked = Trace::decode_from_epoch(&bytes, rank, k)
+                        .expect("seek decode must succeed");
+                    let full = &t.streams[rank as usize][m.event_idx as usize..];
+                    assert_eq!(seeked.as_slice(), full, "seek point {k} of rank {rank}");
+                }
+            }
+        },
+    );
+}

@@ -13,7 +13,9 @@
 //!   runtime;
 //! * [`must`] (`rma-must`) — the MUST-RMA-like baseline detector;
 //! * [`suite`] (`rma-suite`) — the generated validation microbenchmarks;
-//! * [`apps`] (`rma-apps`) — MiniVite-sim and CFD-Proxy-sim.
+//! * [`apps`] (`rma-apps`) — MiniVite-sim and CFD-Proxy-sim;
+//! * [`trace`] (`rma-trace`) — binary trace capture, offline replay, and
+//!   the corpus-driven detection pipeline (`rma-trace` CLI).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use rma_monitor as monitor;
 pub use rma_must as must;
 pub use rma_sim as sim;
 pub use rma_suite as suite;
+pub use rma_trace as trace;
 
 /// The commonly used types in one import.
 pub mod prelude {
@@ -59,4 +62,5 @@ pub mod prelude {
     pub use rma_must::MustRma;
     pub use rma_sim::{Buf, Monitor, NullMonitor, RankCtx, RunOutcome, WinId, World, WorldCfg};
     pub use rma_suite::{generate_suite, run_case, Tool};
+    pub use rma_trace::{replay, Detector, Trace, TraceWriter};
 }
