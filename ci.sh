@@ -34,6 +34,49 @@ if [ "$LIVE_VERDICT" != "$REPLAY_VERDICT" ]; then
 fi
 echo "    live == replay: $LIVE_VERDICT"
 
+echo "==> chaos sweep: 16 seeded fault scenarios, all structured"
+# `timeout` guards the guarantee under test: a wedged sweep is a bug,
+# not something to wait out. (Busybox/coreutils both ship timeout.)
+timeout 300 ./target/release/rma-chaos --seeds 16 --watchdog-ms 2000
+
+echo "==> salvage round-trip: truncate mid-epoch -> salvage -> replay prefix"
+# Record a two-epoch corpus case, tear off the trailer plus part of the
+# last stream, then recover: salvage must keep at least one complete
+# epoch, and the salvaged file must replay to the same verdict as
+# `replay --tolerate-truncation` on the torn bytes directly. The case is
+# race-free in both epochs, so any recovered prefix replays clean.
+EPOCH_CASE=ll_put_put_inwindow_target_epochs_safe
+"$RMA_TRACE" record --case "$EPOCH_CASE" --out "$SMOKE_DIR/epochs.rmatrc" > /dev/null
+EPOCH_BYTES=$(wc -c < "$SMOKE_DIR/epochs.rmatrc")
+for CUT in 40 50; do
+    head -c $((EPOCH_BYTES - CUT)) "$SMOKE_DIR/epochs.rmatrc" > "$SMOKE_DIR/torn.rmatrc"
+    if "$RMA_TRACE" replay "$SMOKE_DIR/torn.rmatrc" > /dev/null 2>&1; then
+        echo "ERROR: torn trace must not replay without --tolerate-truncation" >&2
+        exit 1
+    fi
+    SALVAGE_OUT=$(timeout 60 "$RMA_TRACE" salvage "$SMOKE_DIR/torn.rmatrc" \
+        --out "$SMOKE_DIR/salvaged.rmatrc")
+    SALVAGE_LINE=$(printf '%s\n' "$SALVAGE_OUT" | head -n 1)
+    case "$SALVAGE_LINE" in
+        *"across 0 complete"*)
+            echo "ERROR: cut $CUT recovered no epochs: $SALVAGE_LINE" >&2
+            exit 1 ;;
+    esac
+    SALVAGE_VERDICT=$(timeout 60 "$RMA_TRACE" replay "$SMOKE_DIR/salvaged.rmatrc" \
+        --store fragmerge | grep '^verdict:')
+    TOLERANT_VERDICT=$(timeout 60 "$RMA_TRACE" replay "$SMOKE_DIR/torn.rmatrc" \
+        --store fragmerge --tolerate-truncation 2> /dev/null | grep '^verdict:')
+    if [ "$SALVAGE_VERDICT" != "$TOLERANT_VERDICT" ]; then
+        echo "ERROR: salvage verdict '$SALVAGE_VERDICT' != tolerant replay '$TOLERANT_VERDICT'" >&2
+        exit 1
+    fi
+    if [ "$SALVAGE_VERDICT" != "verdict: clean" ]; then
+        echo "ERROR: race-free prefix replayed racy: $SALVAGE_VERDICT" >&2
+        exit 1
+    fi
+    echo "    cut $CUT: $SALVAGE_LINE"
+done
+
 echo "==> hermeticity check: no external dependency declarations"
 if grep -rn "proptest\|criterion\|crossbeam\|parking_lot\|^rand" \
     Cargo.toml crates/*/Cargo.toml; then

@@ -88,6 +88,7 @@ impl MethodRun {
                     algorithm,
                     on_race: if abort { OnRace::Abort } else { OnRace::Collect },
                     delivery: Delivery::Direct,
+                    node_budget: None,
                 }));
                 MethodRun {
                     monitor: analyzer.clone(),

@@ -42,6 +42,10 @@ pub struct FragMergeStore {
     tree: Avl,
     stats: StoreStats,
     merge_enabled: bool,
+    /// Node-count cap for graceful degradation under memory pressure.
+    /// When an insertion pushes the tree past the cap, stored accesses
+    /// are conservatively coalesced (see [`FragMergeStore::with_budget`]).
+    budget: Option<usize>,
     /// Scratch buffers reused across insertions to keep the hot path
     /// allocation-free once warmed up.
     inter: Vec<MemAccess>,
@@ -61,6 +65,7 @@ impl FragMergeStore {
             tree: Avl::new(),
             stats: StoreStats::default(),
             merge_enabled: true,
+            budget: None,
             inter: Vec::new(),
             frags: Vec::new(),
         }
@@ -69,6 +74,70 @@ impl FragMergeStore {
     /// An empty store running fragmentation only (ablation).
     pub fn without_merging() -> Self {
         FragMergeStore { merge_enabled: false, ..Self::new() }
+    }
+
+    /// An empty store with a node budget: whenever an insertion pushes
+    /// the node count past `cap` (clamped to at least 2), stored accesses
+    /// are coalesced down to roughly `cap / 2` nodes by fusing runs of
+    /// neighbouring intervals into their bounding interval with the
+    /// conservative access type `RMA_Write`.
+    ///
+    /// This is the graceful-degradation mode for memory-constrained runs.
+    /// The trade is one-sided by construction: a coalesced node covers a
+    /// superset of the addresses of its members and `RMA_Write` conflicts
+    /// with every access kind, so any race the exact store would report is
+    /// still reported (no false negatives) — but accesses landing in the
+    /// widened gaps or overlapping a formerly-compatible member may now be
+    /// flagged too (false positives). [`StoreStats::coalesced`] counts the
+    /// nodes eliminated, so consumers can tell degraded verdicts apart.
+    pub fn with_budget(cap: usize) -> Self {
+        FragMergeStore { budget: Some(cap.max(2)), ..Self::new() }
+    }
+
+    /// A budgeted store with the merging pass disabled (ablation under
+    /// memory pressure): budget coalescing is the only node-count relief.
+    pub fn without_merging_budgeted(cap: usize) -> Self {
+        FragMergeStore { merge_enabled: false, ..Self::with_budget(cap) }
+    }
+
+    /// The node budget, if one was set.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Coalesces the stored accesses down to at most `target` nodes by
+    /// fusing runs of consecutive (address-ordered, disjoint) nodes into
+    /// one node spanning their bounding interval, typed `RMA_Write`.
+    ///
+    /// Soundness: members are consecutive in address order, so bounding
+    /// intervals of distinct runs stay disjoint (the store invariant);
+    /// each bounding interval is a superset of its members, and a stored
+    /// `RMA_Write` conflicts with every intersecting new access, so every
+    /// conflict the exact contents would produce is still produced.
+    fn coalesce_to(&mut self, target: usize) {
+        let snap = self.tree.in_order();
+        let target = target.max(1);
+        if snap.len() <= target {
+            return;
+        }
+        let group = snap.len().div_ceil(target);
+        self.tree.clear();
+        for run in snap.chunks(group) {
+            let first = run[0];
+            let merged = if run.len() == 1 {
+                first
+            } else {
+                MemAccess::new(
+                    Interval::new(first.interval.lo, run[run.len() - 1].interval.hi),
+                    crate::AccessKind::RmaWrite,
+                    first.issuer,
+                    first.loc,
+                )
+            };
+            self.tree.insert(merged);
+        }
+        self.stats.coalesced += snap.len() - self.tree.len();
+        self.stats.len = self.tree.len();
     }
 
     /// Is the merging pass enabled?
@@ -232,6 +301,11 @@ impl AccessStore for FragMergeStore {
         self.stats.peak_len = self.stats.peak_len.max(self.stats.len);
         self.inter = inter;
         self.frags = frags;
+        if let Some(cap) = self.budget {
+            if self.tree.len() > cap {
+                self.coalesce_to(cap / 2);
+            }
+        }
         Ok(())
     }
 
@@ -489,6 +563,56 @@ mod tests {
         assert_eq!(s.len(), 0);
         assert_eq!(s.stats().recorded, 1);
         assert_eq!(s.stats().peak_len, 1);
+    }
+
+    /// Budgeted store: the node count never exceeds the cap after an
+    /// insertion, coalescing is counted, and the invariant holds.
+    #[test]
+    fn budget_caps_node_count() {
+        let mut s = FragMergeStore::with_budget(8);
+        // 100 well-separated accesses from distinct lines: unmergeable.
+        for i in 0..100u64 {
+            s.record(acc(i * 10, i * 10 + 3, LocalRead, i as u32)).unwrap();
+            assert!(s.len() <= 8, "len {} exceeds budget", s.len());
+            s.assert_disjoint();
+        }
+        let st = s.stats();
+        assert!(st.coalesced > 0, "{st:?}");
+        assert_eq!(st.recorded, 100);
+    }
+
+    /// Degradation is conservative: a race the exact store reports is
+    /// still reported after coalescing (here: a local write landing on
+    /// memory once covered by remote reads).
+    #[test]
+    fn budget_never_hides_a_race() {
+        let mut exact = FragMergeStore::new();
+        let mut tight = FragMergeStore::with_budget(2);
+        for i in 0..20u64 {
+            // Remote reads from rank 1 into scattered targets.
+            exact.record(acc_by(i * 100, i * 100 + 9, RmaRead, 1, i as u32)).unwrap();
+            tight.record(acc_by(i * 100, i * 100 + 9, RmaRead, 1, i as u32)).unwrap();
+        }
+        let racy = acc(500, 505, LocalWrite, 999);
+        assert!(exact.record(racy).is_err(), "exact store must flag this");
+        assert!(tight.record(racy).is_err(), "budgeted store must too");
+    }
+
+    /// Coalescing may introduce false positives (the documented trade):
+    /// an access in a widened gap is flagged even though the exact store
+    /// accepts it.
+    #[test]
+    fn budget_false_positives_are_possible() {
+        let mut tight = FragMergeStore::with_budget(2);
+        for i in 0..20u64 {
+            tight.record(acc_by(i * 100, i * 100 + 9, RmaRead, 1, i as u32)).unwrap();
+        }
+        // Address 50 was never accessed, but now sits inside a coalesced
+        // RMA_Write node.
+        let gap = acc(50, 55, LocalRead, 999);
+        assert!(FragMergeStore::new().record(gap).is_ok());
+        assert!(tight.record(gap).is_err(), "gap access flagged when degraded");
+        assert!(tight.stats().coalesced > 0);
     }
 
     /// Interval ending at Addr::MAX: cursor arithmetic must not overflow.

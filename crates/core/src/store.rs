@@ -20,6 +20,11 @@ pub struct StoreStats {
     pub fragments: usize,
     /// Node pairs fused by the merging pass (0 for stores without one).
     pub merges: usize,
+    /// Nodes eliminated by budget-driven conservative coalescing (0 for
+    /// unbudgeted stores). A non-zero value means the store has traded
+    /// precision for memory: reported races may include false positives,
+    /// but never false negatives.
+    pub coalesced: usize,
     /// Number of epochs closed (`clear` calls).
     pub epochs: usize,
     /// Sum over epochs of the node count at epoch end — the per-run
@@ -47,6 +52,7 @@ impl StoreStats {
         self.races += other.races;
         self.fragments += other.fragments;
         self.merges += other.merges;
+        self.coalesced += other.coalesced;
         self.epochs += other.epochs;
         self.cum_epoch_end_len += other.cum_epoch_end_len;
     }

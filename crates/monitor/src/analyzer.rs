@@ -70,12 +70,25 @@ impl Algorithm {
     /// benchmarks) can feed recorded event streams through exactly the
     /// store the live analyzer would have used.
     pub fn new_store(self) -> Box<dyn AccessStore + Send> {
-        match self {
-            Algorithm::Legacy => Box::new(LegacyStore::new()),
-            Algorithm::FragMerge => Box::new(FragMergeStore::new()),
-            Algorithm::FragmentOnly => Box::new(FragMergeStore::without_merging()),
-            Algorithm::FullHistory => Box::new(NaiveStore::new()),
-            Algorithm::StrideExtension => Box::new(rma_core::StrideMergeStore::new()),
+        self.new_store_budgeted(None)
+    }
+
+    /// Like [`Algorithm::new_store`], with an optional node budget for
+    /// graceful degradation under memory pressure. Only the
+    /// fragmentation-based stores enforce a budget (they own the
+    /// disjointness invariant that makes conservative coalescing sound);
+    /// the other flavours ignore it.
+    pub fn new_store_budgeted(self, budget: Option<usize>) -> Box<dyn AccessStore + Send> {
+        match (self, budget) {
+            (Algorithm::Legacy, _) => Box::new(LegacyStore::new()),
+            (Algorithm::FragMerge, None) => Box::new(FragMergeStore::new()),
+            (Algorithm::FragMerge, Some(cap)) => Box::new(FragMergeStore::with_budget(cap)),
+            (Algorithm::FragmentOnly, None) => Box::new(FragMergeStore::without_merging()),
+            (Algorithm::FragmentOnly, Some(cap)) => {
+                Box::new(FragMergeStore::without_merging_budgeted(cap))
+            }
+            (Algorithm::FullHistory, _) => Box::new(NaiveStore::new()),
+            (Algorithm::StrideExtension, _) => Box::new(rma_core::StrideMergeStore::new()),
         }
     }
 
@@ -120,6 +133,11 @@ pub struct AnalyzerCfg {
     pub on_race: OnRace,
     /// Notification transport.
     pub delivery: Delivery,
+    /// Per-store node budget: when set, every per-(rank, window) store
+    /// conservatively coalesces its contents whenever the node count
+    /// exceeds this cap (graceful degradation — possible false positives,
+    /// never false negatives; see [`rma_core::FragMergeStore::with_budget`]).
+    pub node_budget: Option<usize>,
 }
 
 impl Default for AnalyzerCfg {
@@ -128,6 +146,7 @@ impl Default for AnalyzerCfg {
             algorithm: Algorithm::FragMerge,
             on_race: OnRace::Abort,
             delivery: Delivery::Direct,
+            node_budget: None,
         }
     }
 }
@@ -137,6 +156,11 @@ impl AnalyzerCfg {
     /// delivery.
     pub fn with_algorithm(algorithm: Algorithm) -> Self {
         AnalyzerCfg { algorithm, ..Self::default() }
+    }
+
+    /// The same configuration with a per-store node budget applied.
+    pub fn budgeted(self, cap: usize) -> Self {
+        AnalyzerCfg { node_budget: Some(cap), ..self }
     }
 }
 
@@ -159,10 +183,12 @@ struct WinDet {
 }
 
 impl WinDet {
-    fn new(nranks: u32, algorithm: Algorithm) -> Self {
+    fn new(nranks: u32, cfg: &AnalyzerCfg) -> Self {
         let n = nranks as usize;
         WinDet {
-            stores: (0..n).map(|_| Mutex::new(algorithm.new_store())).collect(),
+            stores: (0..n)
+                .map(|_| Mutex::new(cfg.algorithm.new_store_budgeted(cfg.node_budget)))
+                .collect(),
             epoch_open: (0..n).map(|_| AtomicBool::new(false)).collect(),
             epoch_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
             sent: (0..n).map(|_| Mutex::new(vec![0; n])).collect(),
@@ -430,7 +456,7 @@ impl Monitor for RmaAnalyzer {
         while wins.len() <= win.index() {
             let id = wins.len();
             let _ = id;
-            wins.push(Arc::new(WinDet::new(self.inner.nranks(), self.inner.cfg.algorithm)));
+            wins.push(Arc::new(WinDet::new(self.inner.nranks(), &self.inner.cfg)));
         }
     }
 

@@ -135,6 +135,7 @@ fn messages_delivery_equivalent() {
             algorithm,
             on_race: OnRace::Abort,
             delivery: Delivery::Messages,
+            node_budget: None,
         }));
         let out = World::run(WorldCfg::with_ranks(3), mon.clone(), |ctx| {
             let win = ctx.win_allocate(64);
@@ -158,6 +159,7 @@ fn collect_mode_does_not_abort() {
         algorithm: Algorithm::FragMerge,
         on_race: OnRace::Collect,
         delivery: Delivery::Direct,
+        node_budget: None,
     }));
     let out = World::run(WorldCfg::with_ranks(2), mon.clone(), |ctx| {
         let win = ctx.win_allocate(64);

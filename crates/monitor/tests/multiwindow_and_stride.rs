@@ -43,6 +43,7 @@ fn messages_delivery_multiwindow() {
         algorithm: Algorithm::FragMerge,
         on_race: OnRace::Collect,
         delivery: Delivery::Messages,
+        node_budget: None,
     }));
     let out = World::run(WorldCfg::with_ranks(4), mon.clone(), |ctx| {
         let w1 = ctx.win_allocate(256);
@@ -80,6 +81,7 @@ fn stride_extension_in_runtime() {
         algorithm: Algorithm::StrideExtension,
         on_race: OnRace::Abort,
         delivery: Delivery::Direct,
+        node_budget: None,
     }));
     let out = World::run(WorldCfg::with_ranks(2), mon.clone(), |ctx| {
         let win = ctx.win_allocate(16 * 512);

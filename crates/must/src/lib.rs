@@ -39,7 +39,7 @@ use rma_core::RaceReport;
 use rma_sim::{HookResult, LocalEvent, Monitor, RankId, RmaEvent, WinId};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use transport::{AnalysisState, Msg, OwnedAccess, Worker};
+use transport::{AnalysisState, Msg, OwnedAccess, Quiescence, Worker};
 
 /// What to do on a detected race (mirrors `rma-monitor`'s policy).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -97,26 +97,67 @@ impl MustRma {
         }
     }
 
-    /// Races found so far (drains the in-flight analysis queue first).
+    /// Races found so far (drains the in-flight analysis queue first;
+    /// best-effort if the worker died — whatever was analyzed is
+    /// reported, never a hang).
     pub fn races(&self) -> Vec<RaceReport> {
         self.drain();
         self.analysis.races.lock().clone()
     }
 
+    /// Has the analysis worker thread died with events unprocessed?
+    pub fn worker_failed(&self) -> bool {
+        self.analysis.worker_dead()
+            && matches!(
+                self.analysis.wait_processed(self.sent.load(Ordering::Relaxed)),
+                Quiescence::WorkerDead { .. }
+            )
+    }
+
+    /// Test-only sabotage: makes the analysis worker exit immediately,
+    /// leaving any queued events unprocessed — the failure mode the
+    /// bounded quiescence wait exists for.
+    #[doc(hidden)]
+    pub fn sabotage_worker_for_tests(&self) {
+        let _ = self.worker.tx.send(Msg::Die);
+    }
+
     /// Ships one one-sided operation (both access halves) to the
-    /// analysis worker.
+    /// analysis worker. A dead worker makes the send fail; that is
+    /// tolerated here (never a rank panic at the issue site) and
+    /// surfaced at the next epoch-boundary quiescence wait, which is
+    /// where MUST's protocol can structurally abort.
     fn ship(&self, pair: [OwnedAccess; 2]) {
         self.sent.fetch_add(1, Ordering::Relaxed);
-        self.worker
-            .tx
-            .send(Msg::Op(Box::new(pair)))
-            .expect("MUST analysis worker gone");
+        let _ = self.worker.tx.send(Msg::Op(Box::new(pair)));
     }
 
     /// Waits until the worker has processed everything shipped so far —
     /// the quiescence wait MUST performs at synchronization points.
+    /// Best-effort: worker death or timeout end the wait silently (used
+    /// on read-only paths that must not panic).
     fn drain(&self) {
-        self.analysis.wait_processed(self.sent.load(Ordering::Relaxed));
+        let _ = self.analysis.wait_processed(self.sent.load(Ordering::Relaxed));
+    }
+
+    /// Epoch-boundary quiescence: a dead worker or a stuck queue here
+    /// means the detector can no longer certify the epoch — convert it
+    /// into a rank panic, which `World::run` records as a structured
+    /// outcome and uses to unwind every sibling rank. The alternative —
+    /// waiting forever on a Condvar nobody will signal — is exactly the
+    /// hang this bound exists to prevent.
+    fn drain_strict(&self) {
+        match self.analysis.wait_processed(self.sent.load(Ordering::Relaxed)) {
+            Quiescence::Drained => {}
+            Quiescence::WorkerDead { processed, target } => panic!(
+                "MUST analysis worker died before quiescence \
+                 ({processed}/{target} operations analyzed); aborting world"
+            ),
+            Quiescence::TimedOut { processed, target } => panic!(
+                "MUST analysis quiescence wait timed out \
+                 ({processed}/{target} operations analyzed); aborting world"
+            ),
+        }
     }
 
     /// In `Abort` mode: did the worker find a race that this rank thread
@@ -289,12 +330,12 @@ impl Monitor for MustRma {
         // Quiescence: MUST's synchronization analyses complete before the
         // epoch close returns — the analysis wait is part of the measured
         // epoch time.
-        self.drain();
+        self.drain_strict();
         self.poisoned_verdict()
     }
 
     fn on_barrier_last(&self) {
-        self.drain();
+        self.drain_strict();
         self.join_all();
     }
 
@@ -314,7 +355,7 @@ impl Monitor for MustRma {
 
     fn on_fence_last(&self, _win: WinId) {
         // ...and synchronizes all ranks (active target).
-        self.drain();
+        self.drain_strict();
         self.join_all();
     }
 

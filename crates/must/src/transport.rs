@@ -42,6 +42,24 @@ pub(crate) enum Msg {
     /// records sharing one shipped clock.
     Op(Box<[OwnedAccess; 2]>),
     Stop,
+    /// Test-only sabotage: the worker exits immediately *without*
+    /// processing the rest of its queue, modelling an analysis thread
+    /// that died mid-run.
+    Die,
+}
+
+/// Outcome of a quiescence wait: either everything shipped was analyzed,
+/// or the wait was cut short in a way the caller must surface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Quiescence {
+    /// All `target` events were processed.
+    Drained,
+    /// The analysis worker is dead with events still unprocessed. A
+    /// detector missing events can no longer certify anything — callers
+    /// must turn this into a structured world abort, not wait forever.
+    WorkerDead { processed: u64, target: u64 },
+    /// The worker is alive but made no progress before the deadline.
+    TimedOut { processed: u64, target: u64 },
 }
 
 /// State shared between the application-side hooks and the worker.
@@ -52,9 +70,17 @@ pub(crate) struct AnalysisState {
     pub shadows: Vec<Mutex<Shadow>>,
     pub races: Mutex<Vec<RaceReport>>,
     pub poisoned: AtomicBool,
+    /// Set (with a wake-up) the moment the worker thread exits — by
+    /// `Stop`, by sabotage, or by unwinding. Checked inside the
+    /// quiescence wait so a dead worker can never hang `unlock_all`.
+    worker_dead: AtomicBool,
     processed: Mutex<u64>,
     drained: Condvar,
 }
+
+/// How long a quiescence wait may go without completion while the
+/// worker is still alive (a dead worker is detected within one poll).
+const QUIESCENCE_DEADLINE: Duration = Duration::from_secs(30);
 
 impl AnalysisState {
     pub fn new(nranks: u32) -> Arc<Self> {
@@ -62,9 +88,15 @@ impl AnalysisState {
             shadows: (0..nranks).map(|_| Mutex::new(Shadow::default())).collect(),
             races: Mutex::new(Vec::new()),
             poisoned: AtomicBool::new(false),
+            worker_dead: AtomicBool::new(false),
             processed: Mutex::new(0),
             drained: Condvar::new(),
         })
+    }
+
+    /// Has the analysis worker thread exited?
+    pub fn worker_dead(&self) -> bool {
+        self.worker_dead.load(Ordering::Acquire)
     }
 
     fn process(&self, a: &OwnedAccess, abort_on_race: bool) {
@@ -87,17 +119,39 @@ impl AnalysisState {
         }
     }
 
-    /// Blocks until `target` events have been processed (or timeout —
-    /// only reachable when the world is being torn down around us).
-    pub fn wait_processed(&self, target: u64) {
-        let deadline = Instant::now() + Duration::from_secs(30);
+    /// Blocks until `target` events have been processed, the worker is
+    /// found dead, or the deadline passes. Never waits on a dead worker:
+    /// the death flag is checked every poll, so detector-thread death
+    /// surfaces within milliseconds instead of wedging the epoch close.
+    pub fn wait_processed(&self, target: u64) -> Quiescence {
+        let deadline = Instant::now() + QUIESCENCE_DEADLINE;
         let mut processed = self.processed.lock();
-        while *processed < target {
+        loop {
+            if *processed >= target {
+                return Quiescence::Drained;
+            }
+            // Order matters: the worker bumps `processed` before exiting,
+            // so checking the counter first never misreports a worker
+            // that finished the backlog and then stopped.
+            if self.worker_dead() {
+                return Quiescence::WorkerDead { processed: *processed, target };
+            }
             if Instant::now() >= deadline {
-                return;
+                return Quiescence::TimedOut { processed: *processed, target };
             }
             self.drained.wait_for(&mut processed, Duration::from_millis(2));
         }
+    }
+}
+
+/// Sets the dead flag (and wakes waiters) when the worker exits, however
+/// it exits — normal `Stop`, sabotage, or a panic unwinding the thread.
+struct DeadOnExit(Arc<AnalysisState>);
+
+impl Drop for DeadOnExit {
+    fn drop(&mut self) {
+        self.0.worker_dead.store(true, Ordering::Release);
+        self.0.drained.notify_all();
     }
 }
 
@@ -113,9 +167,11 @@ impl Worker {
         let handle = std::thread::Builder::new()
             .name("must-analysis".into())
             .spawn(move || {
+                let _dead_on_exit = DeadOnExit(state.clone());
                 while let Ok(msg) = rx.recv() {
                     match msg {
                         Msg::Stop => break,
+                        Msg::Die => return,
                         Msg::Op(pair) => {
                             state.process(&pair[0], abort_on_race);
                             state.process(&pair[1], abort_on_race);

@@ -206,3 +206,42 @@ fn target_store_vs_put_detected() {
     });
     assert!(raced);
 }
+
+/// A dead analysis worker must not hang the epoch close: the bounded
+/// quiescence wait detects the death within one poll and converts it
+/// into a structured world abort (a recorded rank panic), never an
+/// infinite Condvar wait.
+#[test]
+fn dead_worker_aborts_unlock_all_instead_of_hanging() {
+    let started = std::time::Instant::now();
+    let must = Arc::new(MustRma::for_world(2, OnRace::Abort));
+    let sab = must.clone();
+    let out = World::run(WorldCfg::with_ranks(2), must.clone(), move |ctx| {
+        let win = ctx.win_allocate(32);
+        let buf = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            // Kill the worker, then ship an operation it will never
+            // analyze; the unlock_all quiescence must notice, not wait.
+            sab.sabotage_worker_for_tests();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_unlock_all(win);
+    });
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(20),
+        "quiescence wait must be bounded (took {:?})",
+        started.elapsed()
+    );
+    assert!(!out.is_clean());
+    assert_eq!(out.panics.len(), 1, "outcome: {out:?}");
+    assert!(
+        out.panics[0].1.contains("MUST analysis worker died"),
+        "panic: {}",
+        out.panics[0].1
+    );
+    assert!(must.worker_failed());
+    // Best-effort reads still work after the failure (and don't hang).
+    let _ = must.races();
+}

@@ -69,6 +69,13 @@ impl AbortCtl {
         self.flag.store(true, Ordering::Release);
     }
 
+    /// Raises the flag without recording a reason. Used by the deadlock
+    /// watchdog, whose finding is reported through the dedicated
+    /// `RunOutcome::deadlock` channel rather than the abort list.
+    pub fn raise_silent(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
     pub fn reasons(&self) -> Vec<(RankId, AbortReason)> {
         self.reasons.lock().clone()
     }

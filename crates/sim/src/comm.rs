@@ -6,9 +6,12 @@
 //! for the paper's experiments is the event semantics (who synchronises
 //! with whom, and when), not interconnect topology. All blocking waits
 //! poll the world abort flag so `MPI_Abort` semantics hold: no rank stays
-//! parked on a rendezvous that will never complete.
+//! parked on a rendezvous that will never complete — and each wait keeps
+//! the watchdog's blocked/progress accounting (see [`crate::watchdog`])
+//! so an all-ranks-blocked world is detected instead of wedging.
 
-use crate::abort::{unwind_abort, AbortCtl};
+use crate::abort::unwind_abort;
+use crate::watchdog::{BlockKind, WaitCtx};
 use rma_substrate::sync::{Condvar, Mutex};
 use rma_core::RankId;
 use std::collections::{HashMap, VecDeque};
@@ -24,31 +27,73 @@ pub(crate) struct Msg {
     pub data: Vec<u8>,
 }
 
+/// A message parked by fault injection: invisible to receivers until
+/// `polls_left` receive polls on this mailbox have elapsed.
+struct Delayed {
+    polls_left: u32,
+    msg: Msg,
+}
+
 /// Per-rank tagged mailbox.
 #[derive(Default)]
 pub(crate) struct Mailbox {
-    q: Mutex<VecDeque<Msg>>,
+    q: Mutex<Queues>,
     cv: Condvar,
+}
+
+#[derive(Default)]
+struct Queues {
+    ready: VecDeque<Msg>,
+    delayed: Vec<Delayed>,
+}
+
+impl Queues {
+    /// One receive poll elapsed: age the delayed messages and admit the
+    /// ones whose stall expired.
+    fn admit_due(&mut self) {
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].polls_left == 0 {
+                self.ready.push_back(self.delayed.remove(i).msg);
+            } else {
+                self.delayed[i].polls_left -= 1;
+                i += 1;
+            }
+        }
+    }
 }
 
 impl Mailbox {
     pub fn push(&self, msg: Msg) {
-        self.q.lock().push_back(msg);
+        self.q.lock().ready.push_back(msg);
+        self.cv.notify_all();
+    }
+
+    /// Fault injection: deliver `msg` only after `delay_polls` receive
+    /// polls on this mailbox (a stalled transport). Receivers keep
+    /// polling every couple of milliseconds while blocked, so a stalled
+    /// message is delayed, never lost — unless nobody ever receives, in
+    /// which case the watchdog reports the deadlock.
+    pub fn push_delayed(&self, msg: Msg, delay_polls: u32) {
+        self.q.lock().delayed.push(Delayed { polls_left: delay_polls, msg });
         self.cv.notify_all();
     }
 
     /// Blocking receive of the first message matching `(src, tag)`.
     /// FIFO per (src, tag) pair, like MPI's non-overtaking rule.
-    pub fn recv(&self, src: Option<RankId>, tag: u32, abort: &AbortCtl) -> Msg {
+    pub fn recv(&self, src: Option<RankId>, tag: u32, wx: &WaitCtx<'_>) -> Msg {
         let mut q = self.q.lock();
+        let _guard = wx.enter_blocked(BlockKind::Recv);
         loop {
+            q.admit_due();
             if let Some(pos) = q
+                .ready
                 .iter()
                 .position(|m| m.tag == tag && src.is_none_or(|s| s == m.src))
             {
-                return q.remove(pos).expect("position just found");
+                return q.ready.remove(pos).expect("position just found");
             }
-            if abort.is_aborted() {
+            if wx.abort.is_aborted() {
                 drop(q);
                 unwind_abort();
             }
@@ -59,10 +104,12 @@ impl Mailbox {
     /// Non-blocking probe-and-receive.
     pub fn try_recv(&self, src: Option<RankId>, tag: u32) -> Option<Msg> {
         let mut q = self.q.lock();
+        q.admit_due();
         let pos = q
+            .ready
             .iter()
             .position(|m| m.tag == tag && src.is_none_or(|s| s == m.src))?;
-        q.remove(pos)
+        q.ready.remove(pos)
     }
 }
 
@@ -83,7 +130,7 @@ impl CentralBarrier {
     /// Waits for all `nranks` participants. `on_last` runs on the final
     /// arriver's thread *before* anyone is released — the simulator's
     /// hook point for monitors needing all-ranks-quiescent moments.
-    pub fn wait(&self, nranks: u32, abort: &AbortCtl, on_last: impl FnOnce()) {
+    pub fn wait(&self, nranks: u32, wx: &WaitCtx<'_>, on_last: impl FnOnce()) {
         let mut st = self.state.lock();
         st.arrived += 1;
         if st.arrived == nranks {
@@ -94,8 +141,9 @@ impl CentralBarrier {
             return;
         }
         let gen = st.generation;
+        let _guard = wx.enter_blocked(BlockKind::Barrier);
         while st.generation == gen {
-            if abort.is_aborted() {
+            if wx.abort.is_aborted() {
                 drop(st);
                 unwind_abort();
             }
@@ -129,7 +177,7 @@ impl Collectives {
         seq: u64,
         vals: &[u64],
         nranks: u32,
-        abort: &AbortCtl,
+        wx: &WaitCtx<'_>,
     ) -> Vec<u64> {
         let mut slots = self.slots.lock();
         {
@@ -153,6 +201,7 @@ impl Collectives {
                 self.cv.notify_all();
             }
         }
+        let _guard = wx.enter_blocked(BlockKind::Collective);
         loop {
             if let Some(slot) = slots.get_mut(&seq) {
                 if slot.complete {
@@ -164,7 +213,7 @@ impl Collectives {
                     return out;
                 }
             }
-            if abort.is_aborted() {
+            if wx.abort.is_aborted() {
                 drop(slots);
                 unwind_abort();
             }
@@ -176,20 +225,28 @@ impl Collectives {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::abort::AbortCtl;
+    use crate::watchdog::WatchCtl;
     use std::sync::Arc;
+
+    fn wx<'a>(abort: &'a AbortCtl, watch: &'a WatchCtl, rank: u32) -> WaitCtx<'a> {
+        WaitCtx { abort, watch, rank: RankId(rank) }
+    }
 
     #[test]
     fn mailbox_filters_by_src_and_tag() {
         let mb = Mailbox::default();
         let abort = AbortCtl::default();
+        let watch = WatchCtl::new(1);
+        let wx = wx(&abort, &watch, 0);
         mb.push(Msg { src: RankId(1), tag: 7, data: vec![1] });
         mb.push(Msg { src: RankId(2), tag: 7, data: vec![2] });
         mb.push(Msg { src: RankId(1), tag: 9, data: vec![3] });
-        let m = mb.recv(Some(RankId(2)), 7, &abort);
+        let m = mb.recv(Some(RankId(2)), 7, &wx);
         assert_eq!(m.data, vec![2]);
-        let m = mb.recv(Some(RankId(1)), 9, &abort);
+        let m = mb.recv(Some(RankId(1)), 9, &wx);
         assert_eq!(m.data, vec![3]);
-        let m = mb.recv(None, 7, &abort);
+        let m = mb.recv(None, 7, &wx);
         assert_eq!(m.data, vec![1]);
         assert!(mb.try_recv(None, 7).is_none());
     }
@@ -198,25 +255,42 @@ mod tests {
     fn mailbox_fifo_per_pair() {
         let mb = Mailbox::default();
         let abort = AbortCtl::default();
+        let watch = WatchCtl::new(1);
+        let wx = wx(&abort, &watch, 0);
         for i in 0..5u8 {
             mb.push(Msg { src: RankId(0), tag: 1, data: vec![i] });
         }
         for i in 0..5u8 {
-            assert_eq!(mb.recv(Some(RankId(0)), 1, &abort).data, vec![i]);
+            assert_eq!(mb.recv(Some(RankId(0)), 1, &wx).data, vec![i]);
         }
+    }
+
+    #[test]
+    fn delayed_message_arrives_after_polls() {
+        let mb = Mailbox::default();
+        mb.push_delayed(Msg { src: RankId(0), tag: 1, data: vec![9] }, 3);
+        // Each try_recv is one poll; the message stays invisible until
+        // its stall budget is spent.
+        assert!(mb.try_recv(None, 1).is_none());
+        assert!(mb.try_recv(None, 1).is_none());
+        assert!(mb.try_recv(None, 1).is_none());
+        let m = mb.try_recv(None, 1).expect("stall expired");
+        assert_eq!(m.data, vec![9]);
     }
 
     #[test]
     fn barrier_releases_all_and_runs_hook_once() {
         let barrier = Arc::new(CentralBarrier::default());
         let abort = Arc::new(AbortCtl::default());
+        let watch = Arc::new(WatchCtl::new(8));
         let hooks = Arc::new(std::sync::atomic::AtomicU32::new(0));
         let mut handles = Vec::new();
-        for _ in 0..8 {
-            let (b, a, h) = (barrier.clone(), abort.clone(), hooks.clone());
+        for r in 0..8 {
+            let (b, a, w, h) = (barrier.clone(), abort.clone(), watch.clone(), hooks.clone());
             handles.push(std::thread::spawn(move || {
+                let wx = WaitCtx { abort: &a, watch: &w, rank: RankId(r) };
                 for _ in 0..10 {
-                    b.wait(8, &a, || {
+                    b.wait(8, &wx, || {
                         h.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     });
                 }
@@ -232,13 +306,15 @@ mod tests {
     fn allreduce_sums_elementwise() {
         let coll = Arc::new(Collectives::default());
         let abort = Arc::new(AbortCtl::default());
+        let watch = Arc::new(WatchCtl::new(4));
         let mut handles = Vec::new();
         for r in 0..4u64 {
-            let (c, a) = (coll.clone(), abort.clone());
+            let (c, a, w) = (coll.clone(), abort.clone(), watch.clone());
             handles.push(std::thread::spawn(move || {
+                let wx = WaitCtx { abort: &a, watch: &w, rank: RankId(r as u32) };
                 let mut results = Vec::new();
                 for seq in 0..3u64 {
-                    results.push(c.allreduce_sum(seq, &[r, 1, seq], 4, &a));
+                    results.push(c.allreduce_sum(seq, &[r, 1, seq], 4, &wx));
                 }
                 results
             }));

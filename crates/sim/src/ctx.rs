@@ -5,11 +5,17 @@
 use crate::abort::{unwind_abort, AbortReason};
 use crate::buf::{Buf, BufKind, LocalArena};
 use crate::event::{LocalEvent, Monitor, RmaDir, RmaEvent};
+use crate::fault::FaultKind;
+use crate::watchdog::WaitCtx;
 use crate::window::{WinId, WinMem, WinView};
 use crate::world::WorldShared;
 use rma_substrate::rng::{SliceRandom, SmallRng};
-use rma_core::{AccessKind, RaceReport, RankId, SrcLoc};
+use rma_core::{AccessKind, Interval, MemAccess, RaceReport, RankId, SrcLoc};
 use std::sync::Arc;
+
+/// How many receive polls a fault-stalled message is parked for (polls
+/// happen every couple of milliseconds while a receiver is blocked).
+const STALL_POLLS: u32 = 16;
 
 /// State of one window as seen by this rank.
 struct WinState {
@@ -46,6 +52,12 @@ pub struct RankCtx<'w> {
     rng: SmallRng,
     coll_seq: u64,
     scratch: Vec<u8>,
+    /// Instrumented events executed so far (fault-injection clock).
+    events: u64,
+    /// Armed send-path fault (stall/duplicate), set by a triggered plan.
+    send_fault: Option<FaultKind>,
+    /// Armed window-allocation failure, set by a triggered plan.
+    winalloc_fault: bool,
 }
 
 impl<'w> RankCtx<'w> {
@@ -60,6 +72,59 @@ impl<'w> RankCtx<'w> {
             rng: SmallRng::seed_from_u64(shared.cfg.seed ^ (0x9E3779B97F4A7C15u64 ^ u64::from(rank.0)).wrapping_mul(0x2545F4914F6CDD1D)),
             coll_seq: 0,
             scratch: Vec::new(),
+            events: 0,
+            send_fault: None,
+            winalloc_fault: false,
+        }
+    }
+
+    /// The wait context handed to blocking primitives: abort flag plus
+    /// the watchdog's blocked/progress accounting.
+    fn wait_ctx(&self) -> WaitCtx<'w> {
+        WaitCtx {
+            abort: &self.shared.abort,
+            watch: &self.shared.watch,
+            rank: self.rank,
+        }
+    }
+
+    /// Fault-injection clock: every instrumented event ticks it, and the
+    /// configured [`crate::FaultPlan`] (if any) triggers when this rank
+    /// reaches its `at_event`-th event.
+    fn fault_point(&mut self) {
+        let Some(plan) = self.shared.cfg.fault else { return };
+        if plan.rank != self.rank.0 {
+            return;
+        }
+        self.events += 1;
+        if self.events != plan.at_event {
+            return;
+        }
+        match plan.kind {
+            FaultKind::Crash => {
+                panic!(
+                    "fault injection: rank {} crashed at event {}",
+                    self.rank, plan.at_event
+                );
+            }
+            FaultKind::HookError => {
+                // Exercise the hook-error path end to end: a synthetic
+                // report flows through the same abort machinery a
+                // detector-returned `HookResult` error would.
+                let access = MemAccess::new(
+                    Interval::new(0, 0),
+                    AccessKind::RmaWrite,
+                    self.rank,
+                    SrcLoc::synthetic("<fault-injection>", plan.at_event as u32),
+                );
+                self.abort_race(Box::new(RaceReport::new(access, access)));
+            }
+            FaultKind::StallSends | FaultKind::DuplicateSends => {
+                self.send_fault = Some(plan.kind);
+            }
+            FaultKind::FailWinAlloc => {
+                self.winalloc_fault = true;
+            }
         }
     }
 
@@ -162,7 +227,8 @@ impl<'w> RankCtx<'w> {
         }
     }
 
-    fn emit_local(&self, buf: &Buf, off: u64, len: u64, kind: AccessKind, tracked: bool, loc: SrcLoc) {
+    fn emit_local(&mut self, buf: &Buf, off: u64, len: u64, kind: AccessKind, tracked: bool, loc: SrcLoc) {
+        self.fault_point();
         let ev = LocalEvent {
             rank: self.rank,
             interval: buf.interval(off, len),
@@ -278,6 +344,14 @@ impl<'w> RankCtx<'w> {
     }
 
     fn win_create(&mut self, len: u64, stack: bool) -> WinId {
+        self.fault_point();
+        if self.winalloc_fault {
+            self.winalloc_fault = false;
+            self.abort(format!(
+                "fault injection: window allocation of {len} bytes failed at rank {}",
+                self.rank
+            ));
+        }
         let win = WinId(u32::try_from(self.wins.len()).expect("too many windows"));
         let base = self.arena.reserve_range(len);
         let mem = Arc::new(WinMem::new(len));
@@ -304,6 +378,7 @@ impl<'w> RankCtx<'w> {
 
     /// Collective window destruction (`MPI_Win_free`).
     pub fn win_free(&mut self, win: WinId) {
+        self.fault_point();
         {
             let ws = &mut self.wins[win.index()];
             assert!(!ws.freed, "window {win:?} freed twice");
@@ -316,6 +391,7 @@ impl<'w> RankCtx<'w> {
 
     /// Opens a passive-target epoch (`MPI_Win_lock_all`). Not collective.
     pub fn win_lock_all(&mut self, win: WinId) {
+        self.fault_point();
         let ws = &mut self.wins[win.index()];
         assert!(!ws.freed, "lock_all on freed window {win:?}");
         assert!(!ws.epoch_open, "nested lock_all on window {win:?}");
@@ -326,6 +402,7 @@ impl<'w> RankCtx<'w> {
     /// Closes the epoch (`MPI_Win_unlock_all`): completes all of this
     /// rank's outstanding operations on `win`.
     pub fn win_unlock_all(&mut self, win: WinId) {
+        self.fault_point();
         {
             let ws = &self.wins[win.index()];
             assert!(ws.epoch_open, "unlock_all without lock_all on window {win:?}");
@@ -342,6 +419,7 @@ impl<'w> RankCtx<'w> {
     /// separates the accesses before the fence from those after it.
     /// Opens (or continues) a fence access epoch on the window.
     pub fn win_fence(&mut self, win: WinId) {
+        self.fault_point();
         {
             let ws = &self.wins[win.index()];
             assert!(!ws.freed, "fence on freed window {win:?}");
@@ -349,7 +427,7 @@ impl<'w> RankCtx<'w> {
         self.complete_pending(Some(win));
         self.poll_abort();
         self.monitor.on_fence(self.rank, win);
-        self.shared.barrier.wait(self.nranks(), &self.shared.abort, || {
+        self.shared.barrier.wait(self.nranks(), &self.wait_ctx(), || {
             self.monitor.on_fence_last(win);
         });
         self.wins[win.index()].epoch_open = true;
@@ -360,6 +438,7 @@ impl<'w> RankCtx<'w> {
     /// not informed, which is why tools struggle to instrument this call
     /// soundly (the paper's Section 6, item 2).
     pub fn win_flush(&mut self, win: WinId, target: RankId) {
+        self.fault_point();
         {
             let ws = &self.wins[win.index()];
             assert!(ws.epoch_open, "flush outside an epoch on window {win:?}");
@@ -371,6 +450,7 @@ impl<'w> RankCtx<'w> {
     /// `MPI_Win_flush_all`: completes this rank's outstanding operations
     /// on `win` (at origin and targets) without ending the epoch.
     pub fn win_flush_all(&mut self, win: WinId) {
+        self.fault_point();
         {
             let ws = &self.wins[win.index()];
             assert!(ws.epoch_open, "flush_all outside an epoch on window {win:?}");
@@ -467,6 +547,7 @@ impl<'w> RankCtx<'w> {
         op: crate::window::AccumOp,
     ) {
         let loc = SrcLoc::here();
+        self.fault_point();
         self.check_rma_args(result, target, win);
         self.assert_local(operand_buf);
         // The operand read and the result write are two origin-side
@@ -518,6 +599,7 @@ impl<'w> RankCtx<'w> {
         win: WinId,
         loc: SrcLoc,
     ) {
+        self.fault_point();
         self.check_rma_args(origin, target, win);
         let ev = RmaEvent {
             dir,
@@ -613,23 +695,35 @@ impl<'w> RankCtx<'w> {
     // ----------------------------------------------------------------
 
     /// Tagged point-to-point send (buffered, non-blocking).
-    pub fn send(&self, to: RankId, tag: u32, data: Vec<u8>) {
+    pub fn send(&mut self, to: RankId, tag: u32, data: Vec<u8>) {
+        self.fault_point();
         assert!(to.index() < self.nranks_usize(), "invalid destination {to}");
-        self.shared.mailboxes[to.index()].push(crate::comm::Msg {
-            src: self.rank,
-            tag,
-            data,
-        });
+        let mailbox = &self.shared.mailboxes[to.index()];
+        match self.send_fault {
+            Some(FaultKind::StallSends) => {
+                mailbox.push_delayed(
+                    crate::comm::Msg { src: self.rank, tag, data },
+                    STALL_POLLS,
+                );
+            }
+            Some(FaultKind::DuplicateSends) => {
+                mailbox.push(crate::comm::Msg { src: self.rank, tag, data: data.clone() });
+                mailbox.push(crate::comm::Msg { src: self.rank, tag, data });
+            }
+            _ => mailbox.push(crate::comm::Msg { src: self.rank, tag, data }),
+        }
     }
 
     /// Blocking tagged receive; `from = None` matches any source.
-    pub fn recv(&self, from: Option<RankId>, tag: u32) -> (RankId, Vec<u8>) {
-        let msg = self.shared.mailboxes[self.rank.index()].recv(from, tag, &self.shared.abort);
+    pub fn recv(&mut self, from: Option<RankId>, tag: u32) -> (RankId, Vec<u8>) {
+        self.fault_point();
+        let msg = self.shared.mailboxes[self.rank.index()].recv(from, tag, &self.wait_ctx());
         (msg.src, msg.data)
     }
 
     /// Non-blocking tagged receive.
-    pub fn try_recv(&self, from: Option<RankId>, tag: u32) -> Option<(RankId, Vec<u8>)> {
+    pub fn try_recv(&mut self, from: Option<RankId>, tag: u32) -> Option<(RankId, Vec<u8>)> {
+        self.fault_point();
         self.shared.mailboxes[self.rank.index()]
             .try_recv(from, tag)
             .map(|m| (m.src, m.data))
@@ -637,9 +731,10 @@ impl<'w> RankCtx<'w> {
 
     /// `MPI_Barrier` over all ranks.
     pub fn barrier(&mut self) {
+        self.fault_point();
         self.poll_abort();
         self.monitor.on_barrier(self.rank);
-        self.shared.barrier.wait(self.nranks(), &self.shared.abort, || {
+        self.shared.barrier.wait(self.nranks(), &self.wait_ctx(), || {
             self.monitor.on_barrier_last();
         });
     }
@@ -647,11 +742,12 @@ impl<'w> RankCtx<'w> {
     /// Element-wise sum all-reduce of a `u64` vector (`MPI_Allreduce`
     /// with `MPI_SUM`). All ranks must pass vectors of equal length.
     pub fn allreduce_sum_u64(&mut self, vals: &[u64]) -> Vec<u64> {
+        self.fault_point();
         self.poll_abort();
         let seq = self.coll_seq;
         self.coll_seq += 1;
         self.shared
             .colls
-            .allreduce_sum(seq, vals, self.nranks(), &self.shared.abort)
+            .allreduce_sum(seq, vals, self.nranks(), &self.wait_ctx())
     }
 }

@@ -1,0 +1,113 @@
+//! Deterministic fault injection.
+//!
+//! Real MPI jobs lose ranks, stall transports and fail allocations; a
+//! race-detection runtime must turn every such event into a *structured*
+//! outcome (an [`crate::RunOutcome`] with aborts/panics/deadlock filled
+//! in), never a hang or an opaque crash. A [`FaultPlan`] is attached via
+//! [`crate::WorldCfg::fault`] and describes one fault, keyed to the
+//! injected rank's Nth instrumented event — so a failing chaos scenario
+//! replays exactly from `(seed, plan)` alone.
+
+use rma_substrate::rng::SmallRng;
+
+/// What a triggered fault does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The rank panics (models a crashing process). The panic is caught
+    /// by [`crate::World::run`], recorded in `RunOutcome::panics`, and
+    /// the abort flag unwinds every sibling rank.
+    Crash,
+    /// The monitor-hook path reports a synthetic `HookResult` error: the
+    /// rank aborts the world through the same code path a detector's
+    /// race report would take (`AbortReason::Race` with a synthetic
+    /// report whose source file is `<fault-injection>`).
+    HookError,
+    /// From the trigger point on, every two-sided message this rank
+    /// sends is parked in the receiver's mailbox for a fixed number of
+    /// receive polls before becoming visible (transport stall).
+    StallSends,
+    /// From the trigger point on, every two-sided message this rank
+    /// sends is delivered twice (transport duplication).
+    DuplicateSends,
+    /// The rank's next window allocation fails (models
+    /// `MPI_Win_allocate` returning an error) and aborts the world with
+    /// a structured reason.
+    FailWinAlloc,
+}
+
+impl FaultKind {
+    /// All kinds, for seeded sampling and table-driven tests.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Crash,
+        FaultKind::HookError,
+        FaultKind::StallSends,
+        FaultKind::DuplicateSends,
+        FaultKind::FailWinAlloc,
+    ];
+}
+
+/// One deterministic fault: `kind` triggers when rank `rank` executes
+/// its `at_event`-th instrumented event (1-based; every `RankCtx` entry
+/// point — accesses, RMA operations, synchronization, two-sided calls —
+/// counts as one event).
+///
+/// If the rank never reaches `at_event` events the fault simply does not
+/// fire; a seeded sweep relies on this to explore "late" faults too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Rank the fault is injected into.
+    pub rank: u32,
+    /// 1-based index of the triggering event in that rank's stream.
+    pub at_event: u64,
+    /// What happens at the trigger point.
+    pub kind: FaultKind,
+}
+
+impl FaultPlan {
+    /// A fault plan with explicit coordinates.
+    pub fn new(kind: FaultKind, rank: u32, at_event: u64) -> Self {
+        FaultPlan { rank, at_event, kind }
+    }
+
+    /// Derives a fault plan from a single seed: kind, victim rank and
+    /// trigger event are all sampled from a [`SmallRng`] stream, so a
+    /// chaos sweep is fully described by `(seed, nranks)` and replays
+    /// identically on every platform.
+    pub fn from_seed(seed: u64, nranks: u32) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA_17_FA_17_FA_17_FA_17);
+        let kind = FaultKind::ALL[rng.gen_range(0..FaultKind::ALL.len())];
+        let rank = rng.gen_range(0..nranks.max(1));
+        // Suite cases run a few dozen events per rank; sample the whole
+        // range so early (setup), mid-epoch and never-reached triggers
+        // all occur across a sweep.
+        let at_event = rng.gen_range(1..48u64);
+        FaultPlan { rank, at_event, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        for seed in 0..64u64 {
+            assert_eq!(FaultPlan::from_seed(seed, 4), FaultPlan::from_seed(seed, 4));
+        }
+    }
+
+    #[test]
+    fn from_seed_covers_all_kinds_and_ranks() {
+        let mut kinds = std::collections::HashSet::new();
+        let mut ranks = std::collections::HashSet::new();
+        for seed in 0..256u64 {
+            let p = FaultPlan::from_seed(seed, 3);
+            assert!(p.rank < 3);
+            assert!(p.at_event >= 1);
+            kinds.insert(format!("{:?}", p.kind));
+            ranks.insert(p.rank);
+        }
+        assert_eq!(kinds.len(), FaultKind::ALL.len(), "sweep must sample every kind");
+        assert_eq!(ranks.len(), 3, "sweep must sample every rank");
+    }
+}

@@ -46,7 +46,9 @@ mod buf;
 mod comm;
 mod ctx;
 mod event;
+mod fault;
 mod tee;
+mod watchdog;
 mod window;
 mod world;
 
@@ -54,6 +56,7 @@ pub use abort::{AbortReason, AbortView};
 pub use buf::{Buf, BufKind};
 pub use ctx::RankCtx;
 pub use event::{HookResult, LocalEvent, Monitor, NullMonitor, RmaDir, RmaEvent};
+pub use fault::{FaultKind, FaultPlan};
 pub use tee::Tee;
 pub use window::{AccumOp, WinId};
 pub use world::{RunOutcome, World, WorldCfg};

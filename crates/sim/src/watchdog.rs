@@ -1,0 +1,193 @@
+//! Deadlock watchdog: blocked-rank accounting and the detection rule.
+//!
+//! Every blocking primitive of the simulator (mailbox receive, barrier,
+//! collectives) marks its rank *blocked* for the duration of the wait and
+//! bumps a global progress counter when the wait ends. The watchdog
+//! thread in [`crate::World::run`] observes both: when every unfinished
+//! rank has been blocked with no progress for the configured window, no
+//! rank can ever unblock another — the world is deadlocked. The watchdog
+//! then raises the abort flag (all waits poll it every couple of
+//! milliseconds, so the ranks unwind promptly) and records a description
+//! that [`crate::World::run`] surfaces as `RunOutcome::deadlock`.
+//!
+//! The rule is sound for this runtime because unblocking always requires
+//! a *running* rank: barrier release needs a last arriver, a mailbox
+//! needs a sender, a collective needs a contributor. A rank spinning in
+//! pure computation keeps the all-blocked condition false, so compute
+//!-heavy phases can never be misreported — the watchdog detects
+//! communication deadlock only.
+
+use crate::abort::AbortCtl;
+use rma_core::RankId;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+/// What a rank is blocked on (one byte per rank, lock-free).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BlockKind {
+    /// Not blocked.
+    Running,
+    /// Blocked in `Mailbox::recv`.
+    Recv,
+    /// Blocked in `CentralBarrier::wait`.
+    Barrier,
+    /// Blocked in `Collectives::allreduce_sum`.
+    Collective,
+}
+
+impl BlockKind {
+    fn from_u8(v: u8) -> BlockKind {
+        match v {
+            1 => BlockKind::Recv,
+            2 => BlockKind::Barrier,
+            3 => BlockKind::Collective,
+            _ => BlockKind::Running,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            BlockKind::Running => 0,
+            BlockKind::Recv => 1,
+            BlockKind::Barrier => 2,
+            BlockKind::Collective => 3,
+        }
+    }
+
+    pub(crate) fn describe(self) -> &'static str {
+        match self {
+            BlockKind::Running => "running",
+            BlockKind::Recv => "recv",
+            BlockKind::Barrier => "barrier",
+            BlockKind::Collective => "collective",
+        }
+    }
+}
+
+/// Shared blocked/finished/progress accounting for one world.
+pub(crate) struct WatchCtl {
+    blocked: Vec<AtomicU8>,
+    finished: Vec<AtomicBool>,
+    progress: AtomicU64,
+}
+
+impl WatchCtl {
+    pub fn new(nranks: u32) -> Self {
+        WatchCtl {
+            blocked: (0..nranks).map(|_| AtomicU8::new(0)).collect(),
+            finished: (0..nranks).map(|_| AtomicBool::new(false)).collect(),
+            progress: AtomicU64::new(0),
+        }
+    }
+
+    /// Marks `rank` as done executing its closure (normal return). A
+    /// finished rank no longer participates in the all-blocked rule.
+    pub fn mark_finished(&self, rank: RankId) {
+        self.finished[rank.index()].store(true, Ordering::Release);
+        self.bump_progress();
+    }
+
+    #[inline]
+    pub fn bump_progress(&self) {
+        self.progress.fetch_add(1, Ordering::Release);
+    }
+
+    #[inline]
+    pub fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Acquire)
+    }
+
+    /// `Some(states)` when at least one rank is unfinished and every
+    /// unfinished rank is blocked inside a simulator primitive.
+    pub fn all_blocked(&self) -> Option<Vec<(RankId, BlockKind)>> {
+        let mut states = Vec::new();
+        for (i, b) in self.blocked.iter().enumerate() {
+            if self.finished[i].load(Ordering::Acquire) {
+                continue;
+            }
+            let kind = BlockKind::from_u8(b.load(Ordering::Acquire));
+            if kind == BlockKind::Running {
+                return None;
+            }
+            states.push((RankId(i as u32), kind));
+        }
+        if states.is_empty() {
+            return None;
+        }
+        Some(states)
+    }
+}
+
+/// Everything a blocking primitive needs: the abort flag it must poll
+/// and the watchdog accounting it must keep.
+pub(crate) struct WaitCtx<'a> {
+    pub abort: &'a AbortCtl,
+    pub watch: &'a WatchCtl,
+    pub rank: RankId,
+}
+
+impl WaitCtx<'_> {
+    /// Marks the rank blocked until the returned guard drops (the guard
+    /// also bumps the progress counter on drop — leaving a wait *is*
+    /// progress, whether normally or by abort unwind).
+    pub fn enter_blocked(&self, kind: BlockKind) -> BlockGuard<'_> {
+        self.watch.blocked[self.rank.index()].store(kind.as_u8(), Ordering::Release);
+        BlockGuard { watch: self.watch, rank: self.rank }
+    }
+}
+
+/// RAII guard for a blocked section; see [`WaitCtx::enter_blocked`].
+pub(crate) struct BlockGuard<'a> {
+    watch: &'a WatchCtl,
+    rank: RankId,
+}
+
+impl Drop for BlockGuard<'_> {
+    fn drop(&mut self) {
+        self.watch.blocked[self.rank.index()]
+            .store(BlockKind::Running.as_u8(), Ordering::Release);
+        self.watch.bump_progress();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_blocked_requires_every_unfinished_rank() {
+        let w = WatchCtl::new(3);
+        let abort = AbortCtl::default();
+        assert!(w.all_blocked().is_none(), "all running");
+        let wx0 = WaitCtx { abort: &abort, watch: &w, rank: RankId(0) };
+        let g0 = wx0.enter_blocked(BlockKind::Recv);
+        assert!(w.all_blocked().is_none(), "ranks 1,2 still running");
+        w.mark_finished(RankId(1));
+        let wx2 = WaitCtx { abort: &abort, watch: &w, rank: RankId(2) };
+        let g2 = wx2.enter_blocked(BlockKind::Barrier);
+        let states = w.all_blocked().expect("0 blocked, 1 finished, 2 blocked");
+        assert_eq!(states.len(), 2);
+        assert_eq!(states[0], (RankId(0), BlockKind::Recv));
+        assert_eq!(states[1], (RankId(2), BlockKind::Barrier));
+        drop(g0);
+        assert!(w.all_blocked().is_none(), "rank 0 running again");
+        drop(g2);
+    }
+
+    #[test]
+    fn guards_bump_progress() {
+        let w = WatchCtl::new(1);
+        let abort = AbortCtl::default();
+        let before = w.progress();
+        let wx = WaitCtx { abort: &abort, watch: &w, rank: RankId(0) };
+        drop(wx.enter_blocked(BlockKind::Collective));
+        assert_eq!(w.progress(), before + 1);
+    }
+
+    #[test]
+    fn all_finished_is_not_a_deadlock() {
+        let w = WatchCtl::new(2);
+        w.mark_finished(RankId(0));
+        w.mark_finished(RankId(1));
+        assert!(w.all_blocked().is_none());
+    }
+}

@@ -1,14 +1,18 @@
-//! The SPMD world: configuration, shared state, thread spawning and
-//! outcome collection.
+//! The SPMD world: configuration, shared state, thread spawning,
+//! deadlock watchdog and outcome collection.
 
 use crate::abort::{AbortCtl, AbortReason, AbortUnwind};
 use crate::comm::{CentralBarrier, Collectives, Mailbox};
 use crate::ctx::RankCtx;
 use crate::event::Monitor;
+use crate::fault::FaultPlan;
+use crate::watchdog::WatchCtl;
 use crate::window::WindowRegistry;
+use rma_substrate::sync::{Condvar, Mutex};
 use rma_core::{RaceReport, RankId};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// World configuration.
 #[derive(Clone, Copy, Debug)]
@@ -25,6 +29,14 @@ pub struct WorldCfg {
     pub seed: u64,
     /// Stack size per rank thread in bytes.
     pub stack_bytes: usize,
+    /// Deadlock watchdog window in milliseconds: when every unfinished
+    /// rank has been blocked in a simulator primitive with zero progress
+    /// for this long, the run is declared deadlocked and converted into
+    /// a structured [`RunOutcome`] (see [`RunOutcome::deadlock`]).
+    /// `0` disables the watchdog.
+    pub watchdog_ms: u64,
+    /// Optional deterministic fault to inject (see [`FaultPlan`]).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for WorldCfg {
@@ -34,6 +46,8 @@ impl Default for WorldCfg {
             deferred_completion: false,
             seed: 0x5EED,
             stack_bytes: 1 << 20,
+            watchdog_ms: 5_000,
+            fault: None,
         }
     }
 }
@@ -53,6 +67,8 @@ pub(crate) struct WorldShared {
     pub colls: Collectives,
     pub mailboxes: Vec<Mailbox>,
     pub winreg: WindowRegistry,
+    pub watch: WatchCtl,
+    pub deadlock: Mutex<Option<String>>,
 }
 
 /// Result of a world run.
@@ -65,12 +81,17 @@ pub struct RunOutcome<T> {
     pub aborts: Vec<(RankId, AbortReason)>,
     /// Messages of genuine (non-abort) rank panics.
     pub panics: Vec<(RankId, String)>,
+    /// `Some(description)` when the deadlock watchdog fired: every
+    /// unfinished rank was blocked (recv/barrier/collective) with no
+    /// progress for the configured window. The description lists each
+    /// blocked rank and what it was waiting on.
+    pub deadlock: Option<String>,
 }
 
 impl<T> RunOutcome<T> {
-    /// No aborts, no panics, every rank returned.
+    /// No aborts, no panics, no deadlock, every rank returned.
     pub fn is_clean(&self) -> bool {
-        self.aborts.is_empty() && self.panics.is_empty()
+        self.aborts.is_empty() && self.panics.is_empty() && self.deadlock.is_none()
     }
 
     /// Data-race reports carried by the aborts.
@@ -92,13 +113,14 @@ impl<T> RunOutcome<T> {
     /// Unwraps the per-rank results of a clean run.
     ///
     /// # Panics
-    /// Panics when the run aborted or a rank panicked.
+    /// Panics when the run aborted, deadlocked or a rank panicked.
     pub fn expect_clean(self, what: &str) -> Vec<T> {
         assert!(
             self.is_clean(),
-            "{what}: run not clean: aborts={:?} panics={:?}",
+            "{what}: run not clean: aborts={:?} panics={:?} deadlock={:?}",
             self.aborts,
-            self.panics
+            self.panics,
+            self.deadlock
         );
         self.results
             .into_iter()
@@ -123,15 +145,66 @@ fn install_quiet_abort_hook() {
     });
 }
 
+/// Watchdog loop: observes the world's blocked/progress accounting and
+/// raises a silent abort with a deadlock description when every
+/// unfinished rank has been blocked with no progress for `window_ms`.
+/// Runs until `done` is set (signalled after all rank threads joined).
+fn watchdog_loop(shared: &WorldShared, done: &Mutex<bool>, done_cv: &Condvar, window_ms: u64) {
+    // Check a few times per window so transient all-blocked moments
+    // (message pushed but receiver still inside its 2 ms poll) are never
+    // mistaken for a deadlock, while shutdown stays prompt.
+    let tick = Duration::from_millis((window_ms / 4).clamp(1, 50));
+    let mut stalled = Duration::ZERO;
+    let mut last_progress = shared.watch.progress();
+    let mut flag = done.lock();
+    loop {
+        done_cv.wait_for(&mut flag, tick);
+        if *flag {
+            return;
+        }
+        if shared.abort.is_aborted() {
+            // Outcome already structured (race, abort, panic or an
+            // earlier watchdog finding); nothing left to detect.
+            stalled = Duration::ZERO;
+            continue;
+        }
+        let progress = shared.watch.progress();
+        let blocked = shared.watch.all_blocked();
+        if progress != last_progress || blocked.is_none() {
+            last_progress = progress;
+            stalled = Duration::ZERO;
+            continue;
+        }
+        stalled += tick;
+        if stalled.as_millis() < u128::from(window_ms) {
+            continue;
+        }
+        let states = blocked.expect("checked above");
+        let mut desc = format!(
+            "deadlock detected by watchdog after {window_ms} ms without progress: "
+        );
+        for (i, (rank, kind)) in states.iter().enumerate() {
+            if i > 0 {
+                desc.push_str(", ");
+            }
+            desc.push_str(&format!("{rank} blocked in {}", kind.describe()));
+        }
+        *shared.deadlock.lock() = Some(desc);
+        shared.abort.raise_silent();
+        stalled = Duration::ZERO;
+    }
+}
+
 /// Entry point of the simulator.
 pub struct World;
 
 impl World {
     /// Runs `f` SPMD on `cfg.nranks` rank threads under the given monitor.
     ///
-    /// Blocks until all ranks finished (normally, by world abort, or by
-    /// panic) and returns the collected outcome. Rank threads are scoped:
-    /// `f` may borrow from the caller's stack.
+    /// Blocks until all ranks finished (normally, by world abort, by
+    /// panic, or unwound by the deadlock watchdog) and returns the
+    /// collected outcome. Rank threads are scoped: `f` may borrow from
+    /// the caller's stack.
     pub fn run<T, F>(cfg: WorldCfg, monitor: Arc<dyn Monitor>, f: F) -> RunOutcome<T>
     where
         T: Send,
@@ -146,13 +219,27 @@ impl World {
             colls: Collectives::default(),
             mailboxes: (0..cfg.nranks).map(|_| Mailbox::default()).collect(),
             winreg: WindowRegistry::default(),
+            watch: WatchCtl::new(cfg.nranks),
+            deadlock: Mutex::new(None),
         };
         monitor.on_world_start(cfg.nranks);
         monitor.on_abort_view(shared.abort.view());
 
+        let done = Mutex::new(false);
+        let done_cv = Condvar::new();
         let mut results: Vec<Option<T>> = Vec::with_capacity(cfg.nranks as usize);
         let mut panics: Vec<(RankId, String)> = Vec::new();
         std::thread::scope(|scope| {
+            if cfg.watchdog_ms > 0 {
+                let shared = &shared;
+                let (done, done_cv) = (&done, &done_cv);
+                std::thread::Builder::new()
+                    .name("watchdog".into())
+                    .spawn_scoped(scope, move || {
+                        watchdog_loop(shared, done, done_cv, cfg.watchdog_ms);
+                    })
+                    .expect("failed to spawn watchdog thread");
+            }
             let mut handles = Vec::with_capacity(cfg.nranks as usize);
             for r in 0..cfg.nranks {
                 let rank = RankId(r);
@@ -168,6 +255,7 @@ impl World {
                             std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                         match out {
                             Ok(v) => {
+                                shared.watch.mark_finished(rank);
                                 monitor.on_rank_finish(rank);
                                 Ok(v)
                             }
@@ -200,6 +288,8 @@ impl World {
                     }
                 }
             }
+            *done.lock() = true;
+            done_cv.notify_all();
         });
 
         monitor.on_world_end();
@@ -212,7 +302,8 @@ impl World {
             .into_iter()
             .filter(|(_, reason)| !matches!(reason, AbortReason::Other(m) if m.starts_with("rank panicked:")))
             .collect();
-        RunOutcome { results, aborts, panics }
+        let deadlock = shared.deadlock.lock().take();
+        RunOutcome { results, aborts, panics, deadlock }
     }
 }
 

@@ -133,6 +133,7 @@ pub fn run_accum_case(partner: AccumPartner, tool: Tool) -> bool {
                 algorithm,
                 on_race: OnRace::Collect,
                 delivery: Delivery::Direct,
+                node_budget: None,
             }));
             let out =
                 World::run(cfg, mon.clone() as Arc<dyn Monitor>, |ctx| partner.body(ctx));

@@ -1,0 +1,93 @@
+//! `rma-chaos` — seeded chaos sweep over the validation suite.
+//!
+//! ```text
+//! rma-chaos [--seeds N] [--start S] [--watchdog-ms M] [--verbose]
+//! ```
+//!
+//! Runs `N` scenarios (seeds `S..S+N`); each seed deterministically
+//! picks a suite case, a fault kind, a victim rank and a trigger event.
+//! Exits non-zero the moment any scenario violates the structured-
+//! outcome contract (unexplained panic, unclassifiable outcome) — a
+//! failing seed replays the whole scenario by itself.
+
+use rma_suite::chaos::run_chaos_scenario;
+use rma_suite::generate_suite;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "usage: rma-chaos [--seeds N] [--start S] [--watchdog-ms M] [--verbose]";
+
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value\n{USAGE}"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        let n = v.parse().map_err(|_| format!("{flag}: bad number {v:?}\n{USAGE}"))?;
+        Ok(Some(n))
+    } else {
+        Ok(None)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds = take_opt(&mut args, "--seeds")?.unwrap_or(64);
+    let start = take_opt(&mut args, "--start")?.unwrap_or(0);
+    let watchdog_ms = take_opt(&mut args, "--watchdog-ms")?.unwrap_or(2_000);
+    let verbose = if let Some(i) = args.iter().position(|a| a == "--verbose") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
+    }
+
+    let cases = generate_suite();
+    let t0 = Instant::now();
+    let mut tally: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for seed in start..start + seeds {
+        match run_chaos_scenario(seed, &cases, watchdog_ms) {
+            Ok(res) => {
+                if verbose {
+                    println!(
+                        "seed {seed:4}  {:10}  {:28}  {:?} (rank {} @ event {})  {:.1} ms",
+                        res.verdict.name(),
+                        res.case,
+                        res.plan.kind,
+                        res.plan.rank,
+                        res.plan.at_event,
+                        res.elapsed.as_secs_f64() * 1e3
+                    );
+                }
+                *tally.entry(res.verdict.name()).or_default() += 1;
+            }
+            Err(violation) => {
+                eprintln!("CONTRACT VIOLATION: {violation}");
+                eprintln!("replay with: rma-chaos --seeds 1 --start {seed} --verbose");
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+    }
+    let summary: Vec<String> = tally.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!(
+        "chaos sweep: {seeds} scenarios in {:.2}s, all structured [{}]",
+        t0.elapsed().as_secs_f64(),
+        summary.join(" ")
+    );
+    Ok(ExitCode::SUCCESS)
+}

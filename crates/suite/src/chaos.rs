@@ -1,0 +1,131 @@
+//! Seeded chaos sweeps over the validation suite.
+//!
+//! A chaos scenario is `(seed)` — nothing else. The seed picks a suite
+//! case, derives a [`FaultPlan`] (kind, victim rank, trigger event) and
+//! seeds the world's completion shuffle, so a failing scenario replays
+//! bit-identically from its number alone. The runtime's robustness
+//! contract, checked by [`classify`], is that every scenario ends in a
+//! *structured* outcome:
+//!
+//! * **clean** — the fault never fired or was absorbed (stall/duplicate
+//!   transport faults are delays, not losses);
+//! * **raced** — the detector flagged the case (or the injected
+//!   `HookError` took the detector's abort path);
+//! * **crashed** — the injected rank crash was caught, recorded in
+//!   `panics`, and unwound every sibling;
+//! * **aborted** — a structured abort (failed window allocation);
+//! * **deadlocked** — the watchdog converted a wedged world into
+//!   `RunOutcome::deadlock`.
+//!
+//! Anything else — an unexplained panic, a poisoned lock, a hang past
+//! the watchdog — is a contract violation and fails the sweep.
+
+use crate::case::{CaseSpec, SUITE_RANKS};
+use crate::run::run_case_with_cfg;
+use rma_monitor::{Algorithm, AnalyzerCfg, Delivery, OnRace, RmaAnalyzer};
+use rma_sim::{FaultPlan, Monitor, RunOutcome, WorldCfg};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Structured classification of one chaos scenario's outcome.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaosVerdict {
+    /// Run finished clean and the detector stayed quiet.
+    Clean,
+    /// Run finished clean (or aborted on report) with a race flagged.
+    Raced,
+    /// The injected crash was recorded and siblings unwound.
+    Crashed,
+    /// A structured non-race abort (e.g. failed window allocation).
+    Aborted,
+    /// The deadlock watchdog fired and produced a description.
+    Deadlocked,
+}
+
+impl ChaosVerdict {
+    /// Tally-table label.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosVerdict::Clean => "clean",
+            ChaosVerdict::Raced => "raced",
+            ChaosVerdict::Crashed => "crashed",
+            ChaosVerdict::Aborted => "aborted",
+            ChaosVerdict::Deadlocked => "deadlocked",
+        }
+    }
+}
+
+/// One scenario's result: what happened and how long it took.
+#[derive(Debug)]
+pub struct ChaosResult {
+    /// The defining seed.
+    pub seed: u64,
+    /// Name of the suite case the seed selected.
+    pub case: String,
+    /// The derived fault plan.
+    pub plan: FaultPlan,
+    /// Structured verdict.
+    pub verdict: ChaosVerdict,
+    /// Wall-clock duration of the world run.
+    pub elapsed: Duration,
+}
+
+/// Maps a finished world outcome onto the structured-verdict contract.
+/// `Err` is a violation: an outcome shape chaos must never produce.
+pub fn classify(outcome: &RunOutcome<()>, detector_raced: bool) -> Result<ChaosVerdict, String> {
+    if let Some(desc) = &outcome.deadlock {
+        if !outcome.panics.is_empty() {
+            return Err(format!("deadlock AND panics: {desc:?} + {:?}", outcome.panics));
+        }
+        return Ok(ChaosVerdict::Deadlocked);
+    }
+    if !outcome.panics.is_empty() {
+        // The only legitimate panic source under chaos is the injected
+        // crash itself — exactly one, carrying its marker message.
+        if outcome.panics.len() != 1 {
+            return Err(format!("{} panics, expected at most 1", outcome.panics.len()));
+        }
+        let (rank, msg) = &outcome.panics[0];
+        if !msg.contains("fault injection") {
+            return Err(format!("unexplained panic on {rank:?}: {msg}"));
+        }
+        return Ok(ChaosVerdict::Crashed);
+    }
+    if outcome.raced() || detector_raced {
+        return Ok(ChaosVerdict::Raced);
+    }
+    if !outcome.aborts.is_empty() {
+        return Ok(ChaosVerdict::Aborted);
+    }
+    Ok(ChaosVerdict::Clean)
+}
+
+/// Runs chaos scenario `seed` against `cases` (the seed picks one) with
+/// the frag-merge analyzer attached. `watchdog_ms` bounds a wedged run.
+pub fn run_chaos_scenario(
+    seed: u64,
+    cases: &[CaseSpec],
+    watchdog_ms: u64,
+) -> Result<ChaosResult, String> {
+    assert!(!cases.is_empty());
+    let spec = &cases[(seed as usize).wrapping_mul(0x9E37_79B9) % cases.len()];
+    let plan = FaultPlan::from_seed(seed, SUITE_RANKS);
+    let mon = Arc::new(RmaAnalyzer::new(AnalyzerCfg {
+        algorithm: Algorithm::FragMerge,
+        on_race: OnRace::Collect,
+        delivery: Delivery::Direct,
+        node_budget: None,
+    }));
+    let cfg = WorldCfg {
+        fault: Some(plan),
+        watchdog_ms,
+        seed,
+        ..WorldCfg::with_ranks(SUITE_RANKS)
+    };
+    let started = Instant::now();
+    let outcome = run_case_with_cfg(spec, mon.clone() as Arc<dyn Monitor>, cfg);
+    let elapsed = started.elapsed();
+    let verdict = classify(&outcome, !mon.races().is_empty())
+        .map_err(|e| format!("seed {seed} ({} / {plan:?}): {e}", spec.name()))?;
+    Ok(ChaosResult { seed, case: spec.name(), plan, verdict, elapsed })
+}

@@ -14,10 +14,13 @@
 
 pub mod accum_ext;
 pub mod case;
+pub mod chaos;
 pub mod generate;
 pub mod run;
 
 pub use accum_ext::{run_accum_case, AccumPartner};
 pub use case::{Action, CaseSpec, Op, Role, Site, Variant, ORIGIN1, ORIGIN2, SUITE_RANKS, TARGET};
 pub use generate::{find_case, generate_suite};
-pub use run::{evaluate, misclassified, run_case, run_case_with_monitor, Confusion, Tool};
+pub use run::{
+    evaluate, misclassified, run_case, run_case_with_cfg, run_case_with_monitor, Confusion, Tool,
+};

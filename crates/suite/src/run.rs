@@ -120,7 +120,19 @@ pub fn run_case_with_monitor(
     spec: &CaseSpec,
     monitor: Arc<dyn Monitor>,
 ) -> rma_sim::RunOutcome<()> {
-    let cfg = WorldCfg::with_ranks(SUITE_RANKS);
+    run_case_with_cfg(spec, monitor, WorldCfg::with_ranks(SUITE_RANKS))
+}
+
+/// Like [`run_case_with_monitor`] but with an explicit [`WorldCfg`] —
+/// the entry point for chaos sweeps that attach a fault plan or tune the
+/// watchdog. `cfg.nranks` must be [`SUITE_RANKS`]; it is forced to make
+/// misconfigured sweeps impossible.
+pub fn run_case_with_cfg(
+    spec: &CaseSpec,
+    monitor: Arc<dyn Monitor>,
+    cfg: WorldCfg,
+) -> rma_sim::RunOutcome<()> {
+    let cfg = WorldCfg { nranks: SUITE_RANKS, ..cfg };
     World::run(cfg, monitor, |ctx| case_body(ctx, spec))
 }
 
@@ -138,6 +150,7 @@ pub fn run_case(spec: &CaseSpec, tool: Tool) -> bool {
                 algorithm,
                 on_race: OnRace::Collect,
                 delivery: Delivery::Direct,
+                node_budget: None,
             }));
             let out = World::run(cfg, mon.clone() as Arc<dyn Monitor>, |ctx| {
                 case_body(ctx, spec)

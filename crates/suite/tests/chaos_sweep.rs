@@ -1,0 +1,72 @@
+//! The chaos sweep: ≥64 seeded fault scenarios over the validation
+//! suite, every one ending in a structured verdict — never a hang past
+//! the watchdog, never an unexplained panic, never a poisoned lock that
+//! wrecks the next scenario.
+
+use rma_suite::chaos::{run_chaos_scenario, ChaosVerdict};
+use rma_suite::{generate_suite, run_case, Tool};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+#[test]
+fn sixty_four_seeded_scenarios_all_classify() {
+    let cases = generate_suite();
+    let started = Instant::now();
+    let mut tally: HashMap<&'static str, usize> = HashMap::new();
+    for seed in 0..64u64 {
+        let res = run_chaos_scenario(seed, &cases, 2_000).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            res.elapsed < Duration::from_secs(20),
+            "seed {seed}: scenario took {:?}",
+            res.elapsed
+        );
+        *tally.entry(res.verdict.name()).or_default() += 1;
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(300),
+        "sweep wall clock blew past its bound"
+    );
+    eprintln!("chaos tally: {tally:?}");
+    // The seeded plan space (5 kinds × 3 ranks × 47 trigger points) must
+    // visibly exercise more than one failure mode in 64 draws.
+    assert!(tally.len() >= 3, "sweep too homogeneous: {tally:?}");
+    assert!(tally.contains_key("crashed"), "no crash scenario fired: {tally:?}");
+}
+
+/// Determinism: the same seed yields the same structured verdict on
+/// every run (the whole point of `(seed)`-keyed scenarios).
+#[test]
+fn chaos_scenarios_replay_identically() {
+    let cases = generate_suite();
+    for seed in [2u64, 11, 29, 41, 59] {
+        let a = run_chaos_scenario(seed, &cases, 2_000).unwrap();
+        let b = run_chaos_scenario(seed, &cases, 2_000).unwrap();
+        assert_eq!(a.verdict, b.verdict, "seed {seed}");
+        assert_eq!(a.case, b.case, "seed {seed}");
+        assert_eq!(a.plan, b.plan, "seed {seed}");
+    }
+}
+
+/// Chaos leaves no process-global debris: a normal suite evaluation run
+/// directly after a crashing scenario still classifies correctly.
+#[test]
+fn world_state_survives_a_crash_scenario() {
+    let cases = generate_suite();
+    // Find a seed whose scenario crashes, run it, then run a plain case.
+    let mut crashed = false;
+    for seed in 0..64u64 {
+        let res = run_chaos_scenario(seed, &cases, 2_000).unwrap();
+        if res.verdict == ChaosVerdict::Crashed {
+            crashed = true;
+            break;
+        }
+    }
+    assert!(crashed, "no crash found in 64 seeds");
+    let spec = &cases[0];
+    assert_eq!(
+        run_case(spec, Tool::Contribution),
+        spec.races(),
+        "post-crash run misclassified {}",
+        spec.name()
+    );
+}

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! rma-trace record  (--case NAME | --app bfs|cfd|minivite) --out FILE [--race]
-//! rma-trace replay  FILE [--store naive|legacy|fragmerge|must]
+//! rma-trace replay  FILE [--store naive|legacy|fragmerge|must] [--tolerate-truncation]
+//! rma-trace salvage FILE [--out FILE]
 //! rma-trace stat    FILE
 //! rma-trace diff    FILE1 FILE2
 //! rma-trace bench   FILE...
@@ -13,20 +14,24 @@
 //! behind a [`TraceWriter`] and prints the live verdict; `replay` prints
 //! the offline verdict in the same canonical format, so the two lines
 //! compare byte-for-byte (this is the round-trip check `ci.sh` gates on).
+//! `salvage` recovers the longest epoch-aligned prefix of a damaged
+//! file; `replay --tolerate-truncation` falls back to the same recovery
+//! when a full decode fails, replaying whatever prefix survives.
 
 use rma_apps::{run_bfs, run_cfd, run_minivite, BfsCfg, CfdCfg, Method, MethodRun, MiniViteCfg};
 use rma_monitor::{Algorithm, AnalyzerCfg, Delivery, OnRace, RmaAnalyzer};
 use rma_sim::{Monitor, Tee};
 use rma_substrate::bench::BenchGroup;
 use rma_suite::{find_case, generate_suite, run_case_with_monitor};
-use rma_trace::{replay, verdict_line, Detector, Trace, TraceEvent, TraceWriter};
+use rma_trace::{replay, salvage, verdict_line, Detector, Trace, TraceEvent, TraceWriter};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
 const USAGE: &str = "usage:
   rma-trace record  (--case NAME | --app bfs|cfd|minivite) --out FILE [--race]
-  rma-trace replay  FILE [--store naive|legacy|fragmerge|must]
+  rma-trace replay  FILE [--store naive|legacy|fragmerge|must] [--tolerate-truncation]
+  rma-trace salvage FILE [--out FILE]
   rma-trace stat    FILE
   rma-trace diff    FILE1 FILE2
   rma-trace bench   FILE...";
@@ -36,6 +41,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("salvage") => cmd_salvage(&args[1..]),
         Some("stat") => cmd_stat(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -92,6 +98,7 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
         algorithm: Algorithm::FragMerge,
         on_race: OnRace::Collect,
         delivery: Delivery::Direct,
+        node_budget: None,
     }));
     let (writer, clean) = match (case.as_deref(), app.as_deref()) {
         (Some(name), None) => {
@@ -165,12 +172,25 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
 fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
     let mut args = args.to_vec();
     let store = take_opt(&mut args, "--store")?.unwrap_or_else(|| "fragmerge".into());
+    let tolerate = take_flag(&mut args, "--tolerate-truncation");
     let detector = Detector::parse(&store)
         .ok_or_else(|| format!("unknown store {store:?} (naive|legacy|fragmerge|must)"))?;
     let [path] = args.as_slice() else {
         return Err(format!("replay takes one FILE\n{USAGE}"));
     };
-    let trace = load_trace(path)?;
+    let trace = if tolerate {
+        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        let rep = salvage(&bytes).map_err(|e| format!("{path}: unsalvageable: {e}"))?;
+        if let Some(diag) = rep.diagnosis {
+            eprintln!(
+                "warning: {path}: {diag}; salvaged {} events / {} epoch(s), dropped {}",
+                rep.recovered_events, rep.epochs_kept, rep.dropped_events
+            );
+        }
+        rep.trace
+    } else {
+        load_trace(path)?
+    };
     let t0 = Instant::now();
     let outcome = replay(&trace, detector);
     let secs = t0.elapsed().as_secs_f64();
@@ -195,6 +215,29 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
         println!("warning: trace incomplete (ranks parked at an unmatched collective)");
     }
     println!("{}", verdict_line(&outcome.races));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_salvage(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let out = take_opt(&mut args, "--out")?;
+    let [path] = args.as_slice() else {
+        return Err(format!("salvage takes one FILE\n{USAGE}"));
+    };
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let rep = salvage(&bytes).map_err(|e| format!("{path}: unsalvageable: {e}"))?;
+    match &rep.diagnosis {
+        None => println!("{path}: intact ({} events, nothing to do)", rep.recovered_events),
+        Some(diag) => println!(
+            "{path}: {diag}; recovered {} events across {} complete epoch(s), dropped {} decoded events",
+            rep.recovered_events, rep.epochs_kept, rep.dropped_events
+        ),
+    }
+    if let Some(out) = out {
+        let re = rep.trace.encode();
+        std::fs::write(&out, &re).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote salvaged trace ({} bytes) -> {out}", re.len());
+    }
     Ok(ExitCode::SUCCESS)
 }
 

@@ -197,7 +197,10 @@ impl StringTable {
 pub fn intern_static(s: &str) -> &'static str {
     static POOL: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
     let pool = POOL.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = pool.lock().expect("intern pool poisoned");
+    // A poisoned lock only means another thread panicked mid-insert; the
+    // map is still a valid dedup cache, so keep going rather than panic
+    // on every subsequent decode.
+    let mut map = pool.lock().unwrap_or_else(|p| p.into_inner());
     if let Some(&st) = map.get(s) {
         return st;
     }

@@ -27,6 +27,7 @@
 
 pub mod format;
 pub mod replay;
+pub mod salvage;
 pub mod trace;
 pub mod varint;
 pub mod writer;
@@ -36,6 +37,7 @@ pub use replay::{
     canonical_verdict, replay, replay_trace, verdict_line, Detector, MustTarget, ReplayOutcome,
     ReplayTarget, StoreTarget,
 };
+pub use salvage::{salvage, SalvageReport};
 pub use trace::{EpochMark, Trace, TraceHeader, FORMAT_VERSION, MAGIC, TAIL_MAGIC};
 pub use writer::TraceWriter;
 

@@ -1,23 +1,34 @@
 //! The trace container: header, per-rank record streams, string table,
 //! stream/epoch indexes and a checksummed trailer.
 //!
-//! ## File layout (version 1)
+//! ## File layout
 //!
 //! ```text
 //! magic            8 bytes  b"RMATRC01"
 //! header           varints: version, nranks, seed, app (len + UTF-8)
+//! string table     (version ≥ 2 only) count + strings — see below
 //! streams          nranks concatenated record streams (format.rs)
-//! footer           string table, stream index, epoch index (varints)
+//! footer           v1: string table, stream index, epoch index
+//!                  v2: stream index, epoch index
 //! footer_len       u32 LE — distance from footer start to this field
 //! checksum         u64 LE — FNV-1a over every preceding byte
 //! tail magic       8 bytes  b"RMAT_END"
 //! ```
 //!
-//! The footer lives at the *end* so the writer can stream records without
-//! knowing the final string table, and the reader finds it in O(1) from
+//! The indexes live at the *end* so the reader finds them in O(1) from
 //! the trailer. The checksum covers everything before it, so any
 //! truncation or bit flip — including inside the footer — is detected
 //! before a single record is decoded.
+//!
+//! Version 2 moves the **string table** from the footer into the header:
+//! the encoder pre-scans every event in stream order (the same traversal
+//! the record encoder performs, so the interning indices are identical)
+//! and emits the complete table up front. This is what makes *salvage*
+//! of a damaged file possible (see [`crate::salvage`]): a truncated tail
+//! destroys the footer, but record streams are self-delimiting
+//! (`Finish`-terminated) and can be decoded without any index — provided
+//! the string table survives, which at the head of the file it does.
+//! Version 1 files (the pinned corpus) keep decoding via the old path.
 //!
 //! ## Versioning policy
 //!
@@ -38,8 +49,10 @@ use crate::TraceError;
 pub const MAGIC: &[u8; 8] = b"RMATRC01";
 /// Trailer magic.
 pub const TAIL_MAGIC: &[u8; 8] = b"RMAT_END";
-/// Newest record-format version this build reads and writes.
-pub const FORMAT_VERSION: u64 = 1;
+/// Newest record-format version this build reads and writes. Version 2
+/// carries the string table in the header (salvageable); version 1 files
+/// keep decoding.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Identity of a recorded run.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -86,12 +99,13 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Footer contents in decoded form (also the seek metadata for readers).
+/// For v2 files `strings` is populated from the header table.
 #[derive(Clone, Debug)]
-struct Footer {
-    strings: Vec<String>,
+pub(crate) struct Footer {
+    pub(crate) strings: Vec<String>,
     /// Per rank: (absolute byte offset, byte length, event count).
-    stream_index: Vec<(u64, u64, u64)>,
-    epoch_marks: Vec<EpochMark>,
+    pub(crate) stream_index: Vec<(u64, u64, u64)>,
+    pub(crate) epoch_marks: Vec<EpochMark>,
 }
 
 fn write_string(out: &mut Vec<u8>, s: &str) {
@@ -108,7 +122,8 @@ fn read_string(buf: &[u8], pos: &mut usize) -> Result<String, TraceError> {
 }
 
 impl Trace {
-    /// Serializes the trace into the container format.
+    /// Serializes the trace into the container format (the layout of
+    /// `self.header.version` — v1 for re-encoding old files, v2 normally).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -118,6 +133,22 @@ impl Trace {
         write_string(&mut out, &self.header.app);
 
         let mut strings = StringTable::default();
+        if self.header.version >= 2 {
+            // Pre-scan every event in stream order — the exact traversal
+            // the record encoder below performs — so the table is
+            // complete up front with identical indices.
+            for stream in &self.streams {
+                for ev in stream {
+                    if let TraceEvent::Local { loc, .. } | TraceEvent::Rma { loc, .. } = ev {
+                        strings.intern(loc.file);
+                    }
+                }
+            }
+            write_u64(&mut out, strings.strings().len() as u64);
+            for s in strings.strings() {
+                write_string(&mut out, s);
+            }
+        }
         let mut stream_index: Vec<(u64, u64, u64)> = Vec::new();
         let mut epoch_marks: Vec<EpochMark> = Vec::new();
         for (rank, stream) in self.streams.iter().enumerate() {
@@ -139,9 +170,11 @@ impl Trace {
         }
 
         let footer_start = out.len();
-        write_u64(&mut out, strings.strings().len() as u64);
-        for s in strings.strings() {
-            write_string(&mut out, s);
+        if self.header.version < 2 {
+            write_u64(&mut out, strings.strings().len() as u64);
+            for s in strings.strings() {
+                write_string(&mut out, s);
+            }
         }
         for &(off, len, count) in &stream_index {
             write_u64(&mut out, off);
@@ -174,7 +207,8 @@ impl Trace {
             let body = bytes.get(start..end).ok_or(TraceError::Truncated)?;
             let mut pos = 0;
             let mut state = DeltaState::default();
-            let mut events = Vec::with_capacity(count as usize);
+            // Untrusted count; every record costs at least one byte.
+            let mut events = Vec::with_capacity((count as usize).min(body.len()));
             for _ in 0..count {
                 events.push(decode_event(body, &mut pos, &mut state, &footer.strings)?);
             }
@@ -239,8 +273,60 @@ impl Trace {
     }
 }
 
+/// Parses the file-head structures only: magic, header fields, and (for
+/// v2) the header string table. Never touches the trailer, so it works
+/// on truncated files — the salvage entry point. Returns the header, the
+/// string table (empty for v1), and the byte offset where the record
+/// streams begin.
+pub(crate) fn parse_header(
+    bytes: &[u8],
+) -> Result<(TraceHeader, Vec<String>, usize), TraceError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(TraceError::Truncated);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let mut pos = MAGIC.len();
+    let version = read_u64(bytes, &mut pos)?;
+    if version > FORMAT_VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    let nranks = u32::try_from(read_u64(bytes, &mut pos)?)
+        .map_err(|_| TraceError::Corrupt("rank count out of range"))?;
+    let seed = read_u64(bytes, &mut pos)?;
+    let app = read_string(bytes, &mut pos)?;
+    let mut strings = Vec::new();
+    if version >= 2 {
+        let nstrings = read_u64(bytes, &mut pos)? as usize;
+        // Clamp the pre-allocation: the count is untrusted, and each
+        // string costs at least one length byte.
+        strings.reserve(nstrings.min(bytes.len().saturating_sub(pos)));
+        for _ in 0..nstrings {
+            strings.push(read_string(bytes, &mut pos)?);
+        }
+    }
+    Ok((TraceHeader { version, nranks, seed, app }, strings, pos))
+}
+
 /// Verifies the trailer and parses header + footer.
 fn parse_container(bytes: &[u8]) -> Result<(TraceHeader, Footer, usize), TraceError> {
+    parse_container_impl(bytes, true)
+}
+
+/// Like [`parse_container`], but skips the checksum comparison — for
+/// salvaging a file whose trailer structure survived a bit flip. The
+/// parsed indexes are unverified and must be treated as hints.
+pub(crate) fn parse_container_unverified(
+    bytes: &[u8],
+) -> Result<(TraceHeader, Footer, usize), TraceError> {
+    parse_container_impl(bytes, false)
+}
+
+fn parse_container_impl(
+    bytes: &[u8],
+    verify_checksum: bool,
+) -> Result<(TraceHeader, Footer, usize), TraceError> {
     // Trailer: footer_len (4) + checksum (8) + tail magic (8).
     if bytes.len() < MAGIC.len() + 20 {
         return Err(TraceError::Truncated);
@@ -254,7 +340,7 @@ fn parse_container(bytes: &[u8]) -> Result<(TraceHeader, Footer, usize), TraceEr
     }
     let sum_start = tail_start - 8;
     let stored = u64::from_le_bytes(bytes[sum_start..tail_start].try_into().expect("8 bytes"));
-    if fnv1a(&bytes[..sum_start]) != stored {
+    if verify_checksum && fnv1a(&bytes[..sum_start]) != stored {
         return Err(TraceError::BadChecksum);
     }
     let lenfield_start = sum_start - 4;
@@ -264,27 +350,24 @@ fn parse_container(bytes: &[u8]) -> Result<(TraceHeader, Footer, usize), TraceEr
         .checked_sub(footer_len)
         .ok_or(TraceError::Corrupt("footer length exceeds file"))?;
 
-    // Header.
-    let mut pos = MAGIC.len();
-    let version = read_u64(bytes, &mut pos)?;
-    if version > FORMAT_VERSION {
-        return Err(TraceError::BadVersion(version));
-    }
-    let nranks = u32::try_from(read_u64(bytes, &mut pos)?)
-        .map_err(|_| TraceError::Corrupt("rank count out of range"))?;
-    let seed = read_u64(bytes, &mut pos)?;
-    let app = read_string(bytes, &mut pos)?;
-    let header = TraceHeader { version, nranks, seed, app };
+    // Header (and, for v2, the header-resident string table).
+    let (header, header_strings, _) = parse_header(bytes)?;
+    let nranks = header.nranks;
 
     // Footer.
     let fbuf = &bytes[..lenfield_start];
     let mut pos = footer_start;
-    let nstrings = read_u64(fbuf, &mut pos)? as usize;
-    let mut strings = Vec::with_capacity(nstrings.min(1 << 16));
-    for _ in 0..nstrings {
-        strings.push(read_string(fbuf, &mut pos)?);
-    }
-    let mut stream_index = Vec::with_capacity(nranks as usize);
+    let strings = if header.version >= 2 {
+        header_strings
+    } else {
+        let nstrings = read_u64(fbuf, &mut pos)? as usize;
+        let mut strings = Vec::with_capacity(nstrings.min(1 << 16));
+        for _ in 0..nstrings {
+            strings.push(read_string(fbuf, &mut pos)?);
+        }
+        strings
+    };
+    let mut stream_index = Vec::with_capacity((nranks as usize).min(1 << 16));
     for _ in 0..nranks {
         let off = read_u64(fbuf, &mut pos)?;
         let len = read_u64(fbuf, &mut pos)?;

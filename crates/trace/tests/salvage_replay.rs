@@ -1,0 +1,151 @@
+//! End-to-end salvage fidelity: the epoch-aligned prefix recovered from
+//! a damaged file replays to exactly the verdicts the *original* trace
+//! produces over those same epochs. Races confined to the lost tail
+//! disappear (they were never recorded); races in surviving epochs are
+//! reported identically — kind pair, intervals, locations.
+
+use rma_sim::{RankId, World, WorldCfg};
+use rma_trace::{
+    replay, salvage, verdict_line, Detector, Trace, TraceEvent, TraceWriter, FORMAT_VERSION,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Three lock_all epochs on two ranks: a put/put race on the same target
+/// cells in epoch 1, a quiet epoch 2, and a second distinct race in
+/// epoch 3. Racy early + racy late lets one truncation point separate
+/// "verdict preserved" from "tail race forgotten".
+fn record_three_epochs() -> Trace {
+    let writer = Arc::new(TraceWriter::new("salvage-fidelity", 42));
+    let out = World::run(WorldCfg::with_ranks(2), writer.clone(), |ctx| {
+        let win = ctx.win_allocate(128);
+        let buf = ctx.alloc(16);
+        // Epoch 1: both ranks put to rank 0's cells [0,8) — a race.
+        ctx.win_lock_all(win);
+        ctx.put(&buf, 0, 8, RankId(0), 0, win);
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+        // Epoch 2: disjoint targets — quiet.
+        ctx.win_lock_all(win);
+        let off = 32 + u64::from(ctx.rank().0) * 16;
+        ctx.put(&buf, 0, 8, RankId(1), off, win);
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+        // Epoch 3: both ranks put to rank 1's cells [64,72) — a race.
+        ctx.win_lock_all(win);
+        ctx.put(&buf, 8, 8, RankId(1), 64, win);
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(out.is_clean(), "{:?}", out.panics);
+    writer.trace()
+}
+
+/// The original trace cut to its first `k` epochs per rank — the oracle
+/// the salvaged prefix must match.
+fn prefix_by_epochs(t: &Trace, k: usize) -> Trace {
+    let mut cut = t.clone();
+    for s in &mut cut.streams {
+        if k == 0 {
+            s.clear();
+            continue;
+        }
+        let mut seen = 0usize;
+        let end = s
+            .iter()
+            .position(|e| {
+                if matches!(e, TraceEvent::UnlockAll { .. } | TraceEvent::Fence { .. }) {
+                    seen += 1;
+                }
+                seen == k
+            })
+            .map_or(s.len(), |i| i + 1);
+        s.truncate(end);
+    }
+    cut
+}
+
+#[test]
+fn salvaged_prefix_replays_to_the_oracle_verdict_at_every_cut() {
+    let t = record_three_epochs();
+    let bytes = t.encode();
+    let full = replay(&t, Detector::FragMerge);
+    assert!(!full.races.is_empty(), "the recorded program races");
+
+    let mut seen_partial = false;
+    // Walk truncation points from "everything but the trailer" down into
+    // the streams; every salvage must replay to its epoch-prefix oracle.
+    for lost in (1..bytes.len() - 30).step_by(13) {
+        let rep = match salvage(&bytes[..bytes.len() - lost]) {
+            Ok(rep) => rep,
+            // Cuts reaching into the header/string region leave nothing
+            // to anchor a decode; the structured refusal is the contract.
+            Err(e) => {
+                assert!(
+                    matches!(e, rma_trace::TraceError::Truncated),
+                    "lost={lost}: unstructured failure {e:?}"
+                );
+                continue;
+            }
+        };
+        let k = rep.epochs_kept;
+        // A cut that only nicks the trailer leaves every stream intact
+        // (Finish-terminated); salvage keeps it all, so the oracle is the
+        // whole trace, not the epoch cut.
+        let complete = rep
+            .trace
+            .streams
+            .iter()
+            .all(|s| matches!(s.last(), Some(TraceEvent::Finish)));
+        let oracle = if complete { t.clone() } else { prefix_by_epochs(&t, k) };
+        for (sal, ora) in rep.trace.streams.iter().zip(&oracle.streams) {
+            assert_eq!(sal, ora, "lost={lost}: salvage disagrees with epoch-{k} prefix");
+        }
+        let replayed = replay(&rep.trace, Detector::FragMerge);
+        let expected = replay(&oracle, Detector::FragMerge);
+        assert_eq!(
+            verdict_line(&replayed.races),
+            verdict_line(&expected.races),
+            "lost={lost}: salvaged verdict diverges from the epoch-{k} oracle"
+        );
+        if k > 0 && k < 3 {
+            seen_partial = true;
+            // Epoch 1's race is in every non-empty prefix.
+            assert!(
+                !replayed.races.is_empty(),
+                "lost={lost}: epoch-1 race vanished from a {k}-epoch salvage"
+            );
+        }
+    }
+    assert!(seen_partial, "the sweep never hit a partial prefix");
+}
+
+#[test]
+fn corpus_trace_reencoded_as_v2_salvages_after_midepoch_truncation() {
+    // The pinned corpus is format v1 (header-less string table) — the
+    // exact shape salvage cannot help with. Upgrading the container to
+    // v2 is all it takes.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/corpus/ll_put_put_inwindow_target_epochs_safe.rmatrc");
+    let bytes = std::fs::read(&path).expect("corpus file");
+    let mut t = Trace::decode(&bytes).expect("corpus decodes");
+    assert_eq!(t.header.version, 1, "corpus is pinned at v1");
+    t.header.version = FORMAT_VERSION;
+    let v2 = t.encode();
+
+    // Cut inside the final epoch of the last rank's stream: drop the
+    // trailer plus a few record bytes.
+    let cut = &v2[..v2.len() - 40];
+    let rep = salvage(cut).expect("v2 re-encode salvages");
+    assert!(rep.diagnosis.is_some());
+    assert!(rep.epochs_kept >= 1, "a complete epoch survives: {rep:?}");
+    for (sal, orig) in rep.trace.streams.iter().zip(&t.streams) {
+        assert_eq!(sal.as_slice(), &orig[..sal.len()], "salvage is a strict prefix");
+    }
+    // This case is race-free in both epochs, so any recovered prefix is
+    // race-free too — on every detector.
+    for det in [Detector::Naive, Detector::Legacy, Detector::FragMerge, Detector::Must] {
+        let out = replay(&rep.trace, det);
+        assert!(out.races.is_empty(), "{det:?} invented a race in the salvaged prefix");
+    }
+}

@@ -58,6 +58,7 @@ fn verdict(spec: ProgramSpec, delivery: Delivery) -> bool {
         algorithm: Algorithm::FragMerge,
         on_race: OnRace::Collect,
         delivery,
+        node_budget: None,
     }));
     let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(3), analyzer.clone(), |ctx| {
         run_program(spec, ctx)
@@ -126,6 +127,7 @@ fn verdict_algo(spec: ProgramSpec, algorithm: Algorithm) -> bool {
         algorithm,
         on_race: OnRace::Collect,
         delivery: Delivery::Direct,
+        node_budget: None,
     }));
     let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(3), analyzer.clone(), |ctx| {
         run_program(spec, ctx)
