@@ -34,10 +34,28 @@ if [ "$LIVE_VERDICT" != "$REPLAY_VERDICT" ]; then
 fi
 echo "    live == replay: $LIVE_VERDICT"
 
-echo "==> chaos sweep: 16 seeded fault scenarios, all structured"
+echo "==> chaos sweep: 16 seeded fault scenarios, twice, byte-identical"
 # `timeout` guards the guarantee under test: a wedged sweep is a bug,
 # not something to wait out. (Busybox/coreutils both ship timeout.)
-timeout 300 ./target/release/rma-chaos --seeds 16 --watchdog-ms 2000
+# The sweep runs twice with --json: the machine-readable output carries
+# no timestamps and deterministic respawn counts, so any byte of
+# difference between the two runs is a reproducibility bug (and a
+# verdict divergence or contract violation fails either run directly).
+timeout 300 ./target/release/rma-chaos --seeds 16 --watchdog-ms 2000 --json \
+    > "$SMOKE_DIR/chaos-a.json"
+timeout 300 ./target/release/rma-chaos --seeds 16 --watchdog-ms 2000 --json \
+    > "$SMOKE_DIR/chaos-b.json"
+if ! diff "$SMOKE_DIR/chaos-a.json" "$SMOKE_DIR/chaos-b.json"; then
+    echo "ERROR: two identical chaos sweeps produced different --json output" >&2
+    exit 1
+fi
+echo "    $(wc -l < "$SMOKE_DIR/chaos-a.json") scenarios, both sweeps identical"
+
+echo "==> kill-worker recovery: checkpointed verdicts survive supervised respawns"
+# Structured-abort semantics are the guarantee here too: if recovery
+# (or the beyond-budget abort) ever regresses into a hang, `timeout`
+# turns it into a failure instead of a wedged CI job.
+timeout 600 cargo test -q --offline -p rma-suite --test recovery
 
 echo "==> salvage round-trip: truncate mid-epoch -> salvage -> replay prefix"
 # Record a two-epoch corpus case, tear off the trailer plus part of the

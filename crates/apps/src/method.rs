@@ -89,6 +89,7 @@ impl MethodRun {
                     on_race: if abort { OnRace::Abort } else { OnRace::Collect },
                     delivery: Delivery::Direct,
                     node_budget: None,
+                    max_respawns: 3,
                 }));
                 MethodRun {
                     monitor: analyzer.clone(),

@@ -97,6 +97,28 @@ pub trait AccessStore {
     /// `len` survive.
     fn clear(&mut self);
 
-    /// Snapshot of the stored accesses in address order (diagnostics).
+    /// Snapshot of the stored accesses in address order (diagnostics,
+    /// and the checkpoint half of crash recovery: a `snapshot` taken at
+    /// an epoch boundary can later be [`AccessStore::restore`]d into a
+    /// fresh or rolled-back store).
     fn snapshot(&self) -> Vec<MemAccess>;
+
+    /// Rolls the store back to a [`AccessStore::snapshot`]: clears the
+    /// current contents and re-records the checkpointed accesses,
+    /// swallowing race reports (every access in a snapshot was already
+    /// checked — and reported, if racing — when first recorded, so
+    /// re-raising here would double-report).
+    ///
+    /// Default implementation in terms of `clear` + `record`; stores
+    /// with cheaper rollback paths may override it. Note the statistics
+    /// drift this implies: the replayed `record`s count into `recorded`
+    /// again and `clear` closes an epoch, so stats are *diagnostic* and
+    /// not crash-invariant — verdicts (the race list kept by the
+    /// analyzer, not the store) are.
+    fn restore(&mut self, snap: &[MemAccess]) {
+        self.clear();
+        for acc in snap {
+            let _ = self.record(*acc);
+        }
+    }
 }

@@ -138,6 +138,12 @@ pub struct AnalyzerCfg {
     /// exceeds this cap (graceful degradation — possible false positives,
     /// never false negatives; see [`rma_core::FragMergeStore::with_budget`]).
     pub node_budget: Option<usize>,
+    /// How many receiver-thread deaths ([`Delivery::Messages`]) each
+    /// rank's supervisor absorbs by checkpoint-restore + journal
+    /// redelivery before giving up. Beyond the budget a dead receiver
+    /// becomes a structured world abort, never a hang. `0` disables
+    /// recovery. Ignored under [`Delivery::Direct`] (no helper threads).
+    pub max_respawns: u32,
 }
 
 impl Default for AnalyzerCfg {
@@ -147,6 +153,7 @@ impl Default for AnalyzerCfg {
             on_race: OnRace::Abort,
             delivery: Delivery::Direct,
             node_budget: None,
+            max_respawns: 3,
         }
     }
 }
@@ -221,9 +228,69 @@ impl WinDet {
 }
 
 /// A remote-access notification (the payload of the paper's `MPI_Send`).
+/// `seq` numbers the notifications towards one target rank monotonically
+/// (assigned under that rank's journal lock, so channel order equals
+/// sequence order): redelivery after a receiver recovery is at-least-once
+/// on the wire and the watermark check in `deliver_remote_recv` makes it
+/// exactly-once in analysis effect.
 enum Note {
-    Remote { win: WinId, acc: MemAccess },
+    Remote { seq: u64, win: WinId, acc: MemAccess },
     Stop,
+}
+
+/// One supervised journal entry (`Messages` mode): an access bound for
+/// rank `r`'s stores, retained since `r`'s last checkpoint so a receiver
+/// death can be recovered by restore + redelivery.
+enum RecvEntry {
+    /// Inserted inline by a rank thread (a local access or the
+    /// origin-side record of an operation): already applied, so a
+    /// recovery replays it *silently* — its race, if any, was reported
+    /// when first recorded.
+    Applied { win: WinId, acc: MemAccess },
+    /// Sent to the receiver as a notification. On recovery the
+    /// watermark decides: at or below it the entry was processed
+    /// (silent replay); above it the entry is still owed and is re-sent
+    /// through the fresh channel and the normal reporting path.
+    Sent { seq: u64, win: WinId, acc: MemAccess },
+}
+
+/// A live receiver thread plus its abrupt-kill switch. The flag is
+/// checked before each note: setting it makes the receiver abandon its
+/// backlog, which is how a *crash* differs from a clean `Note::Stop`
+/// (FIFO delivery would let a queued Stop drain the backlog first).
+struct RecvWorker {
+    die: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// Supervision journal of one rank's receiver (guarded state).
+#[derive(Default)]
+struct RecvJournal {
+    /// Everything bound for this rank's stores since the checkpoint.
+    entries: Vec<RecvEntry>,
+    /// Notifications sent towards this rank so far (seqs `1..=sent_seq`).
+    sent_seq: u64,
+    /// Per-window snapshots of this rank's stores, taken at the last
+    /// quiescent epoch boundary (windows created later restore empty).
+    checkpoint: Vec<Vec<MemAccess>>,
+    /// Recoveries performed for this rank so far.
+    respawns: u32,
+    /// The receiver thread; `None` once dead beyond the budget.
+    worker: Option<RecvWorker>,
+}
+
+/// Per-rank receiver supervision (`Messages` mode).
+///
+/// Lock order: `journal` → store lock → (`senders`/`wins` read). The
+/// receiver itself never takes `journal`, so killing and joining it
+/// while holding the journal lock cannot deadlock.
+struct RecvSup {
+    journal: Mutex<RecvJournal>,
+    /// Highest notification seq fully processed at this rank (the
+    /// redelivery watermark). Advanced only by the receiver, under the
+    /// target store's lock; read by recovery after joining the dead
+    /// receiver, so it is exact there.
+    processed: AtomicU64,
 }
 
 /// Shared innards of the analyzer (receiver threads hold a second Arc).
@@ -236,6 +303,10 @@ struct Inner {
     poisoned: AtomicBool,
     abort_view: Mutex<Option<AbortView>>,
     senders: RwLock<Vec<Sender<Note>>>,
+    /// Per-rank receiver supervision (`Messages` mode; empty otherwise).
+    sup: RwLock<Vec<Arc<RecvSup>>>,
+    /// Total receiver recoveries performed across all ranks.
+    total_respawns: AtomicU64,
     /// `MPI_Win_flush` calls observed but (deliberately) not acted upon —
     /// the paper's Section 6: "we cannot support this synchronization
     /// function yet".
@@ -303,6 +374,59 @@ impl Inner {
         hook
     }
 
+    /// `Messages`-mode receiver side: like [`Inner::deliver_remote`] but
+    /// watermark-checked, so redelivered notifications are analyzed
+    /// exactly once. A skipped duplicate bumps nothing — the original
+    /// processing already counted it.
+    fn deliver_remote_recv(&self, win: WinId, acc: MemAccess, target: RankId, seq: u64) {
+        let sup = self.sup.read()[target.index()].clone();
+        if sup.processed.load(Ordering::Acquire) >= seq {
+            return;
+        }
+        let w = self.windet(win);
+        let verdict = {
+            let mut store = w.stores[target.index()].lock();
+            let v = store.record(acc);
+            // Watermark and store advance together (same critical
+            // section): a recovery joining this thread sees either both
+            // effects of a note or neither, never half.
+            sup.processed.store(seq, Ordering::Release);
+            v
+        };
+        if let Err(report) = verdict {
+            // Races found on receiver threads are escalated by the next
+            // hook on any rank thread (via `pending_poison`).
+            let _ = self.race(report);
+        }
+        w.bump_received(target);
+    }
+
+    /// Records an access into `stores[rank]` of `win` from a rank thread
+    /// (a local access or an operation's origin-side record). In
+    /// `Messages` mode the insert is journaled — and performed — under
+    /// the rank's journal lock, so a concurrent recovery either replays
+    /// the entry or observes a store without it, never a torn state.
+    fn record_inline(
+        &self,
+        w: &WinDet,
+        win: WinId,
+        rank: RankId,
+        acc: MemAccess,
+    ) -> Result<(), Box<RaceReport>> {
+        if self.cfg.delivery != Delivery::Messages {
+            return w.stores[rank.index()].lock().record(acc);
+        }
+        let sup = self.sup.read()[rank.index()].clone();
+        let mut j = sup.journal.lock();
+        let verdict = w.stores[rank.index()].lock().record(acc);
+        if verdict.is_ok() {
+            // A racing access is never inserted, so it is not journaled
+            // either: a replay reproduces exactly the stored contents.
+            j.entries.push(RecvEntry::Applied { win, acc });
+        }
+        verdict
+    }
+
     /// Clears every store of `win` (used by the flush+barrier rule).
     fn clear_window(&self, win: &WinDet) {
         for store in &win.stores {
@@ -336,7 +460,6 @@ impl Inner {
 /// ```
 pub struct RmaAnalyzer {
     inner: Arc<Inner>,
-    receivers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl RmaAnalyzer {
@@ -352,9 +475,10 @@ impl RmaAnalyzer {
                 poisoned: AtomicBool::new(false),
                 abort_view: Mutex::new(None),
                 senders: RwLock::new(Vec::new()),
+                sup: RwLock::new(Vec::new()),
+                total_respawns: AtomicU64::new(0),
                 unsupported_flushes: AtomicU64::new(0),
             }),
-            receivers: Mutex::new(Vec::new()),
         }
     }
 
@@ -400,25 +524,169 @@ impl RmaAnalyzer {
         self.inner.unsupported_flushes.load(Ordering::Relaxed)
     }
 
-    fn spawn_receiver(&self, rank: RankId, rx: Receiver<Note>) {
+    /// Total receiver recoveries performed so far (`Messages` mode).
+    pub fn respawns(&self) -> u32 {
+        self.inner.total_respawns.load(Ordering::Relaxed) as u32
+    }
+
+    fn spawn_receiver(&self, rank: RankId, rx: Receiver<Note>) -> RecvWorker {
+        let die = Arc::new(AtomicBool::new(false));
+        let die_flag = die.clone();
         let inner = self.inner.clone();
         let handle = std::thread::Builder::new()
             .name(format!("rma-analyzer-recv{}", rank.0))
             .spawn(move || {
                 while let Ok(note) = rx.recv() {
+                    // Abrupt-kill check before each note: a killed
+                    // receiver abandons its backlog, modeling a crash.
+                    if die_flag.load(Ordering::Acquire) {
+                        break;
+                    }
                     match note {
                         Note::Stop => break,
-                        Note::Remote { win, acc } => {
+                        Note::Remote { seq, win, acc } => {
                             // A race found here is recorded; the next hook
                             // on any rank thread observes `poisoned` and
                             // aborts the world (the receiver thread cannot).
-                            let _ = inner.deliver_remote(win, acc, rank);
+                            inner.deliver_remote_recv(win, acc, rank, seq);
                         }
                     }
                 }
             })
             .expect("failed to spawn receiver thread");
-        self.receivers.lock().push(handle);
+        RecvWorker { die, handle }
+    }
+
+    /// `Messages`-mode send path: assigns the notification its sequence
+    /// number and sends it, journaled, under the target's journal lock.
+    /// A failed send means the receiver is gone *without* a fault hook
+    /// having run (spontaneous death): recovery happens lazily right
+    /// here, and beyond the budget the rank aborts the world through a
+    /// structured panic instead of losing the notification.
+    fn send_remote(&self, target: RankId, win: WinId, acc: MemAccess) -> HookResult {
+        let sup = self.inner.sup.read()[target.index()].clone();
+        let mut j = sup.journal.lock();
+        loop {
+            let seq = j.sent_seq + 1;
+            let sent = self.inner.senders.read()[target.index()]
+                .send(Note::Remote { seq, win, acc })
+                .is_ok();
+            if sent {
+                j.sent_seq = seq;
+                j.entries.push(RecvEntry::Sent { seq, win, acc });
+                return Ok(());
+            }
+            if !self.recover_locked(target, &sup, &mut j) {
+                panic!(
+                    "RMA-Analyzer receiver for rank {} died beyond the respawn \
+                     budget with notifications in flight; aborting world",
+                    target.0
+                );
+            }
+        }
+    }
+
+    /// Recovers rank `rank`'s dead receiver under its journal lock:
+    /// joins the old thread, restores every store of the rank from the
+    /// last epoch-boundary checkpoint, spawns a fresh receiver on a
+    /// fresh channel, and re-delivers the journal (processed entries
+    /// silently, the unprocessed suffix through the new channel).
+    /// Returns `false` — leaving the rank receiver-less — once the
+    /// respawn budget is exhausted.
+    fn recover_locked(&self, rank: RankId, sup: &Arc<RecvSup>, j: &mut RecvJournal) -> bool {
+        if let Some(w) = j.worker.take() {
+            let _ = w.handle.join();
+        }
+        if j.respawns >= self.inner.cfg.max_respawns {
+            return false;
+        }
+        j.respawns += 1;
+        self.inner.total_respawns.fetch_add(1, Ordering::Relaxed);
+        // Backoff before the respawn: transient causes of the death
+        // (resource exhaustion) get room to clear; repeated deaths pay
+        // progressively more. Held under the journal lock deliberately —
+        // nothing may touch this rank's stores mid-recovery anyway.
+        std::thread::sleep(Duration::from_millis(1 << j.respawns.min(5)));
+        // Restore: roll every store of this rank back to the checkpoint
+        // *before* re-delivering — replaying an already-recorded access
+        // against a store that still holds it would self-conflict.
+        let wins: Vec<Arc<WinDet>> = self.inner.wins.read().iter().cloned().collect();
+        for (wi, w) in wins.iter().enumerate() {
+            let snap = j.checkpoint.get(wi).map(Vec::as_slice).unwrap_or(&[]);
+            w.stores[rank.index()].lock().restore(snap);
+        }
+        // Fresh channel + receiver; the stale sender is unreachable from
+        // here on, so no notification can race past the journal.
+        let (tx, rx) = unbounded();
+        self.inner.senders.write()[rank.index()] = tx;
+        j.worker = Some(self.spawn_receiver(rank, rx));
+        // Re-deliver in two passes. Pass 1 reconstructs the pre-kill
+        // store: entries the dead receiver had processed (and all inline
+        // inserts) replay silently, in journal order — their races were
+        // reported the first time. Pass 2 then re-sends the unprocessed
+        // suffix through the fresh channel and the normal reporting
+        // path, so its races (and `received` counts) surface exactly
+        // once. The passes must not interleave: a re-sent note the fresh
+        // receiver processes *before* a later silent entry would claim
+        // the store slot first and turn that entry's replay into a
+        // swallowed — never-reported — race. Splitting them is
+        // verdict-safe because the order-sensitive conflict exemption
+        // only concerns same-issuer pairs, and every inline insert in
+        // this store carries the rank's own issuer while every
+        // notification carries a remote one.
+        let processed = sup.processed.load(Ordering::Acquire);
+        for e in &j.entries {
+            match e {
+                RecvEntry::Applied { win, acc } => {
+                    let _ = wins[win.index()].stores[rank.index()].lock().record(*acc);
+                }
+                RecvEntry::Sent { seq, win, acc } if *seq <= processed => {
+                    let _ = wins[win.index()].stores[rank.index()].lock().record(*acc);
+                }
+                RecvEntry::Sent { .. } => {}
+            }
+        }
+        for e in &j.entries {
+            if let RecvEntry::Sent { seq, win, acc } = e {
+                if *seq > processed {
+                    let _ = self.inner.senders.read()[rank.index()].send(Note::Remote {
+                        seq: *seq,
+                        win: *win,
+                        acc: *acc,
+                    });
+                }
+            }
+        }
+        true
+    }
+
+    /// Takes an epoch-boundary checkpoint of `rank`'s stores and prunes
+    /// its journal — but only when the receiver is provably idle
+    /// (watermark equals everything sent): checkpointing mid-backlog
+    /// would drop the unprocessed suffix from future recoveries.
+    fn checkpoint_recv_if_quiescent(&self, rank: RankId) {
+        if self.inner.cfg.delivery != Delivery::Messages {
+            return;
+        }
+        let Some(sup) = self.inner.sup.read().get(rank.index()).cloned() else {
+            return;
+        };
+        let mut j = sup.journal.lock();
+        if j.worker.is_none() {
+            return; // dead beyond budget: keep the journal as-is
+        }
+        if sup.processed.load(Ordering::Acquire) != j.sent_seq {
+            return;
+        }
+        // Inline inserts and sends towards this rank both hold the
+        // journal lock, and the idle receiver has nothing queued: the
+        // snapshot below is a consistent cut of the rank's stores.
+        let wins: Vec<Arc<WinDet>> = self.inner.wins.read().iter().cloned().collect();
+        j.checkpoint = wins
+            .iter()
+            .map(|w| w.stores[rank.index()].lock().snapshot())
+            .collect();
+        j.entries.clear();
     }
 }
 
@@ -427,10 +695,16 @@ impl Monitor for RmaAnalyzer {
         self.inner.nranks.store(u64::from(nranks), Ordering::Relaxed);
         if self.inner.cfg.delivery == Delivery::Messages {
             let mut senders = self.inner.senders.write();
+            let mut sups = self.inner.sup.write();
             for r in 0..nranks {
                 let (tx, rx) = unbounded();
                 senders.push(tx);
-                self.spawn_receiver(RankId(r), rx);
+                let sup = Arc::new(RecvSup {
+                    journal: Mutex::new(RecvJournal::default()),
+                    processed: AtomicU64::new(0),
+                });
+                sup.journal.lock().worker = Some(self.spawn_receiver(RankId(r), rx));
+                sups.push(sup);
             }
         }
     }
@@ -444,8 +718,12 @@ impl Monitor for RmaAnalyzer {
             for tx in self.inner.senders.read().iter() {
                 let _ = tx.send(Note::Stop);
             }
-            for h in self.receivers.lock().drain(..) {
-                let _ = h.join();
+            let sups: Vec<Arc<RecvSup>> = self.inner.sup.read().clone();
+            for sup in sups {
+                let worker = sup.journal.lock().worker.take();
+                if let Some(w) = worker {
+                    let _ = w.handle.join();
+                }
             }
             self.inner.senders.write().clear();
         }
@@ -474,13 +752,13 @@ impl Monitor for RmaAnalyzer {
         self.inner.pending_poison()?;
         let acc = MemAccess::new(ev.interval, ev.kind, ev.rank, ev.loc);
         let wins: Vec<Arc<WinDet>> = self.inner.wins.read().iter().cloned().collect();
-        for w in wins {
+        for (wi, w) in wins.iter().enumerate() {
             // Local accesses are only relevant while the rank is inside an
             // epoch on that window (outside, no remote access can overlap).
             if !w.epoch_open[ev.rank.index()].load(Ordering::Relaxed) {
                 continue;
             }
-            let verdict = w.stores[ev.rank.index()].lock().record(acc);
+            let verdict = self.inner.record_inline(w, WinId(wi as u32), ev.rank, acc);
             if let Err(report) = verdict {
                 return self.inner.race(report);
             }
@@ -498,7 +776,7 @@ impl Monitor for RmaAnalyzer {
         // Origin-side record (local buffer of the origin process).
         let origin_acc =
             MemAccess::new(ev.origin_interval, ev.origin_kind(), ev.origin, ev.loc);
-        let verdict = w.stores[ev.origin.index()].lock().record(origin_acc);
+        let verdict = inner.record_inline(&w, ev.win, ev.origin, origin_acc);
         if let Err(report) = verdict {
             return inner.race(report);
         }
@@ -509,13 +787,23 @@ impl Monitor for RmaAnalyzer {
         w.sent[ev.origin.index()].lock()[ev.target.index()] += 1;
         match inner.cfg.delivery {
             Delivery::Direct => inner.deliver_remote(ev.win, target_acc, ev.target),
-            Delivery::Messages => {
-                let senders = inner.senders.read();
-                senders[ev.target.index()]
-                    .send(Note::Remote { win: ev.win, acc: target_acc })
-                    .expect("receiver thread gone");
-                Ok(())
+            Delivery::Messages if ev.target == ev.origin => {
+                // Self-targeted op: deliver inline instead of through the
+                // rank's own receiver. The order-aware conflict rule reads
+                // the store's insertion order as program order for
+                // same-issuer pairs, and only a self-notification can land
+                // in the same store as its issuer's local accesses — routed
+                // through the receiver it would arrive after later local
+                // accesses and turn `Get; Store` into the safe-looking
+                // `Store; Get`, nondeterministically masking the race.
+                let hook = match inner.record_inline(&w, ev.win, ev.origin, target_acc) {
+                    Ok(()) => Ok(()),
+                    Err(report) => inner.race(report),
+                };
+                w.bump_received(ev.target);
+                hook
             }
+            Delivery::Messages => self.send_remote(ev.target, ev.win, target_acc),
         }
     }
 
@@ -564,6 +852,10 @@ impl Monitor for RmaAnalyzer {
         let _ = inner
             .reduce
             .allreduce((win.0, seq, 1), &[0], inner.nranks(), || inner.cancelled());
+
+        // Epoch boundary: advance this rank's recovery checkpoint (taken
+        // only if its receiver is idle — siblings may still be sending).
+        self.checkpoint_recv_if_quiescent(rank);
         Ok(())
     }
 
@@ -610,6 +902,11 @@ impl Monitor for RmaAnalyzer {
         for store in &w.stores {
             store.lock().clear();
         }
+        // All rank threads are parked in the fence: checkpoint every
+        // rank whose receiver has drained.
+        for r in 0..self.inner.nranks() {
+            self.checkpoint_recv_if_quiescent(RankId(r));
+        }
     }
 
     fn on_barrier_last(&self) {
@@ -653,6 +950,40 @@ impl Monitor for RmaAnalyzer {
                 inner.clear_window(&w);
             }
         }
+        // All rank threads are parked in the barrier: checkpoint every
+        // drained receiver (no-op outside Messages mode).
+        for r in 0..inner.nranks() {
+            self.checkpoint_recv_if_quiescent(RankId(r));
+        }
+    }
+
+    fn on_fault_kill_worker(&self, rank: RankId) -> bool {
+        if self.inner.cfg.delivery != Delivery::Messages {
+            return false; // no helper thread to kill
+        }
+        let Some(sup) = self.inner.sup.read().get(rank.index()).cloned() else {
+            return false;
+        };
+        let mut j = sup.journal.lock();
+        if let Some(w) = &j.worker {
+            // Abrupt kill: the flag makes the receiver abandon whatever
+            // backlog it holds (a queued Stop could never skip the FIFO);
+            // the Stop below only wakes a receiver blocked in `recv`.
+            w.die.store(true, Ordering::Release);
+            let _ = self.inner.senders.read()[rank.index()].send(Note::Stop);
+        }
+        // Synchronous kill-and-recover keeps respawn counts a pure
+        // function of the fault plan and the budget (deterministic
+        // chaos JSON); beyond the budget the death is a structured
+        // abort right here, never a stalled quiescence wait.
+        if !self.recover_locked(rank, &sup, &mut j) {
+            panic!(
+                "RMA-Analyzer receiver for rank {} died beyond the respawn \
+                 budget; aborting world",
+                rank.0
+            );
+        }
+        true
     }
 }
 

@@ -136,6 +136,7 @@ fn messages_delivery_equivalent() {
             on_race: OnRace::Abort,
             delivery: Delivery::Messages,
             node_budget: None,
+            max_respawns: 3,
         }));
         let out = World::run(WorldCfg::with_ranks(3), mon.clone(), |ctx| {
             let win = ctx.win_allocate(64);
@@ -160,6 +161,7 @@ fn collect_mode_does_not_abort() {
         on_race: OnRace::Collect,
         delivery: Delivery::Direct,
         node_budget: None,
+        max_respawns: 3,
     }));
     let out = World::run(WorldCfg::with_ranks(2), mon.clone(), |ctx| {
         let win = ctx.win_allocate(64);

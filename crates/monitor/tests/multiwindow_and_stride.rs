@@ -44,6 +44,7 @@ fn messages_delivery_multiwindow() {
         on_race: OnRace::Collect,
         delivery: Delivery::Messages,
         node_budget: None,
+        max_respawns: 3,
     }));
     let out = World::run(WorldCfg::with_ranks(4), mon.clone(), |ctx| {
         let w1 = ctx.win_allocate(256);
@@ -82,6 +83,7 @@ fn stride_extension_in_runtime() {
         on_race: OnRace::Abort,
         delivery: Delivery::Direct,
         node_budget: None,
+        max_respawns: 3,
     }));
     let out = World::run(WorldCfg::with_ranks(2), mon.clone(), |ctx| {
         let win = ctx.win_allocate(16 * 512);

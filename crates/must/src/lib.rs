@@ -24,6 +24,16 @@
 //! its origin's *shadow component*, which the origin only absorbs at
 //! `flush_all`/`unlock_all` (so `MPI_Get; Load` races while
 //! `Load; MPI_Get` does not — MUST-RMA gets this right, see Table 2).
+//!
+//! # Supervised recovery
+//!
+//! The analysis worker is owned by a supervisor (see `transport.rs`)
+//! that journals every shadow-affecting event, checkpoints the analysis
+//! state at epoch boundaries, and — within [`MustCfg::max_respawns`] —
+//! survives worker deaths by restoring the checkpoint and re-delivering
+//! the journal, reaching the same verdicts a fault-free run would.
+//! Beyond the budget, worker death remains what it was before: a
+//! structured epoch abort, never a hang.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -35,11 +45,12 @@ mod transport;
 pub use clock::VClock;
 
 use rma_substrate::sync::Mutex;
-use rma_core::RaceReport;
-use rma_sim::{HookResult, LocalEvent, Monitor, RankId, RmaEvent, WinId};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use rma_core::{AccessKind, Interval, RaceReport, RankId, SrcLoc};
+use rma_sim::{HookResult, LocalEvent, Monitor, RankId as SimRankId, RmaEvent, WinId};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use transport::{AnalysisState, Msg, OwnedAccess, Quiescence, Worker};
+use std::time::Duration;
+use transport::{AnalysisState, JournalEntry, OwnedAccess, Quiescence, Supervisor};
 
 /// What to do on a detected race (mirrors `rma-monitor`'s policy).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,6 +61,114 @@ pub enum OnRace {
     Collect,
 }
 
+/// Detector configuration: race policy plus the supervision knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct MustCfg {
+    /// Race reaction.
+    pub on_race: OnRace,
+    /// How many analysis-worker deaths the supervisor absorbs by
+    /// checkpoint-restore + journal redelivery before giving up. Beyond
+    /// the budget a dead worker becomes the structured epoch abort.
+    /// `0` disables recovery entirely (the pre-supervision behaviour).
+    pub max_respawns: u32,
+    /// How long an epoch-boundary quiescence wait may go without
+    /// progress while the worker is alive before it aborts as
+    /// `TimedOut`. Historic default: 30 s; tests shrink it so timeout
+    /// paths do not stall the suite.
+    pub quiescence_deadline: Duration,
+}
+
+impl Default for MustCfg {
+    fn default() -> Self {
+        MustCfg {
+            on_race: OnRace::Collect,
+            max_respawns: 3,
+            quiescence_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+impl MustCfg {
+    /// Default supervision knobs with the given race policy.
+    pub fn with_on_race(on_race: OnRace) -> Self {
+        MustCfg { on_race, ..Self::default() }
+    }
+}
+
+/// Whether an analysis result covers everything that was shipped.
+///
+/// [`MustRma::races`] historically returned whatever had been analyzed
+/// when the worker died — silently truncated. Callers that need to trust
+/// a clean verdict must check this alongside the race list (or use
+/// [`MustRma::races_checked`], which returns both).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every shipped operation was analyzed.
+    Complete,
+    /// The worker died (beyond the respawn budget) or timed out with
+    /// `target - processed` operations unanalyzed: absence of races is
+    /// *not* evidence of a clean run.
+    Partial {
+        /// Operations analyzed.
+        processed: u64,
+        /// Operations shipped.
+        target: u64,
+    },
+}
+
+impl Completeness {
+    /// `true` when every shipped operation was analyzed.
+    pub fn is_complete(self) -> bool {
+        matches!(self, Completeness::Complete)
+    }
+}
+
+/// Plain-data view of one journaled shadow access (one half of a shipped
+/// operation, or one inline local access). Exposed for diagnostics; the
+/// `rma-trace` journal module encodes these with the v2 varint layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Sequence number for shipped operation halves; `None` for inline
+    /// local records (locals are not shipped, hence never deduped).
+    pub seq: Option<u64>,
+    /// Rank whose shadow memory the access hits.
+    pub shadow_of: u32,
+    /// Addresses touched.
+    pub interval: Interval,
+    /// Clock component performing the access.
+    pub component: u32,
+    /// That component's epoch at access time.
+    pub epoch: u64,
+    /// The owned clock copy the entry replays with.
+    pub clock: Vec<u64>,
+    /// Write access?
+    pub write: bool,
+    /// Element-wise-atomic access?
+    pub atomic: bool,
+    /// Report kind.
+    pub kind: AccessKind,
+    /// Issuing rank.
+    pub issuer: RankId,
+    /// Source location.
+    pub loc: SrcLoc,
+}
+
+fn record_of(seq: Option<u64>, a: &OwnedAccess) -> JournalRecord {
+    JournalRecord {
+        seq,
+        shadow_of: a.shadow_of as u32,
+        interval: a.interval,
+        component: a.component as u32,
+        epoch: a.epoch,
+        clock: a.clock.0.clone(),
+        write: a.write,
+        atomic: a.atomic,
+        kind: a.kind,
+        issuer: a.issuer,
+        loc: a.loc,
+    }
+}
+
 /// Per-rank mutable state.
 struct RankState {
     clock: VClock,
@@ -58,8 +177,9 @@ struct RankState {
     rma_epoch: u64,
 }
 
-/// The MUST-RMA-like monitor. Create with [`MustRma::for_world`], sized
-/// for the world's rank count.
+/// The MUST-RMA-like monitor. Create with [`MustRma::for_world`] (or
+/// [`MustRma::with_cfg`] to tune supervision), sized for the world's
+/// rank count.
 pub struct MustRma {
     on_race: OnRace,
     nranks: u32,
@@ -67,9 +187,8 @@ pub struct MustRma {
     /// Shadow memory, race log and quiescence counters, shared with the
     /// analysis worker.
     analysis: Arc<AnalysisState>,
-    worker: Worker,
-    /// Events handed to the transport so far.
-    sent: AtomicU64,
+    /// Owns the worker, the journal and the recovery machinery.
+    supervisor: Supervisor,
     /// Total `u64` clock components copied into messages (the "larger
     /// messages add overhead" metric of Section 5.3).
     clock_words_sent: AtomicUsize,
@@ -78,76 +197,124 @@ pub struct MustRma {
 }
 
 impl MustRma {
-    /// Creates a detector sized for `nranks` ranks. The per-rank tables
-    /// must exist before the world starts because hooks only get `&self`.
+    /// Creates a detector sized for `nranks` ranks with default
+    /// supervision (see [`MustCfg`]). The per-rank tables must exist
+    /// before the world starts because hooks only get `&self`.
     pub fn for_world(nranks: u32, on_race: OnRace) -> Self {
-        let analysis = AnalysisState::new(nranks);
-        let worker = Worker::spawn(analysis.clone(), on_race == OnRace::Abort);
+        Self::with_cfg(nranks, MustCfg::with_on_race(on_race))
+    }
+
+    /// Creates a detector with explicit supervision knobs.
+    pub fn with_cfg(nranks: u32, cfg: MustCfg) -> Self {
+        let analysis = AnalysisState::new(nranks, cfg.quiescence_deadline);
+        let supervisor =
+            Supervisor::new(analysis.clone(), cfg.on_race == OnRace::Abort, cfg.max_respawns);
         MustRma {
-            on_race,
+            on_race: cfg.on_race,
             nranks,
             ranks: (0..nranks)
                 .map(|_| Mutex::new(RankState { clock: VClock::zero(nranks), rma_epoch: 0 }))
                 .collect(),
             analysis,
-            worker,
-            sent: AtomicU64::new(0),
+            supervisor,
             clock_words_sent: AtomicUsize::new(0),
             stack_skips: AtomicUsize::new(0),
         }
     }
 
-    /// Races found so far (drains the in-flight analysis queue first;
-    /// best-effort if the worker died — whatever was analyzed is
-    /// reported, never a hang).
+    /// Races found so far (drains the in-flight analysis queue first,
+    /// recovering a dead worker within the respawn budget). Best-effort
+    /// beyond the budget: whatever was analyzed is reported, never a
+    /// hang — check [`MustRma::completeness`] (or call
+    /// [`MustRma::races_checked`]) before trusting an empty list.
     pub fn races(&self) -> Vec<RaceReport> {
-        self.drain();
-        self.analysis.races.lock().clone()
+        self.races_checked().0
     }
 
-    /// Has the analysis worker thread died with events unprocessed?
+    /// Races found so far, paired with whether the analysis covered
+    /// everything shipped. A `Partial` completeness means the worker
+    /// died beyond the respawn budget (or timed out): the race list is
+    /// a truncated prefix, and an empty one proves nothing.
+    pub fn races_checked(&self) -> (Vec<RaceReport>, Completeness) {
+        let completeness = self.quiesce_completeness();
+        (self.analysis.races.lock().clone(), completeness)
+    }
+
+    /// Drains the analysis queue (recovering within budget) and reports
+    /// whether every shipped operation has been analyzed.
+    pub fn completeness(&self) -> Completeness {
+        self.quiesce_completeness()
+    }
+
+    fn quiesce_completeness(&self) -> Completeness {
+        match self.supervisor.quiesce() {
+            Quiescence::Drained => Completeness::Complete,
+            Quiescence::WorkerDead { processed, target }
+            | Quiescence::TimedOut { processed, target } => {
+                Completeness::Partial { processed, target }
+            }
+        }
+    }
+
+    /// Number of times the supervisor respawned a dead analysis worker.
+    pub fn respawns(&self) -> u32 {
+        self.supervisor.respawns()
+    }
+
+    /// Has the analysis worker thread died beyond recovery, with events
+    /// unprocessed?
     pub fn worker_failed(&self) -> bool {
         self.analysis.worker_dead()
-            && matches!(
-                self.analysis.wait_processed(self.sent.load(Ordering::Relaxed)),
-                Quiescence::WorkerDead { .. }
-            )
+            && matches!(self.supervisor.quiesce(), Quiescence::WorkerDead { .. })
     }
 
     /// Test-only sabotage: makes the analysis worker exit immediately,
-    /// leaving any queued events unprocessed — the failure mode the
-    /// bounded quiescence wait exists for.
+    /// leaving any queued events unprocessed — the spontaneous failure
+    /// mode the bounded quiescence wait (and now the supervisor's lazy
+    /// recovery path) exists for.
     #[doc(hidden)]
     pub fn sabotage_worker_for_tests(&self) {
-        let _ = self.worker.tx.send(Msg::Die);
+        self.supervisor.sabotage();
     }
 
-    /// Ships one one-sided operation (both access halves) to the
-    /// analysis worker. A dead worker makes the send fail; that is
-    /// tolerated here (never a rank panic at the issue site) and
-    /// surfaced at the next epoch-boundary quiescence wait, which is
-    /// where MUST's protocol can structurally abort.
-    fn ship(&self, pair: [OwnedAccess; 2]) {
-        self.sent.fetch_add(1, Ordering::Relaxed);
-        let _ = self.worker.tx.send(Msg::Op(Box::new(pair)));
+    /// Plain-data snapshot of the supervisor's in-flight journal: every
+    /// shadow-affecting event retained since the last epoch-boundary
+    /// checkpoint (shipped operation halves carry their sequence
+    /// number). Diagnostics; see `rma_trace::journal` for the on-disk
+    /// encoding.
+    pub fn journal_records(&self) -> Vec<JournalRecord> {
+        self.supervisor.journal_view(|entries| {
+            let mut out = Vec::new();
+            for e in entries {
+                match e {
+                    JournalEntry::Op { seq, pair } => {
+                        out.push(record_of(Some(*seq), &pair[0]));
+                        out.push(record_of(Some(*seq), &pair[1]));
+                    }
+                    JournalEntry::Local(acc) => out.push(record_of(None, acc)),
+                }
+            }
+            out
+        })
     }
 
     /// Waits until the worker has processed everything shipped so far —
     /// the quiescence wait MUST performs at synchronization points.
-    /// Best-effort: worker death or timeout end the wait silently (used
-    /// on read-only paths that must not panic).
+    /// Recovers a dead worker within the respawn budget; beyond it the
+    /// wait ends silently (used on read-only paths that must not panic).
     fn drain(&self) {
-        let _ = self.analysis.wait_processed(self.sent.load(Ordering::Relaxed));
+        let _ = self.supervisor.quiesce();
     }
 
-    /// Epoch-boundary quiescence: a dead worker or a stuck queue here
-    /// means the detector can no longer certify the epoch — convert it
-    /// into a rank panic, which `World::run` records as a structured
-    /// outcome and uses to unwind every sibling rank. The alternative —
-    /// waiting forever on a Condvar nobody will signal — is exactly the
-    /// hang this bound exists to prevent.
+    /// Epoch-boundary quiescence: a dead worker (beyond the respawn
+    /// budget) or a stuck queue here means the detector can no longer
+    /// certify the epoch — convert it into a rank panic, which
+    /// `World::run` records as a structured outcome and uses to unwind
+    /// every sibling rank. The alternative — waiting forever on a
+    /// Condvar nobody will signal — is exactly the hang this bound
+    /// exists to prevent.
     fn drain_strict(&self) {
-        match self.analysis.wait_processed(self.sent.load(Ordering::Relaxed)) {
+        match self.supervisor.quiesce() {
             Quiescence::Drained => {}
             Quiescence::WorkerDead { processed, target } => panic!(
                 "MUST analysis worker died before quiescence \
@@ -184,6 +351,8 @@ impl MustRma {
     }
 
     /// Shadow-memory footprint: (granules, slots) summed over ranks.
+    /// Best-effort like [`MustRma::races`]: pair with
+    /// [`MustRma::completeness`] when the worker may have died.
     pub fn shadow_footprint(&self) -> (usize, usize) {
         self.drain();
         let mut g = 0;
@@ -232,30 +401,30 @@ impl Monitor for MustRma {
             return Ok(());
         }
         // Plain CPU accesses are checked in-process, like TSan's inline
-        // instrumentation: no clock copy, no transport — but the rank's
-        // own shadow must first be current w.r.t. queued remote events
-        // ordered before us; FIFO causality makes that a non-issue for
-        // verdicts (see transport.rs), so we check directly.
+        // instrumentation: no transport hop — but the access is still
+        // journaled (with a clock copy) so a recovery can replay it, and
+        // journal + shadow are updated under one lock (see transport.rs
+        // on the double-report window this closes). FIFO causality makes
+        // the in-process check verdict-safe (see transport.rs).
         let r = ev.rank.index();
         let component = VClock::rank_ix(ev.rank.0);
-        let st = self.ranks[r].lock();
-        let view = shadow::ShadowAccess {
-            interval: ev.interval,
-            component,
-            epoch: st.clock.0[component],
-            clock: &st.clock,
-            write: ev.kind.is_write(),
-            atomic: ev.kind.is_atomic(),
-            kind: ev.kind,
-            issuer: ev.rank,
-            loc: ev.loc,
+        let owned = {
+            let st = self.ranks[r].lock();
+            OwnedAccess {
+                shadow_of: r,
+                interval: ev.interval,
+                component,
+                epoch: st.clock.0[component],
+                clock: st.clock.clone(),
+                write: ev.kind.is_write(),
+                atomic: ev.kind.is_atomic(),
+                kind: ev.kind,
+                issuer: ev.rank,
+                loc: ev.loc,
+            }
         };
-        let verdict = self.analysis.shadows[r].lock().check_and_record(&view);
-        drop(st);
-        if let Some(report) = verdict {
-            self.analysis.races.lock().push(*report);
+        if let Some(report) = self.supervisor.record_local(owned) {
             if self.on_race == OnRace::Abort {
-                self.analysis.poisoned.store(true, Ordering::Release);
                 return Err(report);
             }
         }
@@ -311,11 +480,11 @@ impl Monitor for MustRma {
             issuer: ev.origin,
             loc: ev.loc,
         };
-        self.ship([origin_side, target_side]);
+        self.supervisor.ship([origin_side, target_side]);
         self.poisoned_verdict()
     }
 
-    fn on_flush_all(&self, rank: RankId, _win: WinId) {
+    fn on_flush_all(&self, rank: SimRankId, _win: WinId) {
         // The rank's issued operations completed: absorb the shadow
         // component into the rank's own clock.
         let mut st = self.ranks[rank.index()].lock();
@@ -325,21 +494,26 @@ impl Monitor for MustRma {
         st.clock.tick(VClock::rank_ix(rank.0));
     }
 
-    fn on_unlock_all(&self, rank: RankId, win: WinId) -> HookResult {
+    fn on_unlock_all(&self, rank: SimRankId, win: WinId) -> HookResult {
         self.on_flush_all(rank, win);
         // Quiescence: MUST's synchronization analyses complete before the
         // epoch close returns — the analysis wait is part of the measured
-        // epoch time.
+        // epoch time. Once drained, try to advance the recovery
+        // checkpoint (taken only if no sibling shipped concurrently).
         self.drain_strict();
+        self.supervisor.checkpoint_if_quiescent();
         self.poisoned_verdict()
     }
 
     fn on_barrier_last(&self) {
+        // All ranks are parked in the barrier: after the drain the
+        // analysis is globally quiescent — the canonical checkpoint spot.
         self.drain_strict();
+        self.supervisor.checkpoint_if_quiescent();
         self.join_all();
     }
 
-    fn on_flush(&self, rank: RankId, win: WinId, _target: RankId) {
+    fn on_flush(&self, rank: SimRankId, win: WinId, _target: SimRankId) {
         // Approximation (documented): the per-rank shadow component does
         // not distinguish targets, so a per-target flush is handled like
         // flush_all. This can hide races between ops towards *different*
@@ -348,20 +522,33 @@ impl Monitor for MustRma {
         self.on_flush_all(rank, win);
     }
 
-    fn on_fence(&self, rank: RankId, win: WinId) {
+    fn on_fence(&self, rank: SimRankId, win: WinId) {
         // The fence completes this rank's operations...
         self.on_flush_all(rank, win);
     }
 
     fn on_fence_last(&self, _win: WinId) {
-        // ...and synchronizes all ranks (active target).
+        // ...and synchronizes all ranks (active target). All ranks are
+        // parked in the fence: checkpoint after the drain.
         self.drain_strict();
+        self.supervisor.checkpoint_if_quiescent();
         self.join_all();
     }
 
     fn on_world_end(&self) {
         self.drain();
-        self.worker.shutdown();
+        self.supervisor.shutdown();
+    }
+
+    fn on_fault_kill_worker(&self, _rank: SimRankId) -> bool {
+        // Deterministic kill-and-recover: the worker dies abruptly
+        // (backlog abandoned); within the respawn budget the supervisor
+        // restores the last checkpoint and re-delivers the journal
+        // before this returns. Beyond the budget the kill is fail-stop
+        // (a structured panic right here), so the verdict never depends
+        // on how far the doomed worker happened to get.
+        self.supervisor.kill_and_recover();
+        true
     }
 }
 
@@ -375,5 +562,8 @@ mod tests {
         assert!(d.races().is_empty());
         assert_eq!(d.clock_words_sent(), 0);
         assert_eq!(d.shadow_footprint(), (0, 0));
+        assert_eq!(d.completeness(), Completeness::Complete);
+        assert_eq!(d.respawns(), 0);
+        assert!(d.journal_records().is_empty());
     }
 }

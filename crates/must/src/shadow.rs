@@ -35,7 +35,7 @@ pub(crate) struct Slot {
 }
 
 /// Shadow memory of one rank's address space.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub(crate) struct Shadow {
     cells: HashMap<u64, Vec<Slot>>,
 }
@@ -134,6 +134,19 @@ impl Shadow {
             });
         }
         race
+    }
+
+    /// Checkpoint of the full shadow state — every slot, including the
+    /// clock components and epochs embedded in them (the supervisor's
+    /// epoch-boundary checkpoint; see `transport.rs`).
+    pub fn snapshot(&self) -> Shadow {
+        self.clone()
+    }
+
+    /// Rolls the shadow back to a [`Shadow::snapshot`], discarding every
+    /// access recorded since it was taken.
+    pub fn restore(&mut self, snap: &Shadow) {
+        self.cells = snap.cells.clone();
     }
 
     /// Number of shadowed granules (memory-footprint metric).
@@ -249,6 +262,26 @@ mod tests {
         // A wide access [0..63] must find the conflict in granule 2.
         assert!(sh.check_and_record(&access(0, 63, 1, &c1, true)).is_some());
         assert!(sh.granules() >= 8);
+    }
+
+    /// A snapshot taken mid-history rolls the shadow back exactly: an
+    /// access that raced after the snapshot races again after restore,
+    /// and the footprint metrics return to their checkpoint values.
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut sh = Shadow::default();
+        let c0 = VClock(vec![1, 0, 0, 0]);
+        let c1 = VClock(vec![0, 1, 0, 0]);
+        assert!(sh.check_and_record(&access(0, 7, 0, &c0, true)).is_none());
+        let snap = sh.snapshot();
+        let (g, s) = (sh.granules(), sh.slots());
+        // Diverge: record a racing access.
+        assert!(sh.check_and_record(&access(0, 7, 1, &c1, true)).is_some());
+        assert!(sh.slots() > s);
+        sh.restore(&snap);
+        assert_eq!((sh.granules(), sh.slots()), (g, s));
+        // The restored shadow re-detects the same race.
+        assert!(sh.check_and_record(&access(0, 7, 1, &c1, true)).is_some());
     }
 
     #[test]

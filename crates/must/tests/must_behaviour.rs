@@ -2,9 +2,10 @@
 //! reproducing its Table 2 verdicts (hits, misses, and the stack-array
 //! blind spot).
 
-use rma_must::{MustRma, OnRace};
+use rma_must::{Completeness, MustCfg, MustRma, OnRace};
 use rma_sim::{RankId, World, WorldCfg};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn run_with_must(
     nranks: u32,
@@ -210,11 +211,17 @@ fn target_store_vs_put_detected() {
 /// A dead analysis worker must not hang the epoch close: the bounded
 /// quiescence wait detects the death within one poll and converts it
 /// into a structured world abort (a recorded rank panic), never an
-/// infinite Condvar wait.
+/// infinite Condvar wait. `max_respawns: 0` disables the supervisor's
+/// recovery so the death stays fatal (the pre-supervision behaviour).
 #[test]
 fn dead_worker_aborts_unlock_all_instead_of_hanging() {
     let started = std::time::Instant::now();
-    let must = Arc::new(MustRma::for_world(2, OnRace::Abort));
+    let cfg = MustCfg {
+        on_race: OnRace::Abort,
+        max_respawns: 0,
+        quiescence_deadline: Duration::from_secs(5),
+    };
+    let must = Arc::new(MustRma::with_cfg(2, cfg));
     let sab = must.clone();
     let out = World::run(WorldCfg::with_ranks(2), must.clone(), move |ctx| {
         let win = ctx.win_allocate(32);
@@ -242,6 +249,112 @@ fn dead_worker_aborts_unlock_all_instead_of_hanging() {
         out.panics[0].1
     );
     assert!(must.worker_failed());
-    // Best-effort reads still work after the failure (and don't hang).
-    let _ = must.races();
+    assert_eq!(must.respawns(), 0, "budget 0 must never respawn");
+    // Best-effort reads still work after the failure (and don't hang) —
+    // and the result is now explicitly marked partial, not silently
+    // truncated.
+    let (_races, completeness) = must.races_checked();
+    assert!(
+        matches!(completeness, Completeness::Partial { .. }),
+        "a dead worker's verdict must be marked partial: {completeness:?}"
+    );
+}
+
+/// Within the respawn budget a dead worker is *recovered*: the
+/// checkpoint restores, the journal re-delivers, and the run reaches the
+/// same verdict a fault-free run would — here, the Table 2 row-1 race is
+/// still detected even though the worker was killed mid-epoch with the
+/// racing operations in flight.
+#[test]
+fn killed_worker_recovers_and_keeps_verdict() {
+    let cfg = MustCfg {
+        on_race: OnRace::Collect,
+        max_respawns: 3,
+        quiescence_deadline: Duration::from_secs(5),
+    };
+    let must = Arc::new(MustRma::with_cfg(2, cfg));
+    let sab = must.clone();
+    let out = World::run(WorldCfg::with_ranks(2), must.clone(), move |ctx| {
+        let win = ctx.win_allocate(32);
+        let buf = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.get(&buf, 0, 8, RankId(1), 0, win);
+            let _ = ctx.load_u64(&buf, 0); // races with the async get
+            // Kill the worker with the racing pair potentially still
+            // queued; the supervisor must restore + replay it.
+            sab.sabotage_worker_for_tests();
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+    });
+    assert!(out.is_clean(), "recovery must not abort the world: {out:?}");
+    let (races, completeness) = must.races_checked();
+    assert_eq!(completeness, Completeness::Complete);
+    assert!(!races.is_empty(), "the race must survive recovery");
+    assert!(must.respawns() >= 1, "the kill must have forced a respawn");
+    assert!(!must.worker_failed());
+}
+
+/// Recovery reaches verdict equivalence on the *negative* side too: an
+/// ordered program stays race-free across a worker kill (restore+replay
+/// must not manufacture races — e.g. by re-processing a shipped
+/// operation against a shadow that already holds its record).
+#[test]
+fn killed_worker_recovery_produces_no_false_positives() {
+    let cfg = MustCfg {
+        on_race: OnRace::Collect,
+        max_respawns: 3,
+        quiescence_deadline: Duration::from_secs(5),
+    };
+    let must = Arc::new(MustRma::with_cfg(2, cfg));
+    let sab = must.clone();
+    let out = World::run(WorldCfg::with_ranks(2), must.clone(), move |ctx| {
+        let win = ctx.win_allocate(32);
+        let buf = ctx.alloc(8);
+        for round in 0..3 {
+            ctx.win_lock_all(win);
+            if ctx.rank() == RankId(0) {
+                let _ = ctx.load_u64(&buf, 0);
+                ctx.put(&buf, 0, 8, RankId(1), 0, win);
+                if round == 1 {
+                    sab.sabotage_worker_for_tests();
+                }
+            }
+            ctx.win_unlock_all(win);
+            ctx.barrier();
+        }
+    });
+    assert!(out.is_clean(), "outcome: {out:?}");
+    let (races, completeness) = must.races_checked();
+    assert_eq!(completeness, Completeness::Complete);
+    assert!(races.is_empty(), "recovery invented races: {races:?}");
+    assert!(must.respawns() >= 1);
+}
+
+/// The journal drains at epoch-boundary checkpoints: after a fully
+/// quiescent barrier the supervisor holds no replayable suffix, and
+/// mid-epoch it holds records for everything shipped since.
+#[test]
+fn journal_prunes_at_epoch_checkpoints() {
+    let must = Arc::new(MustRma::for_world(2, OnRace::Collect));
+    let probe = must.clone();
+    let out = World::run(WorldCfg::with_ranks(2), must.clone(), move |ctx| {
+        let win = ctx.win_allocate(32);
+        let buf = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            ctx.put(&buf, 0, 8, RankId(1), 0, win);
+        }
+        ctx.win_unlock_all(win);
+        ctx.barrier();
+        if ctx.rank() == RankId(0) {
+            assert!(
+                probe.journal_records().is_empty(),
+                "post-barrier checkpoint must prune the journal"
+            );
+        }
+        ctx.barrier();
+    });
+    assert!(out.is_clean(), "outcome: {out:?}");
 }

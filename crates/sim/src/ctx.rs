@@ -97,6 +97,17 @@ impl<'w> RankCtx<'w> {
             return;
         }
         self.events += 1;
+        if let FaultKind::KillWorker { times } = plan.kind {
+            // Repeated-kill window: one kill at `at_event` and at each of
+            // the following `times - 1` events, so a supervised tool's
+            // respawn budget is exercised deterministically.
+            let within = self.events >= plan.at_event
+                && self.events - plan.at_event < u64::from(times.max(1));
+            if within {
+                self.monitor.on_fault_kill_worker(self.rank);
+            }
+            return;
+        }
         if self.events != plan.at_event {
             return;
         }
@@ -125,6 +136,7 @@ impl<'w> RankCtx<'w> {
             FaultKind::FailWinAlloc => {
                 self.winalloc_fault = true;
             }
+            FaultKind::KillWorker { .. } => unreachable!("handled above"),
         }
     }
 

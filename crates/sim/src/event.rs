@@ -172,6 +172,20 @@ pub trait Monitor: Send + Sync {
     /// All ranks have arrived at the barrier; runs once, on the last
     /// arriver's thread, before anyone is released.
     fn on_barrier_last(&self) {}
+
+    /// Fault injection: kill the monitor's helper thread serving `rank`
+    /// (an analysis worker, a notification receiver, ...). Returns `true`
+    /// when the monitor owns such a thread and acted on the request —
+    /// monitors without helper threads keep the no-op default, so the
+    /// fault degenerates to "nothing to kill" instead of a panic.
+    ///
+    /// Supervised monitors perform the kill *and any recovery*
+    /// synchronously before returning, so a seeded sweep observes a
+    /// deterministic respawn count.
+    fn on_fault_kill_worker(&self, rank: RankId) -> bool {
+        let _ = rank;
+        false
+    }
 }
 
 /// Baseline monitor: observes nothing (used for un-instrumented runs).

@@ -33,17 +33,42 @@ pub enum FaultKind {
     /// `MPI_Win_allocate` returning an error) and aborts the world with
     /// a structured reason.
     FailWinAlloc,
+    /// Kills the attached tool's helper thread serving this rank
+    /// (analysis worker / notification receiver) `times` times: once at
+    /// `at_event` and again at each of the following `times - 1`
+    /// instrumented events. Delivered through
+    /// [`crate::Monitor::on_fault_kill_worker`]; a supervised tool
+    /// recovers in place (within its respawn budget), an unsupervised
+    /// one converts the death into a structured abort at the next
+    /// quiescence point.
+    KillWorker {
+        /// Number of consecutive kills (≥ 1).
+        times: u32,
+    },
 }
 
 impl FaultKind {
     /// All kinds, for seeded sampling and table-driven tests.
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 6] = [
         FaultKind::Crash,
         FaultKind::HookError,
         FaultKind::StallSends,
         FaultKind::DuplicateSends,
         FaultKind::FailWinAlloc,
+        FaultKind::KillWorker { times: 1 },
     ];
+
+    /// Variant name without payload (tally tables, JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::HookError => "hook-error",
+            FaultKind::StallSends => "stall-sends",
+            FaultKind::DuplicateSends => "duplicate-sends",
+            FaultKind::FailWinAlloc => "fail-win-alloc",
+            FaultKind::KillWorker { .. } => "kill-worker",
+        }
+    }
 }
 
 /// One deterministic fault: `kind` triggers when rank `rank` executes
@@ -75,7 +100,13 @@ impl FaultPlan {
     /// identically on every platform.
     pub fn from_seed(seed: u64, nranks: u32) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA_17_FA_17_FA_17_FA_17);
-        let kind = FaultKind::ALL[rng.gen_range(0..FaultKind::ALL.len())];
+        let mut kind = FaultKind::ALL[rng.gen_range(0..FaultKind::ALL.len())];
+        if let FaultKind::KillWorker { .. } = kind {
+            // Repeated kills probe the respawn budget: sample past it
+            // (budgets in the sweep are small) so both recovered and
+            // budget-exhausted scenarios occur.
+            kind = FaultKind::KillWorker { times: rng.gen_range(1..5) as u32 };
+        }
         let rank = rng.gen_range(0..nranks.max(1));
         // Suite cases run a few dozen events per rank; sample the whole
         // range so early (setup), mid-epoch and never-reached triggers
@@ -104,10 +135,24 @@ mod tests {
             let p = FaultPlan::from_seed(seed, 3);
             assert!(p.rank < 3);
             assert!(p.at_event >= 1);
-            kinds.insert(format!("{:?}", p.kind));
+            if let FaultKind::KillWorker { times } = p.kind {
+                assert!((1..=4).contains(&times), "kill count out of range: {times}");
+            }
+            kinds.insert(p.kind.name());
             ranks.insert(p.rank);
         }
         assert_eq!(kinds.len(), FaultKind::ALL.len(), "sweep must sample every kind");
         assert_eq!(ranks.len(), 3, "sweep must sample every rank");
+    }
+
+    #[test]
+    fn kill_worker_kill_counts_vary_across_seeds() {
+        let mut times_seen = std::collections::HashSet::new();
+        for seed in 0..512u64 {
+            if let FaultKind::KillWorker { times } = FaultPlan::from_seed(seed, 3).kind {
+                times_seen.insert(times);
+            }
+        }
+        assert!(times_seen.len() > 1, "sweep must sample several kill counts");
     }
 }

@@ -136,6 +136,16 @@ impl Monitor for Tee {
             m.on_barrier_last();
         }
     }
+
+    fn on_fault_kill_worker(&self, rank: RankId) -> bool {
+        // Every monitor gets the kill (a fault hits the whole tool
+        // stack); handled if *any* of them owned a thread to kill.
+        let mut handled = false;
+        for m in &self.monitors {
+            handled |= m.on_fault_kill_worker(rank);
+        }
+        handled
+    }
 }
 
 #[cfg(test)]

@@ -134,6 +134,7 @@ pub fn run_accum_case(partner: AccumPartner, tool: Tool) -> bool {
                 on_race: OnRace::Collect,
                 delivery: Delivery::Direct,
                 node_budget: None,
+                max_respawns: 3,
             }));
             let out =
                 World::run(cfg, mon.clone() as Arc<dyn Monitor>, |ctx| partner.body(ctx));

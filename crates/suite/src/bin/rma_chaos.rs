@@ -1,7 +1,7 @@
 //! `rma-chaos` — seeded chaos sweep over the validation suite.
 //!
 //! ```text
-//! rma-chaos [--seeds N] [--start S] [--watchdog-ms M] [--verbose]
+//! rma-chaos [--seeds N] [--start S] [--watchdog-ms M] [--verbose] [--json]
 //! ```
 //!
 //! Runs `N` scenarios (seeds `S..S+N`); each seed deterministically
@@ -9,6 +9,13 @@
 //! Exits non-zero the moment any scenario violates the structured-
 //! outcome contract (unexplained panic, unclassifiable outcome) — a
 //! failing seed replays the whole scenario by itself.
+//!
+//! `--json` prints one JSON object per scenario (seed, case, fault
+//! coordinates, verdict, respawn count, verdict equivalence) and
+//! nothing else on stdout. The output contains no timestamps or
+//! durations and respawn counts are deterministic, so two sweeps over
+//! the same seed range diff byte-for-byte — CI runs the sweep twice and
+//! compares.
 
 use rma_suite::chaos::run_chaos_scenario;
 use rma_suite::generate_suite;
@@ -16,7 +23,17 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
-const USAGE: &str = "usage: rma-chaos [--seeds N] [--start S] [--watchdog-ms M] [--verbose]";
+const USAGE: &str =
+    "usage: rma-chaos [--seeds N] [--start S] [--watchdog-ms M] [--verbose] [--json]";
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
 
 fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
     if let Some(i) = args.iter().position(|a| a == flag) {
@@ -47,12 +64,8 @@ fn run() -> Result<ExitCode, String> {
     let seeds = take_opt(&mut args, "--seeds")?.unwrap_or(64);
     let start = take_opt(&mut args, "--start")?.unwrap_or(0);
     let watchdog_ms = take_opt(&mut args, "--watchdog-ms")?.unwrap_or(2_000);
-    let verbose = if let Some(i) = args.iter().position(|a| a == "--verbose") {
-        args.remove(i);
-        true
-    } else {
-        false
-    };
+    let verbose = take_flag(&mut args, "--verbose");
+    let json = take_flag(&mut args, "--json");
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
     }
@@ -60,18 +73,31 @@ fn run() -> Result<ExitCode, String> {
     let cases = generate_suite();
     let t0 = Instant::now();
     let mut tally: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut inequivalent = 0usize;
     for seed in start..start + seeds {
         match run_chaos_scenario(seed, &cases, watchdog_ms) {
             Ok(res) => {
-                if verbose {
+                if json {
+                    println!("{}", res.to_json());
+                } else if verbose {
                     println!(
-                        "seed {seed:4}  {:10}  {:28}  {:?} (rank {} @ event {})  {:.1} ms",
+                        "seed {seed:4}  {:13}  {:28}  {:?} (rank {} @ event {})  \
+                         respawns={}  {:.1} ms",
                         res.verdict.name(),
                         res.case,
                         res.plan.kind,
                         res.plan.rank,
                         res.plan.at_event,
+                        res.respawns,
                         res.elapsed.as_secs_f64() * 1e3
+                    );
+                }
+                if res.equivalent == Some(false) {
+                    inequivalent += 1;
+                    eprintln!(
+                        "VERDICT DIVERGENCE: seed {seed} ({}) recovered to a \
+                         different verdict than the fault-free baseline",
+                        res.case
                     );
                 }
                 *tally.entry(res.verdict.name()).or_default() += 1;
@@ -83,11 +109,17 @@ fn run() -> Result<ExitCode, String> {
             }
         }
     }
-    let summary: Vec<String> = tally.iter().map(|(k, v)| format!("{k}={v}")).collect();
-    println!(
-        "chaos sweep: {seeds} scenarios in {:.2}s, all structured [{}]",
-        t0.elapsed().as_secs_f64(),
-        summary.join(" ")
-    );
+    if inequivalent > 0 {
+        eprintln!("{inequivalent} kill-worker scenarios diverged from their baselines");
+        return Ok(ExitCode::FAILURE);
+    }
+    if !json {
+        let summary: Vec<String> = tally.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!(
+            "chaos sweep: {seeds} scenarios in {:.2}s, all structured [{}]",
+            t0.elapsed().as_secs_f64(),
+            summary.join(" ")
+        );
+    }
     Ok(ExitCode::SUCCESS)
 }

@@ -15,17 +15,37 @@
 //!   `panics`, and unwound every sibling;
 //! * **aborted** — a structured abort (failed window allocation);
 //! * **deadlocked** — the watchdog converted a wedged world into
-//!   `RunOutcome::deadlock`.
+//!   `RunOutcome::deadlock`;
+//! * **detector-lost** — a `KillWorker` fault exhausted a detector's
+//!   respawn budget and the world aborted through the detector's
+//!   structured quiescence panic (never a hang).
 //!
 //! Anything else — an unexplained panic, a poisoned lock, a hang past
 //! the watchdog — is a contract violation and fails the sweep.
+//!
+//! # Verdict equivalence under recovery
+//!
+//! `KillWorker` scenarios run the *supervised* detector stack — the
+//! RMA-Analyzer in its `Messages` architecture plus the MUST-RMA-like
+//! detector, tee'd — and additionally run the same case on the same
+//! stack **without** the fault. Whenever the faulted run survives
+//! (within the respawn budgets), its raced-verdict must equal the
+//! fault-free baseline's: crash recovery is only correct if it is
+//! invisible in the verdict ([`ChaosResult::equivalent`]).
 
 use crate::case::{CaseSpec, SUITE_RANKS};
 use crate::run::run_case_with_cfg;
 use rma_monitor::{Algorithm, AnalyzerCfg, Delivery, OnRace, RmaAnalyzer};
-use rma_sim::{FaultPlan, Monitor, RunOutcome, WorldCfg};
+use rma_must::{MustCfg, MustRma, OnRace as MustOnRace};
+use rma_sim::{FaultKind, FaultPlan, Monitor, RunOutcome, Tee, WorldCfg};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Respawn budget used for both supervised detectors in kill-worker
+/// scenarios. Deliberately below the largest sampled kill count (see
+/// [`FaultPlan::from_seed`]) so sweeps exercise both recovered and
+/// budget-exhausted endings.
+pub const CHAOS_RESPAWN_BUDGET: u32 = 3;
 
 /// Structured classification of one chaos scenario's outcome.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -40,6 +60,9 @@ pub enum ChaosVerdict {
     Aborted,
     /// The deadlock watchdog fired and produced a description.
     Deadlocked,
+    /// A detector's helper thread was killed past its respawn budget and
+    /// the loss surfaced as the structured quiescence abort.
+    DetectorLost,
 }
 
 impl ChaosVerdict {
@@ -51,6 +74,7 @@ impl ChaosVerdict {
             ChaosVerdict::Crashed => "crashed",
             ChaosVerdict::Aborted => "aborted",
             ChaosVerdict::Deadlocked => "deadlocked",
+            ChaosVerdict::DetectorLost => "detector-lost",
         }
     }
 }
@@ -66,8 +90,54 @@ pub struct ChaosResult {
     pub plan: FaultPlan,
     /// Structured verdict.
     pub verdict: ChaosVerdict,
+    /// Helper-thread recoveries performed across the attached detectors
+    /// (only ever non-zero for `KillWorker` scenarios).
+    pub respawns: u32,
+    /// For `KillWorker` scenarios that survived within budget: did the
+    /// recovered run reach the same raced-verdict as a fault-free run
+    /// of the same case on the same detector stack? `None` when the
+    /// comparison does not apply (other fault kinds, or the run ended
+    /// in a structured abort before a verdict existed).
+    pub equivalent: Option<bool>,
     /// Wall-clock duration of the world run.
     pub elapsed: Duration,
+}
+
+impl ChaosResult {
+    /// One-line machine-readable form (stable field order, no
+    /// timestamps or durations), used by `rma-chaos --json` so two
+    /// sweeps over the same seeds can be diffed byte-for-byte.
+    pub fn to_json(&self) -> String {
+        let (times, kind) = match self.plan.kind {
+            FaultKind::KillWorker { times } => (times, self.plan.kind.name()),
+            k => (0, k.name()),
+        };
+        let equivalent = match self.equivalent {
+            None => "null".to_string(),
+            Some(b) => b.to_string(),
+        };
+        format!(
+            "{{\"seed\":{},\"case\":\"{}\",\"fault\":\"{}\",\"rank\":{},\
+             \"at_event\":{},\"times\":{},\"verdict\":\"{}\",\
+             \"respawns\":{},\"equivalent\":{}}}",
+            self.seed,
+            self.case,
+            kind,
+            self.plan.rank,
+            self.plan.at_event,
+            times,
+            self.verdict.name(),
+            self.respawns,
+            equivalent,
+        )
+    }
+}
+
+/// The panic markers a detector emits when it loses its helper thread
+/// beyond recovery. Several ranks may panic with these concurrently
+/// (each rank's next quiescence point notices the same dead worker).
+fn is_detector_lost_panic(msg: &str) -> bool {
+    msg.contains("MUST analysis worker") || msg.contains("RMA-Analyzer receiver")
 }
 
 /// Maps a finished world outcome onto the structured-verdict contract.
@@ -80,10 +150,20 @@ pub fn classify(outcome: &RunOutcome<()>, detector_raced: bool) -> Result<ChaosV
         return Ok(ChaosVerdict::Deadlocked);
     }
     if !outcome.panics.is_empty() {
-        // The only legitimate panic source under chaos is the injected
-        // crash itself — exactly one, carrying its marker message.
+        // A lost detector panics on the faulted rank — and possibly on
+        // every sibling whose quiescence wait notices the same dead
+        // worker. All such panics must carry a detector marker.
+        if outcome.panics.iter().all(|(_, msg)| is_detector_lost_panic(msg)) {
+            return Ok(ChaosVerdict::DetectorLost);
+        }
+        // The only other legitimate panic source under chaos is the
+        // injected crash itself — exactly one, carrying its marker.
         if outcome.panics.len() != 1 {
-            return Err(format!("{} panics, expected at most 1", outcome.panics.len()));
+            return Err(format!(
+                "{} panics, expected at most 1: {:?}",
+                outcome.panics.len(),
+                outcome.panics
+            ));
         }
         let (rank, msg) = &outcome.panics[0];
         if !msg.contains("fault injection") {
@@ -100,8 +180,34 @@ pub fn classify(outcome: &RunOutcome<()>, detector_raced: bool) -> Result<ChaosV
     Ok(ChaosVerdict::Clean)
 }
 
-/// Runs chaos scenario `seed` against `cases` (the seed picks one) with
-/// the frag-merge analyzer attached. `watchdog_ms` bounds a wedged run.
+/// The supervised detector stack used for kill-worker scenarios: the
+/// RMA-Analyzer in its receiver-thread architecture tee'd with the
+/// MUST-RMA-like detector, both collecting races and both carrying a
+/// respawn budget of [`CHAOS_RESPAWN_BUDGET`].
+fn supervised_stack() -> (Arc<dyn Monitor>, Arc<RmaAnalyzer>, Arc<MustRma>) {
+    let analyzer = Arc::new(RmaAnalyzer::new(AnalyzerCfg {
+        algorithm: Algorithm::FragMerge,
+        on_race: OnRace::Collect,
+        delivery: Delivery::Messages,
+        node_budget: None,
+        max_respawns: CHAOS_RESPAWN_BUDGET,
+    }));
+    let must = Arc::new(MustRma::with_cfg(
+        SUITE_RANKS,
+        MustCfg {
+            on_race: MustOnRace::Collect,
+            max_respawns: CHAOS_RESPAWN_BUDGET,
+            quiescence_deadline: Duration::from_secs(5),
+        },
+    ));
+    let tee: Arc<dyn Monitor> = Arc::new(Tee::pair(analyzer.clone(), must.clone()));
+    (tee, analyzer, must)
+}
+
+/// Runs chaos scenario `seed` against `cases` (the seed picks one).
+/// `watchdog_ms` bounds a wedged run. Most fault kinds run the
+/// frag-merge analyzer directly; `KillWorker` scenarios run the
+/// supervised stack plus a fault-free baseline for verdict equivalence.
 pub fn run_chaos_scenario(
     seed: u64,
     cases: &[CaseSpec],
@@ -110,22 +216,80 @@ pub fn run_chaos_scenario(
     assert!(!cases.is_empty());
     let spec = &cases[(seed as usize).wrapping_mul(0x9E37_79B9) % cases.len()];
     let plan = FaultPlan::from_seed(seed, SUITE_RANKS);
-    let mon = Arc::new(RmaAnalyzer::new(AnalyzerCfg {
-        algorithm: Algorithm::FragMerge,
-        on_race: OnRace::Collect,
-        delivery: Delivery::Direct,
-        node_budget: None,
-    }));
     let cfg = WorldCfg {
         fault: Some(plan),
         watchdog_ms,
         seed,
         ..WorldCfg::with_ranks(SUITE_RANKS)
     };
+
+    if matches!(plan.kind, FaultKind::KillWorker { .. }) {
+        return run_kill_worker_scenario(seed, spec, plan, cfg);
+    }
+
+    let mon = Arc::new(RmaAnalyzer::new(AnalyzerCfg {
+        algorithm: Algorithm::FragMerge,
+        on_race: OnRace::Collect,
+        delivery: Delivery::Direct,
+        node_budget: None,
+        max_respawns: CHAOS_RESPAWN_BUDGET,
+    }));
     let started = Instant::now();
     let outcome = run_case_with_cfg(spec, mon.clone() as Arc<dyn Monitor>, cfg);
     let elapsed = started.elapsed();
     let verdict = classify(&outcome, !mon.races().is_empty())
         .map_err(|e| format!("seed {seed} ({} / {plan:?}): {e}", spec.name()))?;
-    Ok(ChaosResult { seed, case: spec.name(), plan, verdict, elapsed })
+    Ok(ChaosResult {
+        seed,
+        case: spec.name(),
+        plan,
+        verdict,
+        respawns: 0,
+        equivalent: None,
+        elapsed,
+    })
+}
+
+fn run_kill_worker_scenario(
+    seed: u64,
+    spec: &CaseSpec,
+    plan: FaultPlan,
+    cfg: WorldCfg,
+) -> Result<ChaosResult, String> {
+    let started = Instant::now();
+
+    // Faulted run on the supervised stack.
+    let (tee, analyzer, must) = supervised_stack();
+    let outcome = run_case_with_cfg(spec, tee, cfg);
+    let raced =
+        outcome.raced() || !analyzer.races().is_empty() || !must.races().is_empty();
+    let respawns = analyzer.respawns() + must.respawns();
+    let verdict = classify(&outcome, raced)
+        .map_err(|e| format!("seed {seed} ({} / {plan:?}): {e}", spec.name()))?;
+
+    // Equivalence: a recovered run must reach the fault-free verdict.
+    // Only comparable when the faulted run survived to a verdict at all.
+    let equivalent = match verdict {
+        ChaosVerdict::Raced | ChaosVerdict::Clean => {
+            let (tee_b, analyzer_b, must_b) = supervised_stack();
+            let baseline_cfg = WorldCfg { fault: None, ..cfg };
+            let baseline = run_case_with_cfg(spec, tee_b, baseline_cfg);
+            let baseline_raced = baseline.raced()
+                || !analyzer_b.races().is_empty()
+                || !must_b.races().is_empty();
+            Some(raced == baseline_raced)
+        }
+        _ => None,
+    };
+
+    let elapsed = started.elapsed();
+    Ok(ChaosResult {
+        seed,
+        case: spec.name(),
+        plan,
+        verdict,
+        respawns,
+        equivalent,
+        elapsed,
+    })
 }

@@ -151,6 +151,7 @@ pub fn run_case(spec: &CaseSpec, tool: Tool) -> bool {
                 on_race: OnRace::Collect,
                 delivery: Delivery::Direct,
                 node_budget: None,
+                max_respawns: 3,
             }));
             let out = World::run(cfg, mon.clone() as Arc<dyn Monitor>, |ctx| {
                 case_body(ctx, spec)

@@ -27,7 +27,7 @@ fn sixty_four_seeded_scenarios_all_classify() {
         "sweep wall clock blew past its bound"
     );
     eprintln!("chaos tally: {tally:?}");
-    // The seeded plan space (5 kinds × 3 ranks × 47 trigger points) must
+    // The seeded plan space (6 kinds × 3 ranks × 47 trigger points) must
     // visibly exercise more than one failure mode in 64 draws.
     assert!(tally.len() >= 3, "sweep too homogeneous: {tally:?}");
     assert!(tally.contains_key("crashed"), "no crash scenario fired: {tally:?}");

@@ -15,6 +15,7 @@ fn budgeted_cfg(cap: usize) -> AnalyzerCfg {
         on_race: OnRace::Collect,
         delivery: Delivery::Direct,
         node_budget: Some(cap),
+        max_respawns: 3,
     }
 }
 
@@ -75,6 +76,7 @@ fn slack_budget_changes_nothing() {
     for spec in &cases {
         let exact = Arc::new(RmaAnalyzer::new(AnalyzerCfg {
             node_budget: None,
+            max_respawns: 3,
             ..budgeted_cfg(0)
         }));
         let slack = Arc::new(RmaAnalyzer::new(budgeted_cfg(1024)));

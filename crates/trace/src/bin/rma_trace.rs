@@ -99,6 +99,7 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
         on_race: OnRace::Collect,
         delivery: Delivery::Direct,
         node_budget: None,
+        max_respawns: 3,
     }));
     let (writer, clean) = match (case.as_deref(), app.as_deref()) {
         (Some(name), None) => {

@@ -1,0 +1,253 @@
+//! On-disk form of the MUST supervisor's in-flight journal.
+//!
+//! The supervisor keeps every shipped-but-unacknowledged analysis
+//! record in memory (see `rma_must`); when a run aborts — a worker lost
+//! beyond its respawn budget, a quiescence timeout — that journal
+//! suffix is exactly the work the verdict is missing. This module
+//! serializes it with the same machinery as the v2 event encoding
+//! ([`crate::format`]): varint integers, a deduplicating string table
+//! for source files, and a length-checked decoder that returns
+//! [`TraceError`] instead of panicking on torn input, so a post-mortem
+//! dump can be read back for offline completion or diagnosis.
+//!
+//! Layout (all integers LEB128 via [`crate::varint`]):
+//!
+//! ```text
+//! magic "RMAJRNL1" | nstrings | { len | utf8 }* | nrecords | record*
+//! record := flags | [seq] | shadow_of | lo | span | component | epoch
+//!         | nclock | clock* | kind | issuer | file-index | line
+//! ```
+
+use crate::format::{intern_static, StringTable};
+use crate::varint::{read_u64, write_u64};
+use crate::TraceError;
+use rma_core::{AccessKind, Interval, RankId, SrcLoc};
+use rma_must::JournalRecord;
+
+const MAGIC: &[u8; 8] = b"RMAJRNL1";
+
+const F_HAS_SEQ: u8 = 1 << 0;
+const F_WRITE: u8 = 1 << 1;
+const F_ATOMIC: u8 = 1 << 2;
+
+fn kind_code(kind: AccessKind) -> u8 {
+    AccessKind::ALL.iter().position(|&k| k == kind).unwrap() as u8
+}
+
+fn kind_from_code(code: u8) -> Result<AccessKind, TraceError> {
+    AccessKind::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or(TraceError::Corrupt("bad access-kind code"))
+}
+
+/// Serializes a journal snapshot (as returned by
+/// `MustRma::journal_records`) into a self-contained byte buffer.
+pub fn encode_journal(records: &[JournalRecord]) -> Vec<u8> {
+    let mut strings = StringTable::default();
+    let mut body = Vec::new();
+    write_u64(&mut body, records.len() as u64);
+    for r in records {
+        let mut flags = 0u8;
+        if r.seq.is_some() {
+            flags |= F_HAS_SEQ;
+        }
+        if r.write {
+            flags |= F_WRITE;
+        }
+        if r.atomic {
+            flags |= F_ATOMIC;
+        }
+        body.push(flags);
+        if let Some(seq) = r.seq {
+            write_u64(&mut body, seq);
+        }
+        write_u64(&mut body, u64::from(r.shadow_of));
+        write_u64(&mut body, r.interval.lo);
+        write_u64(&mut body, r.interval.hi - r.interval.lo);
+        write_u64(&mut body, u64::from(r.component));
+        write_u64(&mut body, r.epoch);
+        write_u64(&mut body, r.clock.len() as u64);
+        for &w in &r.clock {
+            write_u64(&mut body, w);
+        }
+        body.push(kind_code(r.kind));
+        write_u64(&mut body, u64::from(r.issuer.0));
+        write_u64(&mut body, strings.intern(r.loc.file));
+        write_u64(&mut body, u64::from(r.loc.line));
+    }
+
+    let mut out = Vec::with_capacity(body.len() + 64);
+    out.extend_from_slice(MAGIC);
+    write_u64(&mut out, strings.strings().len() as u64);
+    for s in strings.strings() {
+        write_u64(&mut out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    }
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes a buffer produced by [`encode_journal`]. Every length and
+/// index is validated; torn or corrupt input yields an error, never a
+/// panic or an out-of-bounds read.
+pub fn decode_journal(buf: &[u8]) -> Result<Vec<JournalRecord>, TraceError> {
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let mut pos = MAGIC.len();
+
+    let nstrings = read_u64(buf, &mut pos)? as usize;
+    let mut strings = Vec::with_capacity(nstrings.min(1024));
+    for _ in 0..nstrings {
+        let len = read_u64(buf, &mut pos)? as usize;
+        let end = pos.checked_add(len).filter(|&e| e <= buf.len());
+        let Some(end) = end else {
+            return Err(TraceError::Truncated);
+        };
+        let s = core::str::from_utf8(&buf[pos..end])
+            .map_err(|_| TraceError::Corrupt("string table entry is not UTF-8"))?;
+        strings.push(intern_static(s));
+        pos = end;
+    }
+
+    let nrecords = read_u64(buf, &mut pos)? as usize;
+    let mut records = Vec::with_capacity(nrecords.min(4096));
+    for _ in 0..nrecords {
+        let flags = *buf.get(pos).ok_or(TraceError::Truncated)?;
+        pos += 1;
+        if flags & !(F_HAS_SEQ | F_WRITE | F_ATOMIC) != 0 {
+            return Err(TraceError::Corrupt("unknown journal record flags"));
+        }
+        let seq = if flags & F_HAS_SEQ != 0 {
+            Some(read_u64(buf, &mut pos)?)
+        } else {
+            None
+        };
+        let shadow_of = u32::try_from(read_u64(buf, &mut pos)?)
+            .map_err(|_| TraceError::Corrupt("shadow rank out of range"))?;
+        let lo = read_u64(buf, &mut pos)?;
+        let span = read_u64(buf, &mut pos)?;
+        let hi = lo
+            .checked_add(span)
+            .ok_or(TraceError::Corrupt("interval overflows the address space"))?;
+        let component = u32::try_from(read_u64(buf, &mut pos)?)
+            .map_err(|_| TraceError::Corrupt("clock component out of range"))?;
+        let epoch = read_u64(buf, &mut pos)?;
+        let nclock = read_u64(buf, &mut pos)? as usize;
+        // A clock has one word per component; anything larger than the
+        // remaining input is a lie about the length.
+        if nclock > buf.len() - pos {
+            return Err(TraceError::Truncated);
+        }
+        let mut clock = Vec::with_capacity(nclock);
+        for _ in 0..nclock {
+            clock.push(read_u64(buf, &mut pos)?);
+        }
+        let kind = *buf.get(pos).ok_or(TraceError::Truncated)?;
+        pos += 1;
+        let kind = kind_from_code(kind)?;
+        let issuer = u32::try_from(read_u64(buf, &mut pos)?)
+            .map_err(|_| TraceError::Corrupt("issuer rank out of range"))?;
+        let file_idx = read_u64(buf, &mut pos)? as usize;
+        let file = *strings
+            .get(file_idx)
+            .ok_or(TraceError::Corrupt("string table index out of range"))?;
+        let line = u32::try_from(read_u64(buf, &mut pos)?)
+            .map_err(|_| TraceError::Corrupt("line number out of range"))?;
+        records.push(JournalRecord {
+            seq,
+            shadow_of,
+            interval: Interval::new(lo, hi),
+            component,
+            epoch,
+            clock,
+            write: flags & F_WRITE != 0,
+            atomic: flags & F_ATOMIC != 0,
+            kind,
+            issuer: RankId(issuer),
+            loc: SrcLoc::synthetic(file, line),
+        });
+    }
+    if pos != buf.len() {
+        return Err(TraceError::Corrupt("trailing bytes after last record"));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: Option<u64>, shadow_of: u32, file: &'static str) -> JournalRecord {
+        JournalRecord {
+            seq,
+            shadow_of,
+            interval: Interval::new(0x1000, 0x1007),
+            component: 2 * shadow_of,
+            epoch: 7,
+            clock: vec![1, 0, 4, 2, 0, 9],
+            write: seq.is_some(),
+            atomic: false,
+            kind: if seq.is_some() { AccessKind::RmaWrite } else { AccessKind::LocalRead },
+            issuer: RankId(shadow_of),
+            loc: SrcLoc::synthetic(file, 42 + shadow_of),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let records = vec![
+            rec(Some(1), 0, "a.c"),
+            rec(Some(1), 1, "a.c"),
+            rec(None, 2, "b.c"),
+            rec(Some(2), 1, "a.c"),
+        ];
+        let bytes = encode_journal(&records);
+        assert_eq!(decode_journal(&bytes).unwrap(), records);
+    }
+
+    #[test]
+    fn empty_journal_round_trips() {
+        let bytes = encode_journal(&[]);
+        assert_eq!(decode_journal(&bytes).unwrap(), Vec::<JournalRecord>::new());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(decode_journal(b"NOTAJRNL"), Err(TraceError::BadMagic)));
+        assert!(matches!(decode_journal(b""), Err(TraceError::BadMagic)));
+    }
+
+    #[test]
+    fn every_truncation_is_an_error_not_a_panic() {
+        let bytes = encode_journal(&[rec(Some(3), 1, "t.c"), rec(None, 0, "u.c")]);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_journal(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_kind_and_flags_are_rejected() {
+        let records = vec![rec(None, 0, "k.c")];
+        let bytes = encode_journal(&records);
+        // The kind byte sits 2 + line-varint + file-varint from the end.
+        let mut bad = bytes.clone();
+        let kind_pos = bytes.len() - 3;
+        assert_eq!(bad[kind_pos], 0, "expected LocalRead code at the probe offset");
+        bad[kind_pos] = 0xEE;
+        assert!(decode_journal(&bad).is_err());
+        // Unknown flag bits are rejected too (field drift detector).
+        let mut bad = bytes;
+        let nstrings_end = MAGIC.len() + 1 + 1 + "k.c".len(); // count, len, bytes
+        let flags_pos = nstrings_end + 1; // record count varint, then flags
+        bad[flags_pos] |= 0x80;
+        assert!(matches!(
+            decode_journal(&bad),
+            Err(TraceError::Corrupt("unknown journal record flags"))
+        ));
+    }
+}

@@ -26,6 +26,7 @@
 #![deny(unsafe_code)]
 
 pub mod format;
+pub mod journal;
 pub mod replay;
 pub mod salvage;
 pub mod trace;

@@ -1,0 +1,55 @@
+//! End-to-end: the MUST supervisor's live in-flight journal — the work
+//! a crashed run's verdict is missing — survives a round trip through
+//! the on-disk journal encoding.
+
+use rma_must::{MustCfg, MustRma, OnRace};
+use rma_sim::{FaultKind, FaultPlan, Monitor, RankId, World, WorldCfg};
+use rma_trace::journal::{decode_journal, encode_journal};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Kill the analysis worker with no respawn budget right after two
+/// operations were shipped: the run aborts and the journal retains both
+/// unacknowledged operations, which must encode and decode losslessly
+/// (a post-mortem dump is only useful if faithful).
+///
+/// A single-rank world with self-targeted operations keeps the scenario
+/// deterministic: the ships, the kill and the (never-reached) epoch
+/// boundary that would prune the journal are all ordered by the one
+/// rank's program order.
+#[test]
+fn aborted_run_journal_round_trips() {
+    let probe = Arc::new(MustRma::with_cfg(
+        1,
+        MustCfg {
+            on_race: OnRace::Collect,
+            max_respawns: 0,
+            quiescence_deadline: Duration::from_secs(5),
+        },
+    ));
+    // Event 6 lands after both one-sided operations shipped (events 4
+    // and 5) and before the unlock that would checkpoint-prune them.
+    let cfg = WorldCfg {
+        fault: Some(FaultPlan { rank: 0, at_event: 6, kind: FaultKind::KillWorker { times: 1 } }),
+        watchdog_ms: 10_000,
+        ..WorldCfg::with_ranks(1)
+    };
+    let out = World::run(cfg, probe.clone() as Arc<dyn Monitor>, |ctx| {
+        let win = ctx.win_allocate(32);
+        let buf = ctx.alloc(16);
+        ctx.win_lock_all(win);
+        ctx.get(&buf, 0, 8, RankId(0), 0, win);
+        ctx.put(&buf, 8, 8, RankId(0), 16, win);
+        ctx.win_unlock_all(win);
+    });
+    assert!(!out.is_clean(), "budget-0 kill must abort the run");
+
+    let records = probe.journal_records();
+    assert_eq!(
+        records.len(),
+        4,
+        "two unacknowledged operations leave two journal records each"
+    );
+    let decoded = decode_journal(&encode_journal(&records)).unwrap();
+    assert_eq!(decoded, records);
+}

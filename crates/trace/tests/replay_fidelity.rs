@@ -31,6 +31,7 @@ fn live_races(spec: &CaseSpec, detector: Detector) -> Vec<rma_core::RaceReport> 
                 on_race: OnRace::Collect,
                 delivery: Delivery::Direct,
                 node_budget: None,
+                max_respawns: 3,
             }));
             let out = run_case_with_monitor(spec, analyzer.clone() as Arc<dyn Monitor>);
             assert!(out.is_clean(), "{}: live run not clean", spec.name());

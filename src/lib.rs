@@ -59,8 +59,11 @@ pub mod prelude {
         RankId, SrcLoc,
     };
     pub use rma_monitor::{Algorithm, AnalyzerCfg, Delivery, OnRace, RmaAnalyzer};
-    pub use rma_must::MustRma;
-    pub use rma_sim::{Buf, Monitor, NullMonitor, RankCtx, RunOutcome, WinId, World, WorldCfg};
+    pub use rma_must::{Completeness, MustCfg, MustRma};
+    pub use rma_sim::{
+        Buf, FaultKind, FaultPlan, Monitor, NullMonitor, RankCtx, RunOutcome, WinId, World,
+        WorldCfg,
+    };
     pub use rma_suite::{generate_suite, run_case, Tool};
     pub use rma_trace::{replay, Detector, Trace, TraceWriter};
 }

@@ -59,6 +59,7 @@ fn verdict(spec: ProgramSpec, delivery: Delivery) -> bool {
         on_race: OnRace::Collect,
         delivery,
         node_budget: None,
+        max_respawns: 3,
     }));
     let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(3), analyzer.clone(), |ctx| {
         run_program(spec, ctx)
@@ -128,6 +129,7 @@ fn verdict_algo(spec: ProgramSpec, algorithm: Algorithm) -> bool {
         on_race: OnRace::Collect,
         delivery: Delivery::Direct,
         node_budget: None,
+        max_respawns: 3,
     }));
     let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(3), analyzer.clone(), |ctx| {
         run_program(spec, ctx)
