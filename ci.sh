@@ -95,6 +95,23 @@ for CUT in 40 50; do
     echo "    cut $CUT: $SALVAGE_LINE"
 done
 
+echo "==> differential campaign: sharded stores and the config grid"
+# Sharded-vs-plain store equivalence (randomized, seeds checked in) and
+# the 240-case verdict sweep over shards x batch x delivery: any verdict
+# difference from the seed configuration fails here.
+timeout 300 cargo test -q --offline -p rma-core --test sharded_prop
+timeout 600 cargo test -q --offline -p rma-suite --test grid_equivalence
+
+echo "==> bench_hotpath smoke: runs, self-validates, baseline stays well-formed"
+# The smoke benchmark must complete quickly and emit a schema-valid
+# report; the checked-in baseline must stay schema-valid too (it is
+# byte-stable modulo timing fields, so a hand-mangled or truncated
+# baseline fails --check).
+BENCH_HOTPATH=./target/release/bench_hotpath
+timeout 120 "$BENCH_HOTPATH" --smoke --out "$SMOKE_DIR/bench_smoke.json"
+"$BENCH_HOTPATH" --check "$SMOKE_DIR/bench_smoke.json"
+"$BENCH_HOTPATH" --check BENCH_hotpath.json
+
 echo "==> hermeticity check: no external dependency declarations"
 if grep -rn "proptest\|criterion\|crossbeam\|parking_lot\|^rand" \
     Cargo.toml crates/*/Cargo.toml; then

@@ -90,6 +90,8 @@ impl MethodRun {
                     delivery: Delivery::Direct,
                     node_budget: None,
                     max_respawns: 3,
+                    shards: 1,
+                    batch_size: 1,
                 }));
                 MethodRun {
                     monitor: analyzer.clone(),

@@ -1,0 +1,458 @@
+//! Hot-path detection benchmark with a reproducible baseline:
+//! replays the checked-in trace corpus plus synthetic high-churn
+//! workloads through the four store configurations — naive
+//! full-history, legacy RMA-Analyzer, fragmentation+merging, and the
+//! sharded fragmentation+merging hot path — and emits
+//! `BENCH_hotpath.json` holding, per (workload, config): median
+//! events/second, peak node count, and fast-path hit rate.
+//!
+//! Besides the offline replays, the `live/churn` rows drive the full
+//! `Messages`-mode analyzer pipeline (origin-side records, notification
+//! batching, receiver threads, epoch drain) through a two-rank simulated
+//! world: plain fragmerge (1 shard, batch 1) against the sharded hot
+//! path (`shards` = 4, `batch_size` = 64 — the configuration the
+//! verdict-equivalence grid campaign pins down). The headline
+//! `sharded_speedup_churn` ratio comes from these rows.
+//!
+//! The JSON is byte-stable modulo the timing fields: `events`,
+//! `peak_nodes`, `fast_hit_rate` and `races` are pure functions of the
+//! (deterministic) workloads, so two runs differ only in
+//! `median_ns`/`events_per_sec` (and the derived speedup ratio).
+//!
+//! Flags:
+//!
+//! * `--smoke` — tiny workloads + 3 samples, for CI under `timeout`;
+//! * `--out <path>` — where to write the JSON (default
+//!   `BENCH_hotpath.json` in the current directory);
+//! * `--check <path>` — validate an existing report instead of
+//!   benchmarking: required keys present, every number finite; exits
+//!   non-zero on violation.
+
+use rma_core::{
+    AccessStore, FragMergeStore, Interval, LegacyStore, NaiveStore, ShardedStore, SrcLoc,
+};
+use rma_monitor::{Algorithm, AnalyzerCfg, Delivery, OnRace, RmaAnalyzer};
+use rma_sim::{Monitor, RankId, World, WorldCfg};
+use rma_substrate::bench::BenchGroup;
+use rma_trace::{replay_trace, ReplayOutcome, StoreTarget, Trace, TraceEvent, TraceHeader};
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Shard count of the sharded configuration (matches the grid tested by
+/// `grid_equivalence.rs` and the chaos kill-worker sweep).
+const SHARDS: usize = 4;
+
+/// The four store configurations compared.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Config {
+    Naive,
+    Legacy,
+    FragMerge,
+    ShardedFragMerge,
+}
+
+impl Config {
+    const ALL: [Config; 4] =
+        [Config::Naive, Config::Legacy, Config::FragMerge, Config::ShardedFragMerge];
+
+    fn name(self) -> &'static str {
+        match self {
+            Config::Naive => "naive",
+            Config::Legacy => "legacy",
+            Config::FragMerge => "fragmerge",
+            Config::ShardedFragMerge => "sharded-fragmerge",
+        }
+    }
+
+    fn store(self, domain: Option<Interval>) -> Box<dyn AccessStore + Send> {
+        match self {
+            Config::Naive => Box::new(NaiveStore::new()),
+            Config::Legacy => Box::new(LegacyStore::new()),
+            Config::FragMerge => Box::new(FragMergeStore::new()),
+            Config::ShardedFragMerge => match domain {
+                Some(d) => Box::new(ShardedStore::with_domain(SHARDS, d, FragMergeStore::new)),
+                None => Box::new(ShardedStore::new(SHARDS, FragMergeStore::new)),
+            },
+        }
+    }
+}
+
+/// The window domain a live analyzer would shard over: the hull of the
+/// trace's `WinAllocate` contributions.
+fn trace_domain(trace: &Trace) -> Option<Interval> {
+    let mut dom: Option<Interval> = None;
+    for stream in &trace.streams {
+        for ev in stream {
+            if let TraceEvent::WinAllocate { base, len, .. } = *ev {
+                let hi = len.checked_sub(1).and_then(|d| base.checked_add(d))?;
+                let w = Interval::new(base, hi);
+                dom = Some(match dom {
+                    Some(d) => d.hull(&w),
+                    None => w,
+                });
+            }
+        }
+    }
+    dom
+}
+
+fn replay_with(trace: &Trace, cfg: Config, domain: Option<Interval>) -> ReplayOutcome {
+    replay_trace(trace, Box::new(StoreTarget::new(move || cfg.store(domain))))
+}
+
+/// Synthetic high-churn workload: `regions` interleaved ascending scans
+/// (region stride 1 MiB), width-2 intervals separated by a 1-byte gap —
+/// never adjacent, so nothing merges and every in-order access lands
+/// strictly above its shard's bounding hull (the cheap-reject fast
+/// path). A single rank inside one `lock_all` epoch; per-region source
+/// lines keep provenance distinct.
+fn synthetic_churn(regions: u64, per_region: u64) -> Trace {
+    let mut ev = Vec::new();
+    let win = rma_sim::WinId(0);
+    let len = regions << 20;
+    ev.push(TraceEvent::WinAllocate { win, base: 0, len });
+    ev.push(TraceEvent::LockAll { win });
+    for i in 0..per_region {
+        for r in 0..regions {
+            let lo = (r << 20) + i * 3;
+            ev.push(TraceEvent::Local {
+                interval: Interval::new(lo, lo + 1),
+                write: false,
+                on_stack: false,
+                tracked: true,
+                loc: SrcLoc::synthetic("churn.c", r as u32 + 1),
+            });
+        }
+    }
+    ev.push(TraceEvent::UnlockAll { win });
+    ev.push(TraceEvent::Finish);
+    Trace {
+        header: TraceHeader { version: 1, nranks: 1, seed: 0, app: "churn".into() },
+        streams: vec![ev],
+    }
+}
+
+/// Synthetic hotspot workload: overlapping accesses cycling through a
+/// small dense region — the merge-friendly extreme, where sharding has
+/// nothing to skip and must not cost anything either.
+fn synthetic_hotspot(accesses: u64) -> Trace {
+    let mut ev = Vec::new();
+    let win = rma_sim::WinId(0);
+    ev.push(TraceEvent::WinAllocate { win, base: 0, len: 256 });
+    ev.push(TraceEvent::LockAll { win });
+    for i in 0..accesses {
+        let lo = (i % 64) * 2;
+        ev.push(TraceEvent::Local {
+            interval: Interval::new(lo, lo + 3),
+            write: false,
+            on_stack: false,
+            tracked: true,
+            loc: SrcLoc::synthetic("hotspot.c", 1),
+        });
+    }
+    ev.push(TraceEvent::UnlockAll { win });
+    ev.push(TraceEvent::Finish);
+    Trace {
+        header: TraceHeader { version: 1, nranks: 1, seed: 0, app: "hotspot".into() },
+        streams: vec![ev],
+    }
+}
+
+/// One live `Messages`-pipeline run of the churn pattern: rank 0 issues
+/// `ops` width-2 puts, ascending within `SHARDS` interleaved 1 MiB
+/// regions of rank 1's window. Origin-side records, notification
+/// batching, the receiver thread and the epoch drain are all on the
+/// measured path. Returns the analyzer for stats inspection.
+fn live_churn_run(shards: usize, batch_size: usize, ops: u64) -> Arc<RmaAnalyzer> {
+    let cfg = AnalyzerCfg {
+        algorithm: Algorithm::FragMerge,
+        on_race: OnRace::Collect,
+        delivery: Delivery::Messages,
+        node_budget: None,
+        max_respawns: 3,
+        shards,
+        batch_size,
+    };
+    let mon = Arc::new(RmaAnalyzer::new(cfg));
+    let out = World::run(WorldCfg::with_ranks(2), mon.clone() as Arc<dyn Monitor>, move |ctx| {
+        let win = ctx.win_allocate((SHARDS as u64) << 20);
+        let buf = ctx.alloc(8);
+        ctx.win_lock_all(win);
+        if ctx.rank() == RankId(0) {
+            for i in 0..ops {
+                let r = i % SHARDS as u64;
+                let off = (r << 20) + (i / SHARDS as u64) * 3;
+                ctx.put(&buf, 0, 2, RankId(1), off, win);
+            }
+        }
+        ctx.win_unlock_all(win);
+    });
+    assert!(out.is_clean(), "live churn run not clean: {:?} {:?}", out.aborts, out.panics);
+    assert!(mon.races().is_empty(), "live churn workload must be race-free");
+    mon
+}
+
+/// Checked-in corpus recordings (walk up from cwd to the workspace).
+fn checked_in_corpus() -> Vec<(String, Trace)> {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        let corpus = dir.join("tests/corpus");
+        if corpus.is_dir() {
+            let mut out = Vec::new();
+            let Ok(entries) = std::fs::read_dir(&corpus) else { return out };
+            let mut paths: Vec<_> = entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "rmatrc"))
+                .collect();
+            paths.sort();
+            for p in paths {
+                let name = format!(
+                    "corpus/{}",
+                    p.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default()
+                );
+                match std::fs::read(&p).map_err(|_| ()).and_then(|b| Trace::decode(&b).map_err(|_| ())) {
+                    Ok(t) => out.push((name, t)),
+                    Err(()) => eprintln!("skipping unreadable corpus file {}", p.display()),
+                }
+            }
+            return out;
+        }
+        if !dir.pop() {
+            return Vec::new();
+        }
+    }
+}
+
+/// One (workload, config) measurement row of the report.
+struct Row {
+    workload: String,
+    config: &'static str,
+    events: usize,
+    peak_nodes: usize,
+    fast_hit_rate: f64,
+    races: usize,
+    median_ns: f64,
+    events_per_sec: f64,
+}
+
+fn report_json(smoke: bool, rows: &[Row], speedup: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"hotpath\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    out.push_str(&format!(
+        "  \"sharded_speedup_churn\": {speedup:.3},\n"
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"events\": {}, \
+             \"peak_nodes\": {}, \"fast_hit_rate\": {:.4}, \"races\": {}, \
+             \"median_ns\": {:.1}, \"events_per_sec\": {:.0}}}{}\n",
+            r.workload,
+            r.config,
+            r.events,
+            r.peak_nodes,
+            r.fast_hit_rate,
+            r.races,
+            r.median_ns,
+            r.events_per_sec,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Schema validation of an existing report: every required key present,
+/// every numeric field parseable and finite. No full JSON parser — the
+/// report's shape is fixed, so targeted scans are exact enough to catch
+/// a truncated, NaN-poisoned, or hand-mangled file.
+fn check_report(text: &str) -> Result<(), String> {
+    for key in ["\"bench\"", "\"smoke\"", "\"shards\"", "\"sharded_speedup_churn\"", "\"rows\""] {
+        if !text.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    if !text.contains("\"hotpath\"") {
+        return Err("bench id is not \"hotpath\"".into());
+    }
+    let mut rows = 0;
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"workload\"") {
+            continue;
+        }
+        rows += 1;
+        for key in [
+            "\"workload\"",
+            "\"config\"",
+            "\"events\"",
+            "\"peak_nodes\"",
+            "\"fast_hit_rate\"",
+            "\"races\"",
+            "\"median_ns\"",
+            "\"events_per_sec\"",
+        ] {
+            if !line.contains(key) {
+                return Err(format!("row {rows}: missing key {key}"));
+            }
+        }
+    }
+    if rows == 0 {
+        return Err("no measurement rows".into());
+    }
+    // Every numeric field — including the top-level speedup — must be a
+    // finite number.
+    for key in
+        ["\"events\":", "\"peak_nodes\":", "\"fast_hit_rate\":", "\"races\":", "\"median_ns\":", "\"events_per_sec\":", "\"sharded_speedup_churn\":"]
+    {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(key) {
+            let start = from + pos + key.len();
+            let rest = text[start..].trim_start();
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'))
+                .unwrap_or(rest.len());
+            let num: f64 = rest[..end]
+                .parse()
+                .map_err(|_| format!("{key} followed by non-number {:?}", &rest[..end.min(16)]))?;
+            if !num.is_finite() {
+                return Err(format!("{key} is not finite: {num}"));
+            }
+            from = start;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+
+    if let Some(path) = flag_value("--check") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_hotpath --check: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match check_report(&text) {
+            Ok(()) => {
+                println!("bench_hotpath --check: {path} ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_hotpath --check: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    // One churn region per shard: every in-order access lands strictly
+    // above its shard's hull, so the sharded configuration's fast-path
+    // hit rate is ~1 and the plain store pays the full walk per access.
+    let (regions, per_region, hotspot_n) =
+        if smoke { (SHARDS as u64, 128, 512) } else { (SHARDS as u64, 16384, 8192) };
+
+    let mut workloads: Vec<(String, Trace)> = vec![
+        ("synthetic/churn".to_string(), synthetic_churn(regions, per_region)),
+        ("synthetic/hotspot".to_string(), synthetic_hotspot(hotspot_n)),
+    ];
+    workloads.extend(checked_in_corpus());
+
+    let mut group = BenchGroup::new("bench_hotpath");
+    group.sample_size(if smoke { 3 } else { 7 });
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, trace) in &workloads {
+        let events = trace.event_count();
+        let domain = trace_domain(trace);
+        for cfg in Config::ALL {
+            // Deterministic pass first: stats and verdict are a pure
+            // function of (trace, config), measured outside the timer.
+            let out = replay_with(trace, cfg, domain);
+            assert!(out.complete, "{name}: replay incomplete under {}", cfg.name());
+            let fast_hit_rate = if out.stats.recorded == 0 {
+                0.0
+            } else {
+                out.stats.fast_hits as f64 / out.stats.recorded as f64
+            };
+            let id = format!("{name}/{}", cfg.name());
+            group.bench(&id, || black_box(replay_with(trace, cfg, domain).events));
+            let median_ns = group.results().last().expect("just benched").median_ns;
+            rows.push(Row {
+                workload: name.clone(),
+                config: cfg.name(),
+                events,
+                peak_nodes: out.stats.peak_nodes(),
+                fast_hit_rate,
+                races: out.races.len(),
+                median_ns,
+                events_per_sec: events as f64 / (median_ns / 1e9),
+            });
+        }
+    }
+    // Live `Messages`-pipeline comparison: plain fragmerge, unbatched
+    // and unsharded, against the sharded hot path with batch_size 64.
+    // One bench iteration is one complete two-rank world run.
+    let live_ops: u64 = if smoke { 2_000 } else { 100_000 };
+    for (cname, shards, batch) in
+        [("fragmerge", 1usize, 1usize), ("sharded-fragmerge", SHARDS, 64)]
+    {
+        // Deterministic pass for the stats columns, outside the timer.
+        let mon = live_churn_run(shards, batch, live_ops);
+        let stats: Vec<_> = mon.window_stats().into_iter().flatten().collect();
+        let recorded: u64 = stats.iter().map(|s| s.recorded as u64).sum();
+        let fast: u64 = stats.iter().map(|s| s.fast_hits as u64).sum();
+        let fast_hit_rate = if recorded == 0 { 0.0 } else { fast as f64 / recorded as f64 };
+        let peak_nodes = mon.total_peak_nodes();
+        group.bench(format!("live/churn/{cname}"), || {
+            black_box(live_churn_run(shards, batch, live_ops).races().len())
+        });
+        let median_ns = group.results().last().expect("just benched").median_ns;
+        rows.push(Row {
+            workload: "live/churn".to_string(),
+            config: cname,
+            events: live_ops as usize,
+            peak_nodes,
+            fast_hit_rate,
+            races: 0,
+            median_ns,
+            events_per_sec: live_ops as f64 / (median_ns / 1e9),
+        });
+    }
+    group.finish();
+
+    let eps = |workload: &str, cfg: &str| {
+        rows.iter()
+            .find(|r| r.workload == workload && r.config == cfg)
+            .map(|r| r.events_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    let replay_speedup =
+        eps("synthetic/churn", "sharded-fragmerge") / eps("synthetic/churn", "fragmerge");
+    let speedup = eps("live/churn", "sharded-fragmerge") / eps("live/churn", "fragmerge");
+    println!("\nsharded-fragmerge vs fragmerge, offline replay of synthetic/churn: {replay_speedup:.2}x");
+    println!("sharded-fragmerge (shards={SHARDS}, batch=64) vs fragmerge, live pipeline: {speedup:.2}x");
+
+    let json = report_json(smoke, &rows, speedup);
+    if let Err(e) = check_report(&json) {
+        eprintln!("bench_hotpath: generated report fails its own schema check: {e}");
+        return ExitCode::FAILURE;
+    }
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("report written to {out_path}"),
+        Err(e) => {
+            eprintln!("bench_hotpath: cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -46,6 +46,16 @@ pub struct FragMergeStore {
     /// When an insertion pushes the tree past the cap, stored accesses
     /// are conservatively coalesced (see [`FragMergeStore::with_budget`]).
     budget: Option<usize>,
+    /// Cached bounding interval of everything stored — the cheap-reject
+    /// fast path. An access that neither intersects nor touches the hull
+    /// can neither race with nor merge into any stored access, so
+    /// [`AccessStore::record`] skips the conflict walk and the widened
+    /// overlap query and inserts the node directly
+    /// ([`StoreStats::fast_hits`] counts the skips). Epoch boundaries
+    /// reset it to `None` in [`AccessStore::clear`]; the sharded wrapper
+    /// keeps the analogous per-shard hulls fresh with a generation
+    /// counter instead, because it has many to invalidate at once.
+    hull: Option<Interval>,
     /// Scratch buffers reused across insertions to keep the hot path
     /// allocation-free once warmed up.
     inter: Vec<MemAccess>,
@@ -66,6 +76,7 @@ impl FragMergeStore {
             stats: StoreStats::default(),
             merge_enabled: true,
             budget: None,
+            hull: None,
             inter: Vec::new(),
             frags: Vec::new(),
         }
@@ -155,6 +166,11 @@ impl FragMergeStore {
     /// Exposed separately so callers (and tests) can run the detection
     /// without mutating the store.
     pub fn check(&self, acc: &MemAccess) -> Option<RaceReport> {
+        // Cheap reject: no stored interval intersects `acc` if the cached
+        // bounding interval doesn't.
+        if self.hull.is_none_or(|h| h.intersection(&acc.interval).is_none()) {
+            return None;
+        }
         let mut hit = None;
         let _ = self.tree.for_each_overlapping(acc.interval, &mut |stored| {
             if conflicts(stored, acc) {
@@ -165,6 +181,81 @@ impl FragMergeStore {
             }
         });
         hit
+    }
+
+    /// Steps 2–5 of Algorithm 1: inserts an access already known not to
+    /// race with the stored ones (fragmenting, merging, budget
+    /// coalescing). Callers must have run [`FragMergeStore::check`] (or
+    /// otherwise proved no conflict) first.
+    fn apply(&mut self, acc: MemAccess) {
+        // 2. get_intersecting_accesses (widened by one address so touching
+        //    neighbours are candidates for the merging pass).
+        let mut inter = std::mem::take(&mut self.inter);
+        inter.clear();
+        let _ = self.tree.for_each_overlapping(acc.interval.widened(), &mut |a| {
+            inter.push(*a);
+            ControlFlow::Continue(())
+        });
+
+        // 3. fragment_accesses
+        let mut frags = std::mem::take(&mut self.frags);
+        fragment_accesses(&inter, &acc, &mut frags);
+        self.stats.fragments += frags.len();
+
+        // 4. merge_accesses
+        if self.merge_enabled {
+            self.stats.merges += merge_accesses(&mut frags);
+        }
+
+        // 5. finish_insertion: replace the old accesses by the new ones,
+        //    skipping nodes that come out unchanged.
+        for old in &inter {
+            if !frags.contains(old) {
+                let removed = self.tree.remove(old);
+                debug_assert!(removed, "intersecting access vanished: {old:?}");
+            }
+        }
+        for frag in &frags {
+            if !inter.contains(frag) {
+                self.tree.insert(*frag);
+            }
+        }
+
+        self.stats.len = self.tree.len();
+        self.stats.peak_len = self.stats.peak_len.max(self.stats.len);
+        self.grow_hull(acc.interval);
+        self.inter = inter;
+        self.frags = frags;
+        if let Some(cap) = self.budget {
+            if self.tree.len() > cap {
+                self.coalesce_to(cap / 2);
+            }
+        }
+    }
+
+    /// Widens the cached bounding interval to cover `iv`.
+    fn grow_hull(&mut self, iv: Interval) {
+        self.hull = Some(match self.hull {
+            None => iv,
+            Some(h) => h.hull(&iv),
+        });
+    }
+
+    /// Direct insertion of an access proved isolated (it neither
+    /// intersects nor touches anything stored): no conflict walk, no
+    /// overlap query, no merging pass — the outcome is identical because
+    /// steps 2–4 of Algorithm 1 degenerate to `frags = [acc]`.
+    fn insert_isolated(&mut self, acc: MemAccess) {
+        self.tree.insert(acc);
+        self.stats.fragments += 1;
+        self.stats.len = self.tree.len();
+        self.stats.peak_len = self.stats.peak_len.max(self.stats.len);
+        self.grow_hull(acc.interval);
+        if let Some(cap) = self.budget {
+            if self.tree.len() > cap {
+                self.coalesce_to(cap / 2);
+            }
+        }
     }
 
     /// Checks the disjointness invariant (test helper). Panics on
@@ -258,54 +349,25 @@ impl AccessStore for FragMergeStore {
     fn record(&mut self, acc: MemAccess) -> Result<(), Box<RaceReport>> {
         self.stats.recorded += 1;
 
+        // Cheap-reject fast path: strictly outside the cached bounding
+        // interval means no stored access can conflict with, fragment
+        // against, or merge with this one — skip the AVL walks entirely.
+        // Touching accesses must take the slow path (the merging pass may
+        // fuse them with a neighbour).
+        if !self.hull.is_some_and(|h| acc.interval.intersects_or_touches(&h)) {
+            self.stats.fast_hits += 1;
+            self.insert_isolated(acc);
+            return Ok(());
+        }
+
         // 1. data_race_detection
         if let Some(report) = self.check(&acc) {
             self.stats.races += 1;
             return Err(Box::new(report));
         }
 
-        // 2. get_intersecting_accesses (widened by one address so touching
-        //    neighbours are candidates for the merging pass).
-        let mut inter = std::mem::take(&mut self.inter);
-        inter.clear();
-        let _ = self.tree.for_each_overlapping(acc.interval.widened(), &mut |a| {
-            inter.push(*a);
-            ControlFlow::Continue(())
-        });
-
-        // 3. fragment_accesses
-        let mut frags = std::mem::take(&mut self.frags);
-        fragment_accesses(&inter, &acc, &mut frags);
-        self.stats.fragments += frags.len();
-
-        // 4. merge_accesses
-        if self.merge_enabled {
-            self.stats.merges += merge_accesses(&mut frags);
-        }
-
-        // 5. finish_insertion: replace the old accesses by the new ones,
-        //    skipping nodes that come out unchanged.
-        for old in &inter {
-            if !frags.contains(old) {
-                let removed = self.tree.remove(old);
-                debug_assert!(removed, "intersecting access vanished: {old:?}");
-            }
-        }
-        for frag in &frags {
-            if !inter.contains(frag) {
-                self.tree.insert(*frag);
-            }
-        }
-
-        self.stats.len = self.tree.len();
-        self.stats.peak_len = self.stats.peak_len.max(self.stats.len);
-        self.inter = inter;
-        self.frags = frags;
-        if let Some(cap) = self.budget {
-            if self.tree.len() > cap {
-                self.coalesce_to(cap / 2);
-            }
-        }
+        // 2–5. fragment / merge / finish_insertion (+ budget coalescing).
+        self.apply(acc);
         Ok(())
     }
 
@@ -320,10 +382,53 @@ impl AccessStore for FragMergeStore {
     fn clear(&mut self) {
         self.stats.on_clear(self.tree.len());
         self.tree.clear();
+        self.hull = None;
     }
 
     fn snapshot(&self) -> Vec<MemAccess> {
         self.tree.in_order()
+    }
+
+    /// Exact rollback: rebuilds the tree verbatim from the snapshot
+    /// instead of re-recording through the insertion pipeline.
+    ///
+    /// The default (clear + re-record) path is *semantically* fine but
+    /// interacts badly with budget coalescing and with the recovery
+    /// statistics: re-recording a budget-coalesced checkpoint can
+    /// re-merge adjacent coalesced chunks (so the restored tree diverges
+    /// from the checkpoint it claims to equal), and every crash recovery
+    /// would inflate `recorded`, `fragments`, `merges` and close a
+    /// phantom epoch. Snapshot entries are disjoint by the store
+    /// invariant, so inserting them directly is both exact and cheaper.
+    fn restore(&mut self, snap: &[MemAccess]) {
+        self.tree.clear();
+        for acc in snap {
+            self.tree.insert(*acc);
+        }
+        // Snapshots are address-ordered and disjoint (store invariant),
+        // so the bounding interval runs from the first lo to the last hi.
+        self.hull = match (snap.first(), snap.last()) {
+            (Some(f), Some(l)) => Some(Interval::new(f.interval.lo, l.interval.hi)),
+            _ => None,
+        };
+        self.stats.len = self.tree.len();
+        self.stats.peak_len = self.stats.peak_len.max(self.stats.len);
+    }
+}
+
+impl crate::sharded::ShardableStore for FragMergeStore {
+    fn check_access(&self, acc: &MemAccess) -> Option<RaceReport> {
+        self.check(acc)
+    }
+
+    fn record_unchecked(&mut self, acc: MemAccess) {
+        self.stats.recorded += 1;
+        self.apply(acc);
+    }
+
+    fn record_isolated(&mut self, acc: MemAccess) {
+        self.stats.recorded += 1;
+        self.insert_isolated(acc);
     }
 }
 
@@ -357,6 +462,35 @@ mod tests {
         assert_eq!(err.existing.loc.line, 2);
         assert_eq!(err.new.kind, LocalWrite);
         s.assert_disjoint();
+    }
+
+    /// The in-store cheap-reject fast path: isolated accesses skip the
+    /// walks (counted by `fast_hits`) with contents identical to the slow
+    /// path; touching accesses still reach the merging pass; clearing
+    /// resets the cached hull.
+    #[test]
+    fn cheap_reject_fast_path() {
+        let mut s = FragMergeStore::new();
+        s.record(acc(10, 19, LocalRead, 1)).unwrap(); // empty store: fast
+        s.record(acc(40, 49, LocalRead, 1)).unwrap(); // gap of 20: fast
+        assert_eq!(s.stats().fast_hits, 2);
+        s.record(acc(20, 29, LocalRead, 1)).unwrap(); // touches [10,19]
+        assert_eq!(s.stats().fast_hits, 2, "touching access must take the slow path");
+        assert_eq!(
+            s.snapshot().iter().map(|a| a.interval).collect::<Vec<_>>(),
+            vec![Interval::new(10, 29), Interval::new(40, 49)],
+            "merging across the fast-path cache must still happen"
+        );
+        s.assert_disjoint();
+
+        // Conflicts beyond the old hull are still found once it grows.
+        let err = s.record(acc_by(25, 25, RmaWrite, 1, 9)).unwrap_err();
+        assert_eq!(err.existing.interval, Interval::new(10, 29));
+
+        s.clear();
+        assert_eq!(s.len(), 0);
+        s.record(acc_by(10, 19, LocalWrite, 0, 2)).unwrap();
+        assert_eq!(s.stats().fast_hits, 3, "clear must reset the cached hull");
     }
 
     /// Figure 5b's tree, merging disabled: [2...3], [4], [5...12], all
@@ -613,6 +747,76 @@ mod tests {
         assert!(FragMergeStore::new().record(gap).is_ok());
         assert!(tight.record(gap).is_err(), "gap access flagged when degraded");
         assert!(tight.stats().coalesced > 0);
+    }
+
+    /// A budget-coalesced store survives `snapshot()`/`restore()`: the
+    /// restored contents equal the checkpoint byte-for-byte and the
+    /// `coalesced` counter is intact. The scattered layout keeps the
+    /// coalesced chunks non-adjacent, so even the old re-record path
+    /// would have kept the shape — the next test pins the dense case
+    /// where it did not.
+    #[test]
+    fn budgeted_store_survives_snapshot_restore() {
+        let mut s = FragMergeStore::with_budget(8);
+        for i in 0..100u64 {
+            s.record(acc(i * 10, i * 10 + 3, LocalRead, i as u32)).unwrap();
+        }
+        let checkpoint = s.snapshot();
+        assert!(s.stats().coalesced > 0, "layout must trigger coalescing");
+
+        // Dirty the store past the checkpoint, then roll back.
+        for i in 100..140u64 {
+            s.record(acc(i * 10, i * 10 + 3, LocalRead, i as u32)).unwrap();
+        }
+        let coalesced = s.stats().coalesced;
+        s.restore(&checkpoint);
+
+        assert_eq!(s.snapshot(), checkpoint, "restore must be exact");
+        assert_eq!(
+            s.stats().coalesced,
+            coalesced,
+            "restore neither zeroes nor inflates the cumulative coalesced counter"
+        );
+        s.assert_disjoint();
+        // The store keeps degrading correctly after the rollback: the
+        // budget is still enforced and conflicts are still caught.
+        for i in 100..200u64 {
+            s.record(acc(i * 10, i * 10 + 3, LocalRead, i as u32)).unwrap();
+            assert!(s.len() <= 8, "budget still enforced after restore");
+        }
+        assert!(s.record(acc(0, 5, LocalWrite, 999)).is_err(), "coalesced node still conflicts");
+    }
+
+    /// The dense case the default (clear + re-record) restore got wrong:
+    /// adjacent coalesced chunks share provenance, so re-recording them
+    /// fused what the checkpoint kept apart — `restore` must not launder
+    /// the snapshot through the merging pass.
+    #[test]
+    fn restore_does_not_remerge_adjacent_coalesced_chunks() {
+        let mut s = FragMergeStore::with_budget(4);
+        // Five adjacent reads, issuers cycling mod 3 so nothing merges:
+        // the coalesce into chunks of 3 produces two *adjacent* RMA_Write
+        // chunks whose first members share issuer 0 — same provenance.
+        for i in 0..5u64 {
+            s.record(acc_by(i * 2, i * 2 + 1, LocalRead, (i % 3) as u32, 7)).unwrap();
+        }
+        let checkpoint = s.snapshot();
+        assert!(s.stats().coalesced > 0);
+        assert!(
+            checkpoint
+                .windows(2)
+                .any(|w| w[0].interval.precedes_adjacent(&w[1].interval)
+                    && w[0].same_provenance(&w[1])),
+            "checkpoint must contain adjacent same-provenance chunks: {checkpoint:?}"
+        );
+        let recorded = s.stats().recorded;
+        let epochs = s.stats().epochs;
+
+        s.restore(&checkpoint);
+
+        assert_eq!(s.snapshot(), checkpoint, "chunks must not re-merge on restore");
+        assert_eq!(s.stats().recorded, recorded, "restore is not a record");
+        assert_eq!(s.stats().epochs, epochs, "restore closes no epoch");
     }
 
     /// Interval ending at Addr::MAX: cursor arithmetic must not overflow.

@@ -55,6 +55,7 @@ pub mod interval;
 pub mod legacy;
 pub mod naive;
 pub mod report;
+pub mod sharded;
 pub mod store;
 pub mod stride;
 
@@ -65,5 +66,6 @@ pub use interval::{Addr, Interval};
 pub use legacy::LegacyStore;
 pub use naive::{NaiveStore, ShadowRef};
 pub use report::RaceReport;
+pub use sharded::{ShardableStore, ShardedStore};
 pub use store::{AccessStore, StoreStats};
 pub use stride::{StrideMergeStore, StridedRun};

@@ -72,11 +72,12 @@ impl StridedRun {
         Interval::sized(self.start + k * self.stride, self.elem)
     }
 
-    /// Hull from the first to the last touched address.
+    /// Hull from the first to the last touched address. (`elem - 1`
+    /// first: a run ending exactly at `Addr::MAX` must not overflow.)
     pub fn hull(&self) -> Interval {
         Interval::new(
             self.start,
-            self.start + self.count.saturating_sub(1) * self.stride + self.elem - 1,
+            self.start + self.count.saturating_sub(1) * self.stride + (self.elem - 1),
         )
     }
 
@@ -141,8 +142,10 @@ impl StridedRun {
         if delta % self.stride == 0 && delta / self.stride < self.count {
             return true;
         }
-        // The next element in the progression?
-        if delta == self.count * self.stride {
+        // The next element in the progression? (Checked: for huge strides
+        // `count * stride` wraps past the address space, which just means
+        // the progression cannot continue — not a new element.)
+        if self.count.checked_mul(self.stride) == Some(delta) {
             self.count += 1;
             return true;
         }
@@ -339,6 +342,97 @@ mod tests {
                 break;
             }
         }
+    }
+
+    /// Wrap-around strides: a run whose stride is over half the address
+    /// space cannot be extended (the next element would wrap past
+    /// `u64::MAX`); probing it with further same-provenance accesses
+    /// must not overflow — it opens a new run instead.
+    #[test]
+    fn wrap_around_stride_does_not_overflow() {
+        let mut s = StrideMergeStore::new();
+        let big = u64::MAX / 2 + 9; // count * stride wraps for count >= 2
+        s.record(acc(8, 8, RmaRead, 1)).unwrap();
+        s.record(acc(8 + big, 8, RmaRead, 1)).unwrap();
+        assert_eq!(s.len(), 1, "two elements still form one run");
+        assert_eq!(s.runs()[0].stride, big);
+        // Any further candidate used to evaluate `2 * big` (overflow in
+        // debug builds); now it simply starts a fresh run.
+        s.record(acc(100, 8, RmaRead, 1)).unwrap();
+        assert_eq!(s.len(), 2);
+        // Detection against the huge-stride run stays element-exact: a
+        // local store under the still-pending get races.
+        let err = s.record(acc(8 + big, 8, LocalWrite, 2)).unwrap_err();
+        assert_eq!(err.existing.interval, Interval::sized(8 + big, 8));
+    }
+
+    /// A run ending exactly at `u64::MAX` is representable and checkable
+    /// (the hull arithmetic used to overflow on the final `+ elem - 1`).
+    #[test]
+    fn run_ending_at_addr_max() {
+        let mut s = StrideMergeStore::new();
+        for k in 0..3u64 {
+            s.record(acc(u64::MAX - 39 + k * 16, 8, RmaRead, 1)).unwrap();
+        }
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.runs()[0].hull(), Interval::new(u64::MAX - 39, u64::MAX));
+        // Last element is [MAX-7, MAX]: a remote write there races.
+        s.record(acc(u64::MAX - 7, 8, RmaRead, 1)).unwrap();
+        let remote = MemAccess::new(
+            Interval::sized(u64::MAX - 7, 8),
+            RmaWrite,
+            RankId(1),
+            SrcLoc::synthetic("s.c", 2),
+        );
+        assert!(s.record(remote).is_err());
+    }
+
+    /// Single-element runs: stride is meaningless at count == 1 — exact
+    /// duplicates are absorbed, a partially overlapping start cannot
+    /// join the run, and an access *before* the run start opens a new
+    /// run (no underflow).
+    #[test]
+    fn single_element_run_edges() {
+        let mut s = StrideMergeStore::new();
+        s.record(acc(100, 8, RmaRead, 1)).unwrap();
+        assert_eq!((s.runs()[0].count, s.runs()[0].stride), (1, 0));
+        s.record(acc(100, 8, RmaRead, 1)).unwrap(); // exact duplicate
+        assert_eq!(s.len(), 1);
+        s.record(acc(104, 8, RmaRead, 1)).unwrap(); // overlap, delta < elem
+        assert_eq!(s.len(), 2, "overlapping start cannot join the run");
+        s.record(acc(50, 8, RmaRead, 1)).unwrap(); // before both starts
+        assert_eq!(s.len(), 3, "lower start opens a run, no underflow");
+        // The single element is still detected exactly.
+        let err = s.record(acc(100, 1, LocalWrite, 9)).unwrap_err();
+        assert_eq!(err.existing.interval, Interval::sized(100, 8));
+    }
+
+    /// Stride merge against fragmented neighbors: two interleaved
+    /// progressions (the fragmented layout adjacency merging would
+    /// shatter) each compress into their own run, keep extending while
+    /// interleaved, and detection distinguishes gap hits from element
+    /// hits per run.
+    #[test]
+    fn stride_merge_against_fragmented_neighbors() {
+        let mut s = StrideMergeStore::new();
+        for k in 0..10u64 {
+            s.record(acc(k * 32, 8, RmaRead, 1)).unwrap(); // neighbors at +0
+            s.record(acc(k * 32 + 16, 8, RmaRead, 2)).unwrap(); // ... and +16
+        }
+        assert_eq!(s.len(), 2, "interleaved neighbors must not shatter the runs");
+        assert_eq!(s.runs()[0].count, 10);
+        assert_eq!(s.runs()[1].count, 10);
+        // Extending either run keeps two runs.
+        s.record(acc(10 * 32, 8, RmaRead, 1)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.runs()[0].count, 11);
+        // The gap between the two interleaved runs ([8, 15]) is free ...
+        s.record(acc(8, 8, LocalWrite, 3)).unwrap();
+        // ... but each run's elements still conflict, attributed to the
+        // right neighbor.
+        let err = s.record(acc(16, 8, LocalWrite, 4)).unwrap_err();
+        assert_eq!(err.existing.loc.line, 2, "hit belongs to the +16 run");
+        assert_eq!(s.stats().races, 1);
     }
 
     /// Epoch clear keeps cumulative statistics.

@@ -28,7 +28,8 @@ use crate::reduce::KeyedReduce;
 use rma_substrate::channel::{unbounded, Receiver, Sender};
 use rma_substrate::sync::{Condvar, Mutex, RwLock};
 use rma_core::{
-    AccessStore, FragMergeStore, LegacyStore, MemAccess, NaiveStore, RaceReport, StoreStats,
+    AccessStore, FragMergeStore, Interval, LegacyStore, MemAccess, NaiveStore, RaceReport,
+    ShardedStore, StoreStats,
 };
 use rma_sim::{AbortView, HookResult, LocalEvent, Monitor, RankId, RmaEvent, WinId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -144,6 +145,19 @@ pub struct AnalyzerCfg {
     /// becomes a structured world abort, never a hang. `0` disables
     /// recovery. Ignored under [`Delivery::Direct`] (no helper threads).
     pub max_respawns: u32,
+    /// Number of address-range shards each per-(rank, window) store is
+    /// partitioned into ([`rma_core::ShardedStore`]). Only the
+    /// fragmentation-based algorithms shard (they satisfy
+    /// [`rma_core::ShardableStore`]); the rest ignore the knob. `1` (the
+    /// default) keeps today's single-tree stores.
+    pub shards: usize,
+    /// `Messages`-mode batching: each origin rank coalesces up to this
+    /// many per-target notifications into one [`Note::Batch`], flushed at
+    /// synchronization points (`unlock_all`, `fence`, `barrier`, world
+    /// end) and whenever the buffer reaches the threshold. `1` (the
+    /// default) sends each notification immediately — today's behaviour.
+    /// Ignored under [`Delivery::Direct`].
+    pub batch_size: usize,
 }
 
 impl Default for AnalyzerCfg {
@@ -154,6 +168,8 @@ impl Default for AnalyzerCfg {
             delivery: Delivery::Direct,
             node_budget: None,
             max_respawns: 3,
+            shards: 1,
+            batch_size: 1,
         }
     }
 }
@@ -168,6 +184,31 @@ impl AnalyzerCfg {
     /// The same configuration with a per-store node budget applied.
     pub fn budgeted(self, cap: usize) -> Self {
         AnalyzerCfg { node_budget: Some(cap), ..self }
+    }
+
+    /// Builds one per-(rank, window) store honouring the `shards` knob.
+    /// `domain` is the window's address range when known (from
+    /// `MPI_Win_allocate`), used to cut the shard boundaries; without it
+    /// the full `u64` space is partitioned (out-of-range addresses clamp
+    /// to the edge shards either way).
+    pub fn build_store(&self, domain: Option<Interval>) -> Box<dyn AccessStore + Send> {
+        let sharded = self.shards > 1
+            && matches!(self.algorithm, Algorithm::FragMerge | Algorithm::FragmentOnly);
+        if !sharded {
+            return self.algorithm.new_store_budgeted(self.node_budget);
+        }
+        let merging = self.algorithm == Algorithm::FragMerge;
+        let budget = self.node_budget;
+        let factory = move || match (merging, budget) {
+            (true, None) => FragMergeStore::new(),
+            (true, Some(cap)) => FragMergeStore::with_budget(cap),
+            (false, None) => FragMergeStore::without_merging(),
+            (false, Some(cap)) => FragMergeStore::without_merging_budgeted(cap),
+        };
+        match domain {
+            Some(d) => Box::new(ShardedStore::with_domain(self.shards, d, factory)),
+            None => Box::new(ShardedStore::new(self.shards, factory)),
+        }
     }
 }
 
@@ -190,12 +231,10 @@ struct WinDet {
 }
 
 impl WinDet {
-    fn new(nranks: u32, cfg: &AnalyzerCfg) -> Self {
+    fn new(nranks: u32, cfg: &AnalyzerCfg, domain: Option<Interval>) -> Self {
         let n = nranks as usize;
         WinDet {
-            stores: (0..n)
-                .map(|_| Mutex::new(cfg.algorithm.new_store_budgeted(cfg.node_budget)))
-                .collect(),
+            stores: (0..n).map(|_| Mutex::new(cfg.build_store(domain))).collect(),
             epoch_open: (0..n).map(|_| AtomicBool::new(false)).collect(),
             epoch_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
             sent: (0..n).map(|_| Mutex::new(vec![0; n])).collect(),
@@ -235,6 +274,12 @@ impl WinDet {
 /// exactly-once in analysis effect.
 enum Note {
     Remote { seq: u64, win: WinId, acc: MemAccess },
+    /// A coalesced run of notifications from one origin, numbered
+    /// `base_seq..base_seq + items.len()` in order. The receiver applies
+    /// items one at a time with the same watermark discipline as
+    /// [`Note::Remote`], so a crash mid-batch leaves the watermark
+    /// mid-batch and recovery re-delivers exactly the unprocessed tail.
+    Batch { base_seq: u64, items: Vec<(WinId, MemAccess)> },
     Stop,
 }
 
@@ -293,6 +338,10 @@ struct RecvSup {
     processed: AtomicU64,
 }
 
+/// One origin rank's unflushed notification batch towards one target:
+/// the window and access of every buffered `Note` item, in issue order.
+type BatchBuf = Mutex<Vec<(WinId, MemAccess)>>;
+
 /// Shared innards of the analyzer (receiver threads hold a second Arc).
 struct Inner {
     cfg: AnalyzerCfg,
@@ -305,6 +354,12 @@ struct Inner {
     senders: RwLock<Vec<Sender<Note>>>,
     /// Per-rank receiver supervision (`Messages` mode; empty otherwise).
     sup: RwLock<Vec<Arc<RecvSup>>>,
+    /// `Messages`-mode batch buffers, `pending[origin][target]`: window
+    /// and access of every notification origin has issued towards target
+    /// but not yet flushed into target's journal + channel. Populated at
+    /// world start only when `batch_size > 1`; empty otherwise.
+    /// Lock order: buffer mutex → target journal (never the reverse).
+    pending: RwLock<Vec<Vec<BatchBuf>>>,
     /// Total receiver recoveries performed across all ranks.
     total_respawns: AtomicU64,
     /// `MPI_Win_flush` calls observed but (deliberately) not acted upon —
@@ -401,6 +456,86 @@ impl Inner {
         w.bump_received(target);
     }
 
+    /// `Messages`-mode receiver side for a coalesced [`Note::Batch`]:
+    /// the same per-item watermark discipline as
+    /// [`Inner::deliver_remote_recv`], with the per-note overheads
+    /// amortized over the batch — a run of consecutive same-window items
+    /// is applied under a single store-lock acquisition, the processed
+    /// count advances by the whole run at once and the receive gate is
+    /// notified once per run instead of once per item (waiters poll the
+    /// count every 2 ms anyway, so delivery latency is unaffected).
+    ///
+    /// Returns `false` if the kill flag fired mid-batch; the watermark
+    /// then sits exactly at the last processed item and recovery
+    /// re-delivers the unprocessed tail, just as for the per-note path.
+    fn deliver_batch_recv(
+        &self,
+        items: &[(WinId, MemAccess)],
+        target: RankId,
+        base_seq: u64,
+        die: &AtomicBool,
+    ) -> bool {
+        let sup = self.sup.read()[target.index()].clone();
+        let mut i = 0;
+        while i < items.len() {
+            if die.load(Ordering::Acquire) {
+                return false;
+            }
+            let win = items[i].0;
+            let w = self.windet(win);
+            let mut raced: Option<Box<RaceReport>> = None;
+            let mut delivered = 0u64;
+            let mut killed = false;
+            {
+                let mut store = w.stores[target.index()].lock();
+                while i < items.len() && items[i].0 == win {
+                    // A kill can land mid-run: the loop exits with the
+                    // watermark mid-batch, exactly like a crash between
+                    // two per-note deliveries.
+                    if die.load(Ordering::Acquire) {
+                        killed = true;
+                        break;
+                    }
+                    let seq = base_seq + i as u64;
+                    if sup.processed.load(Ordering::Acquire) < seq {
+                        let verdict = store.record(items[i].1);
+                        // Watermark and store advance together (same
+                        // critical section), as in the per-note path.
+                        sup.processed.store(seq, Ordering::Release);
+                        match verdict {
+                            Ok(()) => delivered += 1,
+                            Err(report) => {
+                                // End the run: the race must be registered
+                                // (outside the store lock, and before this
+                                // item counts as received) so a rank woken
+                                // by `wait_received` observes the poison.
+                                raced = Some(report);
+                                i += 1;
+                                break;
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            if delivered > 0 {
+                w.received[target.index()].fetch_add(delivered, Ordering::Release);
+            }
+            if let Some(report) = raced {
+                let _ = self.race(report);
+                w.received[target.index()].fetch_add(1, Ordering::Release);
+            }
+            {
+                let _g = w.recv_gate.0.lock();
+                w.recv_gate.1.notify_all();
+            }
+            if killed {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Records an access into `stores[rank]` of `win` from a rank thread
     /// (a local access or an operation's origin-side record). In
     /// `Messages` mode the insert is journaled — and performed — under
@@ -476,6 +611,7 @@ impl RmaAnalyzer {
                 abort_view: Mutex::new(None),
                 senders: RwLock::new(Vec::new()),
                 sup: RwLock::new(Vec::new()),
+                pending: RwLock::new(Vec::new()),
                 total_respawns: AtomicU64::new(0),
                 unsupported_flushes: AtomicU64::new(0),
             }),
@@ -536,7 +672,7 @@ impl RmaAnalyzer {
         let handle = std::thread::Builder::new()
             .name(format!("rma-analyzer-recv{}", rank.0))
             .spawn(move || {
-                while let Ok(note) = rx.recv() {
+                'recv: while let Ok(note) = rx.recv() {
                     // Abrupt-kill check before each note: a killed
                     // receiver abandons its backlog, modeling a crash.
                     if die_flag.load(Ordering::Acquire) {
@@ -549,6 +685,15 @@ impl RmaAnalyzer {
                             // on any rank thread observes `poisoned` and
                             // aborts the world (the receiver thread cannot).
                             inner.deliver_remote_recv(win, acc, rank, seq);
+                        }
+                        Note::Batch { base_seq, items } => {
+                            // The kill flag is re-checked per item inside:
+                            // a crash can land mid-batch, leaving the
+                            // watermark mid-batch, and recovery must
+                            // re-deliver exactly the unprocessed tail.
+                            if !inner.deliver_batch_recv(&items, rank, base_seq, &die_flag) {
+                                break 'recv;
+                            }
                         }
                     }
                 }
@@ -582,6 +727,74 @@ impl RmaAnalyzer {
                      budget with notifications in flight; aborting world",
                     target.0
                 );
+            }
+        }
+    }
+
+    /// `Messages`-mode batched send path (`batch_size > 1`): appends the
+    /// notification to the per-(origin, target) buffer and flushes it
+    /// once the size threshold is reached. Only ever called from origin's
+    /// own rank thread, so each buffer is filled single-threadedly.
+    fn buffer_remote(&self, origin: RankId, target: RankId, win: WinId, acc: MemAccess) {
+        let full = {
+            let pending = self.inner.pending.read();
+            let mut buf = pending[origin.index()][target.index()].lock();
+            buf.push((win, acc));
+            buf.len() >= self.inner.cfg.batch_size
+        };
+        if full {
+            self.flush_batch(origin, target);
+        }
+    }
+
+    /// Flushes one `pending[origin][target]` buffer: assigns the run of
+    /// sequence numbers and journals every entry under the target's
+    /// journal lock *before* sending the batch, so a failed send (dead
+    /// receiver) recovers through exactly the machinery `send_remote`
+    /// uses — `recover_locked` re-delivers the journaled-but-unprocessed
+    /// suffix through the fresh channel.
+    fn flush_batch(&self, origin: RankId, target: RankId) {
+        let items: Vec<(WinId, MemAccess)> = {
+            let pending = self.inner.pending.read();
+            if pending.is_empty() {
+                return;
+            }
+            let taken = std::mem::take(&mut *pending[origin.index()][target.index()].lock());
+            taken
+        };
+        if items.is_empty() {
+            return;
+        }
+        let sup = self.inner.sup.read()[target.index()].clone();
+        let mut j = sup.journal.lock();
+        let base_seq = j.sent_seq + 1;
+        for (i, (win, acc)) in items.iter().enumerate() {
+            j.entries.push(RecvEntry::Sent { seq: base_seq + i as u64, win: *win, acc: *acc });
+        }
+        j.sent_seq += items.len() as u64;
+        let sent = self.inner.senders.read()[target.index()]
+            .send(Note::Batch { base_seq, items })
+            .is_ok();
+        if !sent && !self.recover_locked(target, &sup, &mut j) {
+            panic!(
+                "RMA-Analyzer receiver for rank {} died beyond the respawn \
+                 budget with a notification batch in flight; aborting world",
+                target.0
+            );
+        }
+    }
+
+    /// Flushes every batch buffer held by `origin` (all targets). Called
+    /// at origin's synchronization points — before any epoch-close
+    /// accounting reads `sent` counts that the buffered notifications
+    /// already contributed to.
+    fn flush_pending_from(&self, origin: RankId) {
+        if self.inner.cfg.delivery != Delivery::Messages || self.inner.cfg.batch_size <= 1 {
+            return;
+        }
+        for t in 0..self.inner.nranks() {
+            if RankId(t) != origin {
+                self.flush_batch(origin, RankId(t));
             }
         }
     }
@@ -706,6 +919,12 @@ impl Monitor for RmaAnalyzer {
                 sup.journal.lock().worker = Some(self.spawn_receiver(RankId(r), rx));
                 sups.push(sup);
             }
+            if self.inner.cfg.batch_size > 1 {
+                let n = nranks as usize;
+                *self.inner.pending.write() = (0..n)
+                    .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
+                    .collect();
+            }
         }
     }
 
@@ -715,6 +934,11 @@ impl Monitor for RmaAnalyzer {
 
     fn on_world_end(&self) {
         if self.inner.cfg.delivery == Delivery::Messages {
+            // Rank threads have all returned; drain any batches they
+            // left buffered before stopping the receivers.
+            for o in 0..self.inner.nranks() {
+                self.flush_pending_from(RankId(o));
+            }
             for tx in self.inner.senders.read().iter() {
                 let _ = tx.send(Note::Stop);
             }
@@ -729,12 +953,20 @@ impl Monitor for RmaAnalyzer {
         }
     }
 
-    fn on_win_allocate(&self, _rank: RankId, win: WinId, _base: u64, _len: u64) {
+    fn on_win_allocate(&self, _rank: RankId, win: WinId, base: u64, len: u64) {
+        // The first caller's window placement cuts the shard boundaries
+        // (per-rank bases differ; the sharded store clamps outliers to
+        // its edge shards, so any rank's range is a sound choice).
+        let domain = len
+            .checked_sub(1)
+            .and_then(|d| base.checked_add(d))
+            .map(|hi| Interval::new(base, hi));
         let mut wins = self.inner.wins.write();
         while wins.len() <= win.index() {
-            let id = wins.len();
-            let _ = id;
-            wins.push(Arc::new(WinDet::new(self.inner.nranks(), &self.inner.cfg)));
+            // Only the window being allocated gets the domain; windows
+            // backfilled to pad the vector partition the full space.
+            let dom = if wins.len() == win.index() { domain } else { None };
+            wins.push(Arc::new(WinDet::new(self.inner.nranks(), &self.inner.cfg, dom)));
         }
     }
 
@@ -803,6 +1035,10 @@ impl Monitor for RmaAnalyzer {
                 w.bump_received(ev.target);
                 hook
             }
+            Delivery::Messages if inner.cfg.batch_size > 1 => {
+                self.buffer_remote(ev.origin, ev.target, ev.win, target_acc);
+                Ok(())
+            }
             Delivery::Messages => self.send_remote(ev.target, ev.win, target_acc),
         }
     }
@@ -815,6 +1051,10 @@ impl Monitor for RmaAnalyzer {
     fn on_unlock_all(&self, rank: RankId, win: WinId) -> HookResult {
         let inner = &self.inner;
         let w = inner.windet(win);
+        // Buffered batches contributed to `sent` when issued; flush them
+        // into the channels before the reduction reads those counts, or
+        // `wait_received` would wait for notifications never sent.
+        self.flush_pending_from(rank);
         let seq = w.epoch_seq[rank.index()].load(Ordering::Relaxed);
 
         // The paper's epoch-end reduction: every rank contributes its
@@ -870,6 +1110,10 @@ impl Monitor for RmaAnalyzer {
     }
 
     fn on_fence(&self, rank: RankId, win: WinId) {
+        // Per-rank fence arrival runs before `on_fence_last`'s drain:
+        // flushing here guarantees every buffered notification is in its
+        // channel before the drain loop counts arrivals.
+        self.flush_pending_from(rank);
         // Fences open an access epoch: local accesses after the fence are
         // exposed until the next fence.
         let w = self.inner.windet(win);
@@ -907,6 +1151,13 @@ impl Monitor for RmaAnalyzer {
         for r in 0..self.inner.nranks() {
             self.checkpoint_recv_if_quiescent(RankId(r));
         }
+    }
+
+    fn on_barrier(&self, rank: RankId) {
+        // Per-rank barrier arrival runs before `on_barrier_last`: flush
+        // so the flush+barrier clearing rule sees every notification in
+        // flight rather than parked in a batch buffer.
+        self.flush_pending_from(rank);
     }
 
     fn on_barrier_last(&self) {

@@ -152,6 +152,8 @@ pub fn run_case(spec: &CaseSpec, tool: Tool) -> bool {
                 delivery: Delivery::Direct,
                 node_budget: None,
                 max_respawns: 3,
+                shards: 1,
+                batch_size: 1,
             }));
             let out = World::run(cfg, mon.clone() as Arc<dyn Monitor>, |ctx| {
                 case_body(ctx, spec)

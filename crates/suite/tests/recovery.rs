@@ -87,6 +87,8 @@ fn analyzer_messages_keeps_verdicts_under_receiver_kills() {
                 delivery: Delivery::Messages,
                 node_budget: None,
                 max_respawns: 3,
+                shards: 1,
+                batch_size: 1,
             }))
         };
         let baseline = mk();
@@ -150,6 +152,8 @@ fn analyzer_beyond_budget_aborts_structurally() {
         delivery: Delivery::Messages,
         node_budget: None,
         max_respawns: 0,
+        shards: 1,
+        batch_size: 1,
     }));
     let cfg = WorldCfg {
         fault: Some(FaultPlan { rank: 1, at_event: 5, kind: FaultKind::KillWorker { times: 1 } }),

@@ -60,6 +60,8 @@ fn verdict(spec: ProgramSpec, delivery: Delivery) -> bool {
         delivery,
         node_budget: None,
         max_respawns: 3,
+        shards: 1,
+        batch_size: 1,
     }));
     let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(3), analyzer.clone(), |ctx| {
         run_program(spec, ctx)
@@ -130,6 +132,8 @@ fn verdict_algo(spec: ProgramSpec, algorithm: Algorithm) -> bool {
         delivery: Delivery::Direct,
         node_budget: None,
         max_respawns: 3,
+        shards: 1,
+        batch_size: 1,
     }));
     let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(3), analyzer.clone(), |ctx| {
         run_program(spec, ctx)
