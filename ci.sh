@@ -112,6 +112,18 @@ timeout 120 "$BENCH_HOTPATH" --smoke --out "$SMOKE_DIR/bench_smoke.json"
 "$BENCH_HOTPATH" --check "$SMOKE_DIR/bench_smoke.json"
 "$BENCH_HOTPATH" --check BENCH_hotpath.json
 
+echo "==> bench regression guard: adaptive engine never loses to the seed config"
+# The checked-in baseline must show adaptive-flat at >= 1.0x the seed
+# configuration (fragmerge, shards=1, batch=1) on every workload row
+# with identical race verdicts — that is the PR 6 acceptance bar, and
+# regenerating the baseline with a regression re-introduced fails here.
+# The freshly-measured smoke run gets a generous slack factor: 3-sample
+# smoke timings on a loaded CI machine are noisy, so the fresh-run
+# guard only catches gross regressions (an engine that got ~2x slower),
+# not measurement jitter.
+"$BENCH_HOTPATH" --guard BENCH_hotpath.json --tolerance 1.0
+"$BENCH_HOTPATH" --guard "$SMOKE_DIR/bench_smoke.json" --tolerance 0.5
+
 echo "==> hermeticity check: no external dependency declarations"
 if grep -rn "proptest\|criterion\|crossbeam\|parking_lot\|^rand" \
     Cargo.toml crates/*/Cargo.toml; then

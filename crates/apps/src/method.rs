@@ -92,6 +92,7 @@ impl MethodRun {
                     max_respawns: 3,
                     shards: 1,
                     batch_size: 1,
+                    engine: Default::default(),
                 }));
                 MethodRun {
                     monitor: analyzer.clone(),

@@ -1,0 +1,404 @@
+//! The adaptive store: flat-unsharded until the trace proves it needs
+//! more, then range-sharded flat.
+//!
+//! The hot-path benchmark (`BENCH_hotpath.json`) showed the two fixed
+//! layouts each lose somewhere: the sharded store pays per-event routing
+//! on 20-event corpus traces, the unsharded flat store pays quadratic
+//! `memmove` tails on 100k-event interleaved churn. [`AdaptiveStore`]
+//! starts as a bare [`FlatStore`] — zero routing, zero per-shard
+//! bookkeeping, the layout small traces want — and **promotes** to a
+//! [`ShardedStore`]`<`[`FlatStore`]`>` only when the store either grows
+//! past [`AdaptiveCfg::promote_len`] nodes or the flat engine's
+//! displacement probe ([`FlatStore::shifted`]) crosses
+//! [`AdaptiveCfg::promote_shifted`] — i.e. when mid-vec insertion has
+//! demonstrably started moving memory around. Small traces never pay for
+//! scale; churny traces stop paying for flatness after a bounded prefix.
+//!
+//! Promotion is **exact**: the flat contents are snapshotted and
+//! [`ShardedStore::restore`]d into the sharded engine (no re-record, no
+//! statistics drift, no re-checking), and the retired engine's counters
+//! are carried so [`AccessStore::stats`] reads continuously across the
+//! switch. Promotion is sticky — a store that needed shards once keeps
+//! them across `clear`s (epoch boundaries don't un-churn a workload).
+
+use crate::access::MemAccess;
+use crate::flat::FlatStore;
+use crate::interval::{Addr, Interval};
+use crate::report::RaceReport;
+use crate::sharded::ShardedStore;
+use crate::store::{AccessStore, StoreStats};
+
+/// Tuning knobs for [`AdaptiveStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveCfg {
+    /// Run the merging pass (Algorithm 1 step 4)? `false` is the
+    /// fragmentation-only ablation.
+    pub merging: bool,
+    /// Node budget per engine (per *shard* once promoted, matching the
+    /// sharded store's budget semantics); `None` is exact.
+    pub budget: Option<usize>,
+    /// Shard count after promotion. The shard boundaries are cut from
+    /// the bounding hull of the contents at promotion time — by then the
+    /// store holds thousands of nodes, so the hull is a better balance
+    /// estimate than any up-front domain hint (and out-of-hull addresses
+    /// clamp to the edge shards regardless).
+    pub shards: usize,
+    /// Promote once the flat store holds this many nodes.
+    pub promote_len: usize,
+    /// Promote once the flat store has displaced this many elements in
+    /// mid-vec splices (the contention probe): interleaved writers can
+    /// thrash a small vec long before `promote_len` triggers.
+    pub promote_shifted: u64,
+}
+
+impl Default for AdaptiveCfg {
+    #[inline]
+    fn default() -> Self {
+        AdaptiveCfg {
+            merging: true,
+            budget: None,
+            shards: 8,
+            promote_len: 4096,
+            promote_shifted: 1 << 18,
+        }
+    }
+}
+
+/// The sharded variant is boxed so the enum (and every unpromoted
+/// store's allocation) stays [`FlatStore`]-sized — a per-(rank, window)
+/// store is constructed per replay, so tiny traces must not pay for the
+/// sharded engine's footprint (or an extra `StoreStats`) up front.
+enum Inner {
+    Flat(FlatStore),
+    Sharded(Box<Promoted>),
+}
+
+/// Everything only a promoted store needs, behind one allocation.
+struct Promoted {
+    store: ShardedStore<FlatStore>,
+    /// Statistics of the retired flat engine (with `len` zeroed), folded
+    /// into [`AccessStore::stats`] so counters read continuously across
+    /// promotion.
+    carried: StoreStats,
+    /// Engine knobs of the retired flat store, kept for [`AdaptiveStore::cfg`].
+    merging: bool,
+    budget: Option<usize>,
+}
+
+/// Adaptive access store: [`FlatStore`] until promotion, then
+/// [`ShardedStore`]`<`[`FlatStore`]`>` (see module docs).
+///
+/// The configuration is stored compactly — merging and budget already
+/// live inside the flat engine. Keeping the struct small matters: a
+/// per-(rank, window) store is constructed per replay, and the
+/// allocation + move cost scales with the struct, so the unpromoted
+/// store must stay as close to a bare [`FlatStore`] as possible.
+pub struct AdaptiveStore {
+    inner: Inner,
+    promote_shifted: u64,
+    promote_len: u32,
+    shards: u32,
+}
+
+#[inline]
+fn make_flat(merging: bool, budget: Option<usize>) -> FlatStore {
+    match (merging, budget) {
+        (true, None) => FlatStore::new(),
+        (false, None) => FlatStore::without_merging(),
+        (true, Some(cap)) => FlatStore::with_budget(cap),
+        (false, Some(cap)) => FlatStore::without_merging_budgeted(cap),
+    }
+}
+
+impl Default for AdaptiveStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdaptiveStore {
+    /// An adaptive store with default thresholds, exact and merging.
+    #[inline]
+    pub fn new() -> Self {
+        Self::with_cfg(AdaptiveCfg::default())
+    }
+
+    /// An adaptive store with explicit knobs.
+    #[inline]
+    pub fn with_cfg(cfg: AdaptiveCfg) -> Self {
+        AdaptiveStore {
+            inner: Inner::Flat(make_flat(cfg.merging, cfg.budget)),
+            promote_shifted: cfg.promote_shifted,
+            promote_len: u32::try_from(cfg.promote_len).unwrap_or(u32::MAX),
+            shards: u32::try_from(cfg.shards.max(1)).unwrap_or(u32::MAX),
+        }
+    }
+
+    /// Has the store promoted to the sharded engine?
+    pub fn is_promoted(&self) -> bool {
+        matches!(self.inner, Inner::Sharded(_))
+    }
+
+    /// The configuration in effect (reassembled from its packed form;
+    /// `merging` and `budget` live inside the engines themselves).
+    pub fn cfg(&self) -> AdaptiveCfg {
+        let (merging, budget) = match &self.inner {
+            Inner::Flat(s) => (s.merging_enabled(), s.budget()),
+            Inner::Sharded(p) => (p.merging, p.budget),
+        };
+        AdaptiveCfg {
+            merging,
+            budget,
+            shards: self.shards as usize,
+            promote_len: self.promote_len as usize,
+            promote_shifted: self.promote_shifted,
+        }
+    }
+
+    /// Promotes if the flat engine crossed a threshold; no-op once
+    /// sharded.
+    fn maybe_promote(&mut self) {
+        let Inner::Flat(flat) = &mut self.inner else { return };
+        if flat.len() < self.promote_len as usize && flat.shifted() < self.promote_shifted {
+            return;
+        }
+        self.promote();
+    }
+
+    /// Promotion plus the record that tripped it, outlined so the
+    /// record fast path has no spills: with the slow path out of line,
+    /// every exit of [`AccessStore::record`] is a bare tail call.
+    #[cold]
+    fn promote_and_record(&mut self, acc: MemAccess) -> Result<(), Box<RaceReport>> {
+        self.promote();
+        match &mut self.inner {
+            Inner::Sharded(p) => p.store.record(acc),
+            Inner::Flat(s) => s.record(acc),
+        }
+    }
+
+    /// The promotion itself, kept out of the record fast path (the
+    /// threshold check runs per record; this body runs once per store).
+    fn promote(&mut self) {
+        let Inner::Flat(flat) = &mut self.inner else { return };
+        let flat = std::mem::take(flat);
+        let snap = flat.snapshot();
+        let mut carried = flat.stats();
+        carried.len = 0; // live nodes are counted by the new engine
+
+        let domain = match (snap.first(), snap.last()) {
+            (Some(f), Some(l)) => Interval::new(f.interval.lo, l.interval.hi),
+            _ => Interval::new(0, Addr::MAX),
+        };
+        let (merging, budget) = (flat.merging_enabled(), flat.budget());
+        let mut store =
+            ShardedStore::with_domain(self.shards as usize, domain, || make_flat(merging, budget));
+        store.restore(&snap);
+        self.inner = Inner::Sharded(Box::new(Promoted { store, carried, merging, budget }));
+    }
+}
+
+impl AccessStore for AdaptiveStore {
+    fn record(&mut self, acc: MemAccess) -> Result<(), Box<RaceReport>> {
+        // Threshold check *before* the record: the unpromoted arm is
+        // then a tail call into [`FlatStore::record`], so the wrapper
+        // costs one predicted branch over the bare engine (the slow
+        // path is outlined in [`Self::promote_and_record`], keeping
+        // this frame spill-free). Promotion lands one record after a
+        // threshold is crossed — the thresholds are sizing heuristics,
+        // not correctness boundaries, so the off-by-one changes
+        // nothing observable.
+        match &mut self.inner {
+            Inner::Sharded(p) => p.store.record(acc),
+            Inner::Flat(s) => {
+                if s.len() < self.promote_len as usize && s.shifted() < self.promote_shifted {
+                    return s.record(acc);
+                }
+                self.promote_and_record(acc)
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.inner {
+            Inner::Flat(s) => s.len(),
+            Inner::Sharded(p) => p.store.len(),
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        match &self.inner {
+            Inner::Flat(s) => s.stats(),
+            Inner::Sharded(p) => {
+                let mut st = p.carried;
+                st.absorb(&p.store.stats());
+                st
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match &mut self.inner {
+            Inner::Flat(s) => s.clear(),
+            Inner::Sharded(p) => p.store.clear(),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<MemAccess> {
+        match &self.inner {
+            Inner::Flat(s) => s.snapshot(),
+            Inner::Sharded(p) => p.store.snapshot(),
+        }
+    }
+
+    fn restore(&mut self, snap: &[MemAccess]) {
+        match &mut self.inner {
+            Inner::Flat(s) => s.restore(snap),
+            Inner::Sharded(p) => p.store.restore(snap),
+        }
+        // A checkpoint big enough to warrant shards promotes right away
+        // instead of thrashing flat first.
+        self.maybe_promote();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragmerge::FragMergeStore;
+    use crate::{AccessKind, RankId, SrcLoc};
+    use AccessKind::*;
+
+    fn acc_by(lo: u64, hi: u64, kind: AccessKind, rank: u32, line: u32) -> MemAccess {
+        MemAccess::new(
+            Interval::new(lo, hi),
+            kind,
+            RankId(rank),
+            SrcLoc::synthetic("code.c", line),
+        )
+    }
+
+    fn small_cfg() -> AdaptiveCfg {
+        AdaptiveCfg { promote_len: 16, promote_shifted: 64, ..AdaptiveCfg::default() }
+    }
+
+    /// Small traces never promote: a corpus-sized run stays flat.
+    #[test]
+    fn small_traces_stay_flat() {
+        let mut s = AdaptiveStore::new();
+        for i in 0..20u64 {
+            s.record(acc_by(i * 100, i * 100 + 3, RmaRead, 1, i as u32)).unwrap();
+        }
+        assert!(!s.is_promoted());
+        assert_eq!(s.stats().shards, 0, "unsharded stats shape");
+    }
+
+    /// Growth past `promote_len` promotes; verdicts and contents carry
+    /// over exactly and statistics read continuously.
+    #[test]
+    fn promotes_on_len_and_stays_exact() {
+        let mut s = AdaptiveStore::with_cfg(small_cfg());
+        let mut oracle = FragMergeStore::new();
+        for i in 0..200u64 {
+            let a = acc_by(i * 10, i * 10 + 3, RmaRead, 1, i as u32);
+            assert_eq!(s.record(a).is_err(), oracle.record(a).is_err());
+        }
+        assert!(s.is_promoted());
+        let st = s.stats();
+        assert_eq!(st.recorded, 200, "recorded must not drift across promotion");
+        assert_eq!(st.shards, small_cfg().shards);
+        // Contents are equal modulo boundary splits: same bytes covered,
+        // and a conflict anywhere is still caught.
+        assert!(s.record(acc_by(500, 505, LocalWrite, 0, 999)).is_err());
+        assert!(oracle.record(acc_by(500, 505, LocalWrite, 0, 999)).is_err());
+    }
+
+    /// Interleaved mid-vec churn trips the displacement probe before the
+    /// length threshold.
+    #[test]
+    fn promotes_on_contention() {
+        let cfg = AdaptiveCfg { promote_len: 100_000, promote_shifted: 256, ..Default::default() };
+        let mut s = AdaptiveStore::with_cfg(cfg);
+        // Two interleaved ascending regions: every second insert lands
+        // mid-vec and displaces the other region's tail.
+        let mut i = 0u64;
+        while !s.is_promoted() && i < 10_000 {
+            let base = if i.is_multiple_of(2) { 0 } else { 1 << 20 };
+            s.record(acc_by(base + (i / 2) * 10, base + (i / 2) * 10 + 3, RmaRead, 1, 1)).unwrap();
+            i += 1;
+        }
+        assert!(s.is_promoted(), "contention must trigger promotion");
+        assert!(s.len() < cfg.promote_len, "promoted well before the length threshold");
+    }
+
+    /// Promotion is sticky across epoch clears.
+    #[test]
+    fn promotion_survives_clear() {
+        let mut s = AdaptiveStore::with_cfg(small_cfg());
+        for i in 0..50u64 {
+            s.record(acc_by(i * 10, i * 10 + 3, RmaRead, 1, 1)).unwrap();
+        }
+        assert!(s.is_promoted());
+        s.clear();
+        assert!(s.is_promoted(), "a workload that needed shards keeps them");
+        assert_eq!(s.len(), 0);
+        let epochs = s.stats().epochs;
+        assert_eq!(epochs, 1, "clear closes exactly one epoch across engines");
+    }
+
+    /// snapshot/restore round-trips across the promotion boundary: a
+    /// checkpoint taken while flat restores into the promoted store.
+    #[test]
+    fn restore_round_trips_across_promotion() {
+        let mut s = AdaptiveStore::with_cfg(small_cfg());
+        for i in 0..10u64 {
+            s.record(acc_by(i * 10, i * 10 + 3, RmaRead, 1, i as u32)).unwrap();
+        }
+        let checkpoint = s.snapshot();
+        for i in 10..50u64 {
+            s.record(acc_by(i * 10, i * 10 + 3, RmaRead, 1, i as u32)).unwrap();
+        }
+        assert!(s.is_promoted());
+        s.restore(&checkpoint);
+        // Contents equal modulo shard splits: compare covered intervals
+        // after fusing adjacent same-provenance pieces.
+        let mut covered: Vec<Interval> = Vec::new();
+        for a in s.snapshot() {
+            match covered.last_mut() {
+                Some(last) if last.hi + 1 == a.interval.lo => last.hi = a.interval.hi,
+                _ => covered.push(a.interval),
+            }
+        }
+        let want: Vec<Interval> = checkpoint.iter().map(|a| a.interval).collect();
+        assert_eq!(covered, want);
+        // And the rolled-back suffix is really gone.
+        s.record(acc_by(400, 403, LocalWrite, 0, 9)).unwrap();
+    }
+
+    /// A large checkpoint restored into a fresh store promotes
+    /// immediately instead of churning flat first.
+    #[test]
+    fn restore_of_large_checkpoint_promotes() {
+        let mut big = AdaptiveStore::with_cfg(small_cfg());
+        for i in 0..100u64 {
+            big.record(acc_by(i * 10, i * 10 + 3, RmaRead, 1, 1)).unwrap();
+        }
+        let checkpoint = big.snapshot();
+        let mut fresh = AdaptiveStore::with_cfg(small_cfg());
+        fresh.restore(&checkpoint);
+        assert!(fresh.is_promoted());
+        assert!(fresh.stats().peak_shard_len > 0, "restored occupancy is visible");
+    }
+
+    /// The budget knob degrades conservatively in both phases.
+    #[test]
+    fn budget_respected_across_promotion() {
+        let cfg = AdaptiveCfg { budget: Some(4), ..small_cfg() };
+        let mut s = AdaptiveStore::with_cfg(cfg);
+        for i in 0..100u64 {
+            s.record(acc_by(i * 100, i * 100 + 9, RmaRead, 1, i as u32)).unwrap();
+        }
+        assert!(s.stats().coalesced > 0);
+        assert!(s.record(acc_by(500, 505, LocalWrite, 0, 999)).is_err());
+    }
+}

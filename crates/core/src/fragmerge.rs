@@ -127,25 +127,12 @@ impl FragMergeStore {
     /// conflict the exact contents would produce is still produced.
     fn coalesce_to(&mut self, target: usize) {
         let snap = self.tree.in_order();
-        let target = target.max(1);
-        if snap.len() <= target {
+        let Some(merged) = coalesce_plan(&snap, target) else {
             return;
-        }
-        let group = snap.len().div_ceil(target);
+        };
         self.tree.clear();
-        for run in snap.chunks(group) {
-            let first = run[0];
-            let merged = if run.len() == 1 {
-                first
-            } else {
-                MemAccess::new(
-                    Interval::new(first.interval.lo, run[run.len() - 1].interval.hi),
-                    crate::AccessKind::RmaWrite,
-                    first.issuer,
-                    first.loc,
-                )
-            };
-            self.tree.insert(merged);
+        for m in &merged {
+            self.tree.insert(*m);
         }
         self.stats.coalesced += snap.len() - self.tree.len();
         self.stats.len = self.tree.len();
@@ -273,6 +260,34 @@ impl FragMergeStore {
     }
 }
 
+/// The budget-coalescing plan shared by every engine: fuses runs of
+/// consecutive (address-ordered, disjoint) accesses into one node spanning
+/// their bounding interval, typed `RMA_Write`, so at most `target` nodes
+/// remain. Returns `None` when the contents already fit. Centralised here
+/// so the AVL and flat engines degrade to byte-identical contents.
+pub(crate) fn coalesce_plan(snap: &[MemAccess], target: usize) -> Option<Vec<MemAccess>> {
+    let target = target.max(1);
+    if snap.len() <= target {
+        return None;
+    }
+    let group = snap.len().div_ceil(target);
+    let mut out = Vec::with_capacity(snap.len().div_ceil(group));
+    for run in snap.chunks(group) {
+        let first = run[0];
+        out.push(if run.len() == 1 {
+            first
+        } else {
+            MemAccess::new(
+                Interval::new(first.interval.lo, run[run.len() - 1].interval.hi),
+                crate::AccessKind::RmaWrite,
+                first.issuer,
+                first.loc,
+            )
+        });
+    }
+    Some(out)
+}
+
 /// Step 3: fragments `inter ∪ {new}` into disjoint pieces.
 ///
 /// `inter` must be sorted by lower bound, pairwise disjoint, and contain
@@ -280,7 +295,10 @@ impl FragMergeStore {
 /// step 2). Purely touching accesses pass through unchanged, positioned so
 /// the output stays sorted. The output covers exactly
 /// `new.interval ∪ ⋃ inter` and is pairwise disjoint.
-fn fragment_accesses(inter: &[MemAccess], new: &MemAccess, out: &mut Vec<MemAccess>) {
+///
+/// `pub(crate)` because the flat engine ([`crate::flat::FlatStore`]) runs
+/// the very same pass over a contiguous run of its sorted vec.
+pub(crate) fn fragment_accesses(inter: &[MemAccess], new: &MemAccess, out: &mut Vec<MemAccess>) {
     out.clear();
     // Next still-uncovered address of the new access; `None` once the new
     // interval is fully covered (also guards Addr::MAX overflow).
@@ -324,8 +342,8 @@ fn fragment_accesses(inter: &[MemAccess], new: &MemAccess, out: &mut Vec<MemAcce
 
 /// Step 4: fuses adjacent fragments with identical provenance, in place.
 /// Returns the number of fusions performed. `frags` must be sorted and
-/// disjoint.
-fn merge_accesses(frags: &mut Vec<MemAccess>) -> usize {
+/// disjoint. Shared with the flat engine (see [`fragment_accesses`]).
+pub(crate) fn merge_accesses(frags: &mut Vec<MemAccess>) -> usize {
     let mut merges = 0;
     let mut write = 0;
     for read in 0..frags.len() {

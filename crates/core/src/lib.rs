@@ -23,6 +23,15 @@
 //! A deliberately simple [`NaiveStore`] (a flat vector with an `O(n)`
 //! conflict scan) serves as a semantic reference for tests.
 //!
+//! Two cache-friendly *engines* implement the same algorithm as
+//! [`FragMergeStore`] with different data layouts: [`FlatStore`] keeps
+//! the disjoint intervals in one contiguous sorted vec (galloping
+//! lower-bound search, in-place splicing), and [`AdaptiveStore`] starts
+//! flat-unsharded and promotes to a range-sharded flat layout
+//! ([`ShardedStore`]`<`[`FlatStore`]`>`) once the trace grows or churns
+//! past a threshold. All engines are differentially verified against
+//! [`FragMergeStore`].
+//!
 //! The crate is self-contained: it knows nothing about how accesses are
 //! produced. The companion crates `rma-sim` (an MPI-RMA runtime simulator)
 //! and `rma-monitor` (the PMPI-style instrumentation runtime) feed it.
@@ -48,8 +57,10 @@
 #![deny(unsafe_code)]
 
 pub mod access;
+pub mod adaptive;
 pub mod avl;
 pub mod conflict;
+pub mod flat;
 pub mod fragmerge;
 pub mod interval;
 pub mod legacy;
@@ -60,7 +71,9 @@ pub mod store;
 pub mod stride;
 
 pub use access::{AccessKind, MemAccess, RankId, SrcLoc};
+pub use adaptive::{AdaptiveCfg, AdaptiveStore};
 pub use conflict::{combine, conflicts, legacy_conflicts, precedence};
+pub use flat::FlatStore;
 pub use fragmerge::FragMergeStore;
 pub use interval::{Addr, Interval};
 pub use legacy::LegacyStore;

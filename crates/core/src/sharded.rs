@@ -18,8 +18,17 @@
 //! skipped entirely. Touching accesses deliberately take the slow path:
 //! they cannot race, but the merging pass may fuse them, and skipping it
 //! would change the stored contents. [`StoreStats::fast_hits`] counts
-//! the skips; [`StoreStats::shards`]/[`StoreStats::peak_shard_len`]
-//! expose shard occupancy.
+//! *logical* accesses whose every piece cheap-rejected (never pieces, so
+//! `fast_hits <= recorded` always);
+//! [`StoreStats::shards`]/[`StoreStats::peak_shard_len`] expose shard
+//! occupancy.
+//!
+//! A store constructed with **one shard** degenerates to a true
+//! passthrough: `record`/`clear`/`restore`/`stats` forward straight to
+//! the inner store with no boundary routing, no piece splitting and no
+//! wrapper hull bookkeeping, so the `shards = 1` default costs nothing
+//! over the unwrapped store (the regression PR 5 shipped on small corpus
+//! traces).
 //!
 //! # Equivalence
 //!
@@ -169,6 +178,13 @@ impl<S: ShardableStore> ShardedStore<S> {
 
 impl<S: ShardableStore> AccessStore for ShardedStore<S> {
     fn record(&mut self, acc: MemAccess) -> Result<(), Box<RaceReport>> {
+        // Degenerate single-shard store: a true passthrough. No boundary
+        // routing, no piece splitting, no wrapper hull bookkeeping — the
+        // inner store's own fast path and statistics do all the work, so
+        // `shards = 1` costs nothing over the unwrapped store.
+        if self.shards.len() == 1 {
+            return self.shards[0].record(acc);
+        }
         self.stats.recorded += 1;
         self.refresh_hulls();
         let first = self.shard_of(acc.interval.lo);
@@ -198,14 +214,20 @@ impl<S: ShardableStore> AccessStore for ShardedStore<S> {
 
         // Phase 2 — insert all pieces; per-shard hull misses still take
         // the isolated fast path even when the global hull was hit.
+        // `fast_hits` counts *logical* accesses, not pieces: a crossing
+        // interval whose every piece cheap-rejects is one fast hit, and
+        // an access with any slow piece is none — so the counter can
+        // never exceed `recorded` (the invariant the differential
+        // campaign asserts).
+        let mut all_fast = true;
         for s in first..=last {
             let piece = self.piece(&acc.interval, s);
             let slow = !global_miss
                 && self.shard_hulls[s].is_some_and(|h| piece.intersects_or_touches(&h));
             if slow {
+                all_fast = false;
                 self.shards[s].record_unchecked(acc.with_interval(piece));
             } else {
-                self.stats.fast_hits += 1;
                 self.shards[s].record_isolated(acc.with_interval(piece));
             }
             self.shard_hulls[s] = Some(match self.shard_hulls[s] {
@@ -213,6 +235,9 @@ impl<S: ShardableStore> AccessStore for ShardedStore<S> {
                 Some(h) => h.hull(&piece),
             });
             self.stats.peak_shard_len = self.stats.peak_shard_len.max(self.shards[s].len());
+        }
+        if all_fast {
+            self.stats.fast_hits += 1;
         }
         self.hull = Some(match self.hull {
             None => acc.interval,
@@ -228,6 +253,12 @@ impl<S: ShardableStore> AccessStore for ShardedStore<S> {
     }
 
     fn stats(&self) -> StoreStats {
+        // Single-shard passthrough: the inner store keeps every counter
+        // (see `record`); only the shard-shape fields are overlaid.
+        if self.shards.len() == 1 {
+            let inner = self.shards[0].stats();
+            return StoreStats { shards: 1, peak_shard_len: inner.peak_len, ..inner };
+        }
         let mut inner = StoreStats::default();
         for s in &self.shards {
             inner.absorb(&s.stats());
@@ -249,6 +280,10 @@ impl<S: ShardableStore> AccessStore for ShardedStore<S> {
     }
 
     fn clear(&mut self) {
+        if self.shards.len() == 1 {
+            self.shards[0].clear(); // passthrough: inner epoch accounting
+            return;
+        }
         let len = self.len();
         self.stats.on_clear(len);
         for s in &mut self.shards {
@@ -272,6 +307,10 @@ impl<S: ShardableStore> AccessStore for ShardedStore<S> {
     /// split at cuts) and restores every shard directly, then rebuilds
     /// the hull cache — no re-record, no statistics drift.
     fn restore(&mut self, snap: &[MemAccess]) {
+        if self.shards.len() == 1 {
+            self.shards[0].restore(snap); // passthrough: no routing
+            return;
+        }
         let n = self.shards.len();
         let mut per: Vec<Vec<MemAccess>> = vec![Vec::new(); n];
         for acc in snap {
@@ -285,13 +324,21 @@ impl<S: ShardableStore> AccessStore for ShardedStore<S> {
         self.hull_generation = self.generation;
         self.hull = bounding(snap);
         let mut total = 0;
+        let mut widest = 0;
         for (s, accs) in per.iter().enumerate() {
             self.shards[s].restore(accs);
             total += self.shards[s].len();
+            widest = widest.max(self.shards[s].len());
             self.shard_hulls[s] = bounding(accs);
         }
         self.stats.len = total;
         self.stats.peak_len = self.stats.peak_len.max(total);
+        // Shard occupancy is *recomputed* from the restored contents, not
+        // carried over from the rolled-back (or, on a fresh store, never
+        // observed) history: a rollback must not report peaks of work it
+        // just undid, and a fresh store restored from a checkpoint must
+        // report the occupancy it actually holds.
+        self.stats.peak_shard_len = widest;
     }
 }
 
@@ -395,7 +442,88 @@ mod tests {
         assert_eq!(s.len(), 0);
         let fast_before = s.stats().fast_hits;
         s.record(acc_by(0, 99, LocalWrite, 1, 2)).unwrap();
-        assert_eq!(s.stats().fast_hits, fast_before + 2, "stale hull must read as empty");
+        assert_eq!(
+            s.stats().fast_hits,
+            fast_before + 1,
+            "stale hull must read as empty — and one logical access is ONE fast hit, \
+             however many shard pieces it split into"
+        );
+    }
+
+    /// `fast_hits` counts logical accesses, not pieces: a crossing
+    /// interval whose pieces all cheap-reject is one hit; a mixed
+    /// fast/slow access is none; the counter never exceeds `recorded`.
+    #[test]
+    fn crossing_fast_hit_counts_once_per_logical_access() {
+        let mut s = sharded(4, Interval::new(0, 99));
+        s.record(acc(20, 60, LocalRead, 1)).unwrap(); // empty: all pieces fast
+        assert_eq!(s.stats().fast_hits, 1, "3 pieces, 1 logical fast hit");
+        s.record(acc_by(40, 55, LocalRead, 0, 1)).unwrap(); // overlaps: slow somewhere
+        assert_eq!(s.stats().fast_hits, 1, "an access with a slow piece is no fast hit");
+        s.record(acc(90, 95, LocalRead, 2)).unwrap(); // isolated single piece
+        let st = s.stats();
+        assert_eq!(st.fast_hits, 2);
+        assert!(st.fast_hits <= st.recorded, "{st:?}");
+    }
+
+    /// One shard is a true passthrough: statistics match the unwrapped
+    /// store field for field (modulo the shard-shape overlay), including
+    /// the epoch accounting and the fast path.
+    #[test]
+    fn single_shard_is_passthrough() {
+        let mut plain = FragMergeStore::new();
+        let mut one = sharded(1, Interval::new(0, 999));
+        let seq = [
+            acc(10, 19, LocalRead, 1),
+            acc(40, 49, LocalRead, 1),
+            acc(20, 29, LocalRead, 1),
+            acc_by(200, 220, RmaRead, 1, 2),
+        ];
+        for a in seq {
+            assert_eq!(plain.record(a).is_err(), one.record(a).is_err());
+        }
+        plain.clear();
+        one.clear();
+        for a in seq {
+            let _ = plain.record(a);
+            let _ = one.record(a);
+        }
+        assert_eq!(one.snapshot(), plain.snapshot());
+        let (p, o) = (plain.stats(), one.stats());
+        assert_eq!(o, StoreStats { shards: 1, peak_shard_len: p.peak_len, ..p });
+        // Racy access still rejected identically.
+        assert_eq!(
+            plain.record(acc_by(205, 210, LocalWrite, 0, 9)).is_err(),
+            one.record(acc_by(205, 210, LocalWrite, 0, 9)).is_err()
+        );
+        assert_eq!(one.stats().races, plain.stats().races);
+    }
+
+    /// Restore can never resurrect a pre-snapshot hull, and shard
+    /// occupancy is recomputed from the restored contents: a rolled-back
+    /// region reads as empty (fast path + no conflict), and a fresh
+    /// store restored from a checkpoint reports the occupancy it holds.
+    #[test]
+    fn restore_shrinks_hull_and_recomputes_peaks() {
+        let mut s = sharded(4, Interval::new(0, 99));
+        s.record(acc(10, 19, RmaWrite, 1)).unwrap();
+        let snap = s.snapshot();
+        s.record(acc(60, 99, RmaWrite, 2)).unwrap(); // grows hull + peaks
+        let dirty_peak = s.stats().peak_shard_len;
+        s.restore(&snap);
+        // The rolled-back region [60, 99] must read as empty: a local
+        // write there would race with the undone RMA write if any cached
+        // hull or shard content survived the rollback.
+        let fast_before = s.stats().fast_hits;
+        s.record(acc_by(60, 99, LocalWrite, 1, 3)).unwrap();
+        assert_eq!(s.stats().fast_hits, fast_before + 1, "rolled-back region must fast-hit");
+
+        // Fresh store, same checkpoint: occupancy must be visible, not
+        // carried over as zero.
+        let mut fresh = sharded(4, Interval::new(0, 99));
+        fresh.restore(&snap);
+        assert_eq!(fresh.stats().peak_shard_len, 1, "restored occupancy is recomputed");
+        assert!(fresh.stats().peak_shard_len <= dirty_peak);
     }
 
     /// Full-`u64` addresses and a full-domain interval across 16 shards.

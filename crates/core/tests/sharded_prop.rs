@@ -14,9 +14,16 @@
 //! Failing seeds print a `RMA_PROP_REPLAY` line; the named regression
 //! tests at the bottom pin a few seeds permanently (shrunk streams stay
 //! replayable from the seed alone, so the seed *is* the regression).
+//!
+//! The same streams also drive the flat-layout engines: `FlatStore`
+//! (exact snapshot + stats equality with the plain store),
+//! `ShardedStore<FlatStore>`, and `AdaptiveStore` with a deliberately
+//! tiny promotion threshold so every stream of any size exercises the
+//! flat→sharded promotion mid-sequence.
 
 use rma_core::{
-    AccessKind, AccessStore, FragMergeStore, Interval, MemAccess, RankId, ShardedStore, SrcLoc,
+    AccessKind, AccessStore, AdaptiveCfg, AdaptiveStore, FlatStore, FragMergeStore, Interval,
+    MemAccess, RankId, ShardedStore, SrcLoc,
 };
 use rma_substrate::prop::{shrink_vec, Gen, Prop};
 
@@ -117,6 +124,66 @@ fn check_equivalence(ops: &[Op]) {
         assert_eq!(ps.races, ss.races, "race totals diverge at {n} shards");
         assert_eq!(ps.recorded, ss.recorded, "recorded totals diverge at {n} shards");
     }
+    check_engine_equivalence(ops);
+}
+
+/// The flat-layout engines run the same differential campaign against
+/// the plain `FragMergeStore` oracle. `FlatStore` shares the fragment /
+/// merge helpers with the tree, so its snapshot must be byte-identical
+/// (no `normalize`); the sharded and adaptive variants are compared
+/// modulo boundary splits like the tree-backed sharded store.
+fn check_engine_equivalence(ops: &[Op]) {
+    let mut plain = FragMergeStore::new();
+    let mut flat = FlatStore::new();
+    let mut sharded_flat = ShardedStore::new(4, FlatStore::new);
+    // Tiny promotion threshold: streams of every size cross it, so the
+    // flat→sharded handoff happens mid-sequence, not just at scale.
+    let mut adaptive = AdaptiveStore::with_cfg(AdaptiveCfg {
+        promote_len: 24,
+        shards: 4,
+        ..AdaptiveCfg::default()
+    });
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Clear => {
+                plain.clear();
+                flat.clear();
+                sharded_flat.clear();
+                adaptive.clear();
+            }
+            Op::Access(acc) => {
+                let p = plain.record(*acc).is_err();
+                let f = flat.record(*acc).is_err();
+                let sf = sharded_flat.record(*acc).is_err();
+                let ad = adaptive.record(*acc).is_err();
+                assert_eq!(p, f, "op {i}: flat verdict diverges for {acc:?}");
+                assert_eq!(p, sf, "op {i}: sharded-flat verdict diverges for {acc:?}");
+                assert_eq!(p, ad, "op {i}: adaptive verdict diverges for {acc:?}");
+            }
+        }
+        let want = plain.snapshot();
+        assert_eq!(want, flat.snapshot(), "op {i}: flat contents diverge");
+        let canon = normalize(&want);
+        assert_eq!(canon, normalize(&sharded_flat.snapshot()), "op {i}: sharded-flat contents diverge");
+        assert_eq!(canon, normalize(&adaptive.snapshot()), "op {i}: adaptive contents diverge");
+    }
+    let ps = plain.stats();
+    for (name, s) in [
+        ("flat", flat.stats()),
+        ("sharded-flat", sharded_flat.stats()),
+        ("adaptive", adaptive.stats()),
+    ] {
+        assert_eq!(ps.races, s.races, "{name}: race totals diverge");
+        assert_eq!(ps.recorded, s.recorded, "{name}: recorded totals diverge");
+        assert!(
+            s.fast_hits <= s.recorded,
+            "{name}: fast_hits {} exceeds logical accesses {}",
+            s.fast_hits,
+            s.recorded
+        );
+    }
+    // The flat layout shares the tree's hull fast path exactly.
+    assert_eq!(ps.fast_hits, flat.stats().fast_hits, "flat fast-hit accounting diverges");
 }
 
 #[test]

@@ -28,8 +28,8 @@ use crate::reduce::KeyedReduce;
 use rma_substrate::channel::{unbounded, Receiver, Sender};
 use rma_substrate::sync::{Condvar, Mutex, RwLock};
 use rma_core::{
-    AccessStore, FragMergeStore, Interval, LegacyStore, MemAccess, NaiveStore, RaceReport,
-    ShardedStore, StoreStats,
+    AccessStore, AdaptiveCfg, AdaptiveStore, FlatStore, FragMergeStore, Interval, LegacyStore,
+    MemAccess, NaiveStore, RaceReport, ShardedStore, StoreStats,
 };
 use rma_sim::{AbortView, HookResult, LocalEvent, Monitor, RankId, RmaEvent, WinId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -125,6 +125,39 @@ pub enum Delivery {
     Messages,
 }
 
+/// Which data layout backs the fragmentation-based stores. Orthogonal to
+/// [`Algorithm`]: every engine runs the same insertion algorithm
+/// (Algorithm 1) with identical verdicts and contents — differentially
+/// verified in `rma-core`'s `sharded_prop` campaign — and differs only
+/// in memory layout and therefore speed. Algorithms other than
+/// `FragMerge`/`FragmentOnly` ignore the knob (they have one layout).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Engine {
+    /// AVL interval tree per store (the paper-faithful layout, and the
+    /// seed behaviour of earlier revisions).
+    Tree,
+    /// Flat sorted-vec layout ([`rma_core::FlatStore`]): contiguous,
+    /// cache-resident, galloping lower-bound search.
+    Flat,
+    /// Flat until the store grows or churns past a threshold, then
+    /// range-sharded flat ([`rma_core::AdaptiveStore`]) — small traces
+    /// never pay routing overhead, large churny ones still scale. The
+    /// default.
+    #[default]
+    Adaptive,
+}
+
+impl Engine {
+    /// Human-readable name used by the benchmark harnesses.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Tree => "tree",
+            Engine::Flat => "flat",
+            Engine::Adaptive => "adaptive",
+        }
+    }
+}
+
 /// Analyzer configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct AnalyzerCfg {
@@ -158,6 +191,11 @@ pub struct AnalyzerCfg {
     /// default) sends each notification immediately — today's behaviour.
     /// Ignored under [`Delivery::Direct`].
     pub batch_size: usize,
+    /// Data layout behind the fragmentation-based stores (see
+    /// [`Engine`]). Under [`Engine::Adaptive`] the `shards` knob becomes
+    /// the post-promotion shard count (when > 1); the store starts
+    /// unsharded regardless.
+    pub engine: Engine,
 }
 
 impl Default for AnalyzerCfg {
@@ -170,6 +208,7 @@ impl Default for AnalyzerCfg {
             max_respawns: 3,
             shards: 1,
             batch_size: 1,
+            engine: Engine::default(),
         }
     }
 }
@@ -186,28 +225,55 @@ impl AnalyzerCfg {
         AnalyzerCfg { node_budget: Some(cap), ..self }
     }
 
-    /// Builds one per-(rank, window) store honouring the `shards` knob.
-    /// `domain` is the window's address range when known (from
-    /// `MPI_Win_allocate`), used to cut the shard boundaries; without it
-    /// the full `u64` space is partitioned (out-of-range addresses clamp
-    /// to the edge shards either way).
+    /// Builds one per-(rank, window) store honouring the `engine` and
+    /// `shards` knobs. `domain` is the window's address range when known
+    /// (from `MPI_Win_allocate`), used to cut the shard boundaries;
+    /// without it the full `u64` space is partitioned (out-of-range
+    /// addresses clamp to the edge shards either way).
     pub fn build_store(&self, domain: Option<Interval>) -> Box<dyn AccessStore + Send> {
-        let sharded = self.shards > 1
-            && matches!(self.algorithm, Algorithm::FragMerge | Algorithm::FragmentOnly);
-        if !sharded {
+        if !matches!(self.algorithm, Algorithm::FragMerge | Algorithm::FragmentOnly) {
             return self.algorithm.new_store_budgeted(self.node_budget);
         }
         let merging = self.algorithm == Algorithm::FragMerge;
         let budget = self.node_budget;
-        let factory = move || match (merging, budget) {
-            (true, None) => FragMergeStore::new(),
-            (true, Some(cap)) => FragMergeStore::with_budget(cap),
-            (false, None) => FragMergeStore::without_merging(),
-            (false, Some(cap)) => FragMergeStore::without_merging_budgeted(cap),
-        };
-        match domain {
-            Some(d) => Box::new(ShardedStore::with_domain(self.shards, d, factory)),
-            None => Box::new(ShardedStore::new(self.shards, factory)),
+        match self.engine {
+            Engine::Adaptive => {
+                let defaults = AdaptiveCfg::default();
+                Box::new(AdaptiveStore::with_cfg(AdaptiveCfg {
+                    merging,
+                    budget,
+                    shards: if self.shards > 1 { self.shards } else { defaults.shards },
+                    ..defaults
+                }))
+            }
+            Engine::Tree if self.shards <= 1 => self.algorithm.new_store_budgeted(budget),
+            Engine::Tree => {
+                let factory = move || match (merging, budget) {
+                    (true, None) => FragMergeStore::new(),
+                    (true, Some(cap)) => FragMergeStore::with_budget(cap),
+                    (false, None) => FragMergeStore::without_merging(),
+                    (false, Some(cap)) => FragMergeStore::without_merging_budgeted(cap),
+                };
+                match domain {
+                    Some(d) => Box::new(ShardedStore::with_domain(self.shards, d, factory)),
+                    None => Box::new(ShardedStore::new(self.shards, factory)),
+                }
+            }
+            Engine::Flat => {
+                let flat = move || match (merging, budget) {
+                    (true, None) => FlatStore::new(),
+                    (true, Some(cap)) => FlatStore::with_budget(cap),
+                    (false, None) => FlatStore::without_merging(),
+                    (false, Some(cap)) => FlatStore::without_merging_budgeted(cap),
+                };
+                if self.shards <= 1 {
+                    return Box::new(flat());
+                }
+                match domain {
+                    Some(d) => Box::new(ShardedStore::with_domain(self.shards, d, flat)),
+                    None => Box::new(ShardedStore::new(self.shards, flat)),
+                }
+            }
         }
     }
 }

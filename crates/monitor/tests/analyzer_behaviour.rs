@@ -139,6 +139,7 @@ fn messages_delivery_equivalent() {
             max_respawns: 3,
             shards: 1,
             batch_size: 1,
+            engine: Default::default(),
         }));
         let out = World::run(WorldCfg::with_ranks(3), mon.clone(), |ctx| {
             let win = ctx.win_allocate(64);
@@ -166,6 +167,7 @@ fn collect_mode_does_not_abort() {
         max_respawns: 3,
         shards: 1,
         batch_size: 1,
+        engine: Default::default(),
     }));
     let out = World::run(WorldCfg::with_ranks(2), mon.clone(), |ctx| {
         let win = ctx.win_allocate(64);

@@ -47,6 +47,7 @@ fn messages_delivery_multiwindow() {
         max_respawns: 3,
         shards: 1,
         batch_size: 1,
+        engine: Default::default(),
     }));
     let out = World::run(WorldCfg::with_ranks(4), mon.clone(), |ctx| {
         let w1 = ctx.win_allocate(256);
@@ -88,6 +89,7 @@ fn stride_extension_in_runtime() {
         max_respawns: 3,
         shards: 1,
         batch_size: 1,
+        engine: Default::default(),
     }));
     let out = World::run(WorldCfg::with_ranks(2), mon.clone(), |ctx| {
         let win = ctx.win_allocate(16 * 512);

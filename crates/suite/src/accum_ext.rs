@@ -137,6 +137,7 @@ pub fn run_accum_case(partner: AccumPartner, tool: Tool) -> bool {
                 max_respawns: 3,
                 shards: 1,
                 batch_size: 1,
+                engine: Default::default(),
             }));
             let out =
                 World::run(cfg, mon.clone() as Arc<dyn Monitor>, |ctx| partner.body(ctx));

@@ -205,6 +205,7 @@ fn supervised_stack(
         max_respawns: CHAOS_RESPAWN_BUDGET,
         shards,
         batch_size,
+        engine: Default::default(),
     }));
     let must = Arc::new(MustRma::with_cfg(
         SUITE_RANKS,
@@ -249,6 +250,7 @@ pub fn run_chaos_scenario(
         max_respawns: CHAOS_RESPAWN_BUDGET,
         shards: 1,
         batch_size: 1,
+        engine: Default::default(),
     }));
     let started = Instant::now();
     let outcome = run_case_with_cfg(spec, mon.clone() as Arc<dyn Monitor>, cfg);

@@ -154,6 +154,7 @@ pub fn run_case(spec: &CaseSpec, tool: Tool) -> bool {
                 max_respawns: 3,
                 shards: 1,
                 batch_size: 1,
+                engine: Default::default(),
             }));
             let out = World::run(cfg, mon.clone() as Arc<dyn Monitor>, |ctx| {
                 case_body(ctx, spec)

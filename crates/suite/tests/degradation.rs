@@ -18,6 +18,7 @@ fn budgeted_cfg(cap: usize) -> AnalyzerCfg {
         max_respawns: 3,
         shards: 1,
         batch_size: 1,
+        engine: Default::default(),
     }
 }
 

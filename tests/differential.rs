@@ -62,6 +62,7 @@ fn verdict(spec: ProgramSpec, delivery: Delivery) -> bool {
         max_respawns: 3,
         shards: 1,
         batch_size: 1,
+        engine: Default::default(),
     }));
     let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(3), analyzer.clone(), |ctx| {
         run_program(spec, ctx)
@@ -134,6 +135,7 @@ fn verdict_algo(spec: ProgramSpec, algorithm: Algorithm) -> bool {
         max_respawns: 3,
         shards: 1,
         batch_size: 1,
+        engine: Default::default(),
     }));
     let out: RunOutcome<()> = World::run(WorldCfg::with_ranks(3), analyzer.clone(), |ctx| {
         run_program(spec, ctx)
