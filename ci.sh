@@ -124,6 +124,69 @@ echo "==> bench regression guard: adaptive engine never loses to the seed config
 "$BENCH_HOTPATH" --guard BENCH_hotpath.json --tolerance 1.0
 "$BENCH_HOTPATH" --guard "$SMOKE_DIR/bench_smoke.json" --tolerance 0.5
 
+echo "==> served isolation & backpressure: chaos kills, bounded queues, watchdogs"
+# The multi-tenant contracts are guarantees, not best-effort: a sibling
+# tenant's worker kills must not perturb another tenant's verdicts, a
+# slow tenant must be flow-controlled (bounded queue depth) rather than
+# buffered, and a wedged pool must trip the watchdog instead of hanging
+# — so the whole suite runs under `timeout`.
+timeout 600 cargo test -q --offline -p rma-served --test service_replay --test backpressure
+
+echo "==> rma-served smoke: spool daemon, concurrent tenants, deterministic stats"
+# Boots the daemon under `timeout`, submits two corpus streams from
+# concurrent client processes (one via `rma-served submit`, one via the
+# `rma-trace pump` client mode), and requires each stream's served
+# verdict line to match direct `rma-trace replay` byte-for-byte. The
+# whole smoke runs twice into separate spools; the final stats.json is
+# a counts-only artifact (no timestamps/rates), so the two runs must be
+# byte-identical.
+RMA_SERVED=./target/release/rma-served
+SMOKE_A=tests/corpus/lo2_put_put_inwindow_target_race.rmatrc
+SMOKE_B=tests/corpus/ll_get_load_inwindow_origin_race.rmatrc
+for RUN in a b; do
+    SPOOL="$SMOKE_DIR/served-$RUN"
+    rm -rf "$SPOOL"
+    mkdir -p "$SPOOL"
+    timeout 180 "$RMA_SERVED" serve --spool "$SPOOL" --workers 2 --queue-bound 4 \
+        2> /dev/null &
+    SERVED_PID=$!
+    I=0
+    while [ ! -d "$SPOOL/inbox" ] && [ "$I" -lt 100 ]; do I=$((I + 1)); sleep 0.1; done
+    timeout 120 "$RMA_SERVED" submit "$SMOKE_A" --spool "$SPOOL" --tenant alpha \
+        --name put-race --wait > "$SPOOL/alpha.out" &
+    SUB_A=$!
+    timeout 120 "$RMA_TRACE" pump "$SMOKE_B" --spool "$SPOOL" --tenant beta \
+        --name get-race --wait > "$SPOOL/beta.out" &
+    SUB_B=$!
+    wait "$SUB_A"
+    wait "$SUB_B"
+    timeout 120 "$RMA_SERVED" shutdown --spool "$SPOOL" --wait > /dev/null
+    wait "$SERVED_PID"
+    for STREAM in "alpha:$SMOKE_A" "beta:$SMOKE_B"; do
+        TENANT=${STREAM%%:*}
+        FILE=${STREAM#*:}
+        SERVED_VERDICT=$(grep '^verdict:' "$SPOOL/$TENANT.out")
+        DIRECT_VERDICT=$("$RMA_TRACE" replay "$FILE" --store fragmerge | grep '^verdict:')
+        if [ "$SERVED_VERDICT" != "$DIRECT_VERDICT" ]; then
+            echo "ERROR: $TENANT served verdict '$SERVED_VERDICT' != direct '$DIRECT_VERDICT'" >&2
+            exit 1
+        fi
+    done
+    timeout 60 "$RMA_SERVED" stats --spool "$SPOOL" --check > /dev/null
+    echo "    run $RUN: both tenants match direct replay; stats schema ok"
+done
+if ! diff "$SMOKE_DIR/served-a/stats.json" "$SMOKE_DIR/served-b/stats.json"; then
+    echo "ERROR: two identical served runs produced different stats.json" >&2
+    exit 1
+fi
+echo "    both runs' stats.json byte-identical"
+
+echo "==> bench_served smoke: runs, self-validates, baseline stays well-formed"
+BENCH_SERVED=./target/release/bench_served
+timeout 180 "$BENCH_SERVED" --smoke --out "$SMOKE_DIR/bench_served_smoke.json"
+"$BENCH_SERVED" --check "$SMOKE_DIR/bench_served_smoke.json"
+"$BENCH_SERVED" --check BENCH_served.json
+
 echo "==> hermeticity check: no external dependency declarations"
 if grep -rn "proptest\|criterion\|crossbeam\|parking_lot\|^rand" \
     Cargo.toml crates/*/Cargo.toml; then

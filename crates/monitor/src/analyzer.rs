@@ -156,6 +156,16 @@ impl Engine {
             Engine::Adaptive => "adaptive",
         }
     }
+
+    /// Parses the CLI spelling (`tree` / `flat` / `adaptive`).
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "tree" => Some(Engine::Tree),
+            "flat" => Some(Engine::Flat),
+            "adaptive" => Some(Engine::Adaptive),
+            _ => None,
+        }
+    }
 }
 
 /// Analyzer configuration.

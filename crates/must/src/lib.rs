@@ -121,6 +121,17 @@ impl Completeness {
     pub fn is_complete(self) -> bool {
         matches!(self, Completeness::Complete)
     }
+
+    /// Canonical one-token rendering for verdict files and telemetry:
+    /// `complete`, or `partial:<processed>/<target>`.
+    pub fn label(self) -> String {
+        match self {
+            Completeness::Complete => "complete".to_string(),
+            Completeness::Partial { processed, target } => {
+                format!("partial:{processed}/{target}")
+            }
+        }
+    }
 }
 
 /// Plain-data view of one journaled shadow access (one half of a shipped

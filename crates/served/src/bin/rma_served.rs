@@ -1,0 +1,384 @@
+//! `rma-served` — the streaming multi-tenant detection daemon and its
+//! file-spool client.
+//!
+//! ```text
+//! rma-served serve    --spool DIR [--store ...] [--engine ...] [--shards N]
+//!                     [--workers N] [--queue-bound N] [--max-respawns N]
+//!                     [--watchdog-ms N] [--ingest-delay-ms N]
+//!                     [--chaos-kill-tenant T [--chaos-kill-times N] [--chaos-kill-at N]]
+//! rma-served submit   FILE --spool DIR [--tenant T] [--name N] [--wait]
+//! rma-served stats    --spool DIR [--check]
+//! rma-served shutdown --spool DIR [--wait]
+//! ```
+//!
+//! The spool protocol is plain files, so clients need no IPC machinery:
+//! `submit` atomically drops `TENANT__NAME.rmatrc` into `DIR/inbox/`
+//! (write to `DIR/tmp/`, then rename — the daemon never sees a partial
+//! file); the daemon feeds each stream chunk-by-chunk through the
+//! service's bounded queues and atomically writes
+//! `DIR/outbox/TENANT__NAME.verdict` whose `verdict:` line is
+//! byte-comparable with `rma-trace replay` output. A `__shutdown__`
+//! sentinel in the inbox triggers the structured drain: every in-flight
+//! stream reports, the final deterministic `DIR/stats.json` is written,
+//! and `DIR/served.exit` records the drain outcome.
+
+use rma_monitor::{AnalyzerCfg, Engine};
+use rma_served::{check_stats_json, ChaosCfg, DrainOutcome, ServeCfg, ServeError, Service};
+use rma_sim::FaultKind;
+use rma_trace::Detector;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage:
+  rma-served serve    --spool DIR [--store naive|legacy|fragmerge|must]
+                      [--engine tree|flat|adaptive] [--shards N] [--node-budget N]
+                      [--workers N] [--queue-bound N] [--max-respawns N]
+                      [--watchdog-ms N] [--ingest-delay-ms N]
+                      [--chaos-kill-tenant T] [--chaos-kill-times N] [--chaos-kill-at N]
+  rma-served submit   FILE --spool DIR [--tenant T] [--name N] [--wait]
+  rma-served stats    --spool DIR [--check]
+  rma-served shutdown --spool DIR [--wait]";
+
+/// How the daemon feeds stream bytes to the service: small chunks so
+/// the bounded queue (not the chunk size) is what limits buffering.
+const FEED_CHUNK: usize = 4096;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pulls the value after `flag` out of `args`, if present.
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value\n{USAGE}"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn take_num<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<T>, String> {
+    match take_opt(args, flag)? {
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag} wants a number, got {v:?}\n{USAGE}")),
+        None => Ok(None),
+    }
+}
+
+struct Spool {
+    inbox: PathBuf,
+    outbox: PathBuf,
+    tmp: PathBuf,
+    root: PathBuf,
+}
+
+impl Spool {
+    fn open(dir: &str, create: bool) -> Result<Spool, String> {
+        let root = PathBuf::from(dir);
+        let s = Spool {
+            inbox: root.join("inbox"),
+            outbox: root.join("outbox"),
+            tmp: root.join("tmp"),
+            root,
+        };
+        if create {
+            for d in [&s.inbox, &s.outbox, &s.tmp] {
+                std::fs::create_dir_all(d).map_err(|e| format!("{}: {e}", d.display()))?;
+            }
+        } else if !s.inbox.is_dir() {
+            return Err(format!("{dir}: not a spool directory (no inbox/ — is the daemon up?)"));
+        }
+        Ok(s)
+    }
+
+    /// Atomic publish: write to tmp/, rename into place. Readers never
+    /// observe a partially written file.
+    fn publish(&self, dir: &Path, name: &str, bytes: &[u8]) -> Result<(), String> {
+        let tmp = self.tmp.join(name);
+        std::fs::write(&tmp, bytes).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        let dst = dir.join(name);
+        std::fs::rename(&tmp, &dst).map_err(|e| format!("{}: {e}", dst.display()))
+    }
+}
+
+/// `TENANT__NAME.rmatrc` → `(tenant, stream)`; no separator means the
+/// `default` tenant.
+fn parse_stream_file(stem: &str) -> (String, String) {
+    match stem.split_once("__") {
+        Some((tenant, name)) if !tenant.is_empty() && !name.is_empty() => {
+            (tenant.to_string(), name.to_string())
+        }
+        _ => ("default".to_string(), stem.to_string()),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let spool_dir =
+        take_opt(&mut args, "--spool")?.ok_or_else(|| format!("--spool required\n{USAGE}"))?;
+    let store = take_opt(&mut args, "--store")?.unwrap_or_else(|| "fragmerge".into());
+    let detector = Detector::parse(&store)
+        .ok_or_else(|| format!("unknown store {store:?} (naive|legacy|fragmerge|must)"))?;
+    let engine = match take_opt(&mut args, "--engine")? {
+        Some(e) => {
+            Engine::parse(&e).ok_or_else(|| format!("unknown engine {e:?} (tree|flat|adaptive)"))?
+        }
+        None => Engine::default(),
+    };
+    let analyzer = AnalyzerCfg {
+        engine,
+        shards: take_num(&mut args, "--shards")?.unwrap_or(AnalyzerCfg::default().shards),
+        node_budget: take_num(&mut args, "--node-budget")?,
+        ..Default::default()
+    };
+    let mut cfg = ServeCfg { detector, analyzer, ..Default::default() };
+    if let Some(w) = take_num(&mut args, "--workers")? {
+        cfg.workers = w;
+    }
+    if let Some(q) = take_num(&mut args, "--queue-bound")? {
+        cfg.queue_bound = q;
+    }
+    if let Some(r) = take_num(&mut args, "--max-respawns")? {
+        cfg.max_respawns = r;
+    }
+    if let Some(w) = take_num(&mut args, "--watchdog-ms")? {
+        cfg.watchdog_ms = w;
+    }
+    if let Some(d) = take_num::<u64>(&mut args, "--ingest-delay-ms")? {
+        cfg.ingest_delay = Some(Duration::from_millis(d));
+    }
+    if let Some(tenant) = take_opt(&mut args, "--chaos-kill-tenant")? {
+        let times = take_num(&mut args, "--chaos-kill-times")?.unwrap_or(1);
+        let at_event = take_num(&mut args, "--chaos-kill-at")?.unwrap_or(0);
+        cfg.chaos = Some(ChaosCfg { kind: FaultKind::KillWorker { times }, tenant, at_event });
+    }
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
+    }
+
+    let spool = Spool::open(&spool_dir, true)?;
+    let svc = Service::new(cfg);
+    eprintln!("rma-served: serving spool {spool_dir} (detector={})", detector.name());
+
+    // Inbox poll loop. Feeder threads carry each admitted stream so a
+    // tenant parked on its bounded queue never stalls admission of the
+    // others.
+    let mut feeders: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let shutdown_sentinel = spool.inbox.join("__shutdown__");
+    loop {
+        if shutdown_sentinel.exists() {
+            break;
+        }
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&spool.inbox)
+            .map_err(|e| format!("{}: {e}", spool.inbox.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "rmatrc"))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("stream").to_string();
+            let (tenant, name) = parse_stream_file(&stem);
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("rma-served: skipping {}: {e}", path.display());
+                    continue;
+                }
+            };
+            let handle = match svc.submit(&tenant, &name) {
+                Ok(h) => h,
+                Err(ServeError::Busy) => continue, // retry next poll round
+                Err(e) => {
+                    eprintln!("rma-served: {tenant}/{name}: {e}");
+                    let _ = std::fs::remove_file(&path);
+                    continue;
+                }
+            };
+            let _ = std::fs::remove_file(&path);
+            let spool_out = spool.outbox.clone();
+            let spool_tmp = spool.tmp.clone();
+            feeders.push(std::thread::spawn(move || {
+                let mut ok = true;
+                for piece in bytes.chunks(FEED_CHUNK) {
+                    if handle.feed(piece).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                let body = if !ok {
+                    format!("stream: {tenant}/{name}\nerror: rejected mid-stream\n")
+                } else {
+                    match handle.finish() {
+                        Ok(rep) => format!(
+                            "stream: {}/{}\ntier: {}\n{}\ncompleteness: {}\nraces: {}\n\
+                             events: {}\nrespawns: {}\ndegraded: {}\n",
+                            rep.tenant,
+                            rep.stream,
+                            rep.tier.name(),
+                            rep.verdict,
+                            rep.completeness.label(),
+                            rep.races,
+                            rep.events,
+                            rep.respawns,
+                            rep.degraded,
+                        ),
+                        Err(e) => format!("stream: {tenant}/{name}\nerror: {e}\n"),
+                    }
+                };
+                let file = format!("{tenant}__{name}.verdict");
+                let tmp = spool_tmp.join(&file);
+                if std::fs::write(&tmp, &body).is_ok() {
+                    let _ = std::fs::rename(&tmp, spool_out.join(&file));
+                }
+            }));
+        }
+        feeders.retain(|h| !h.is_finished());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Structured shutdown: stop scanning, let in-flight feeders finish
+    // (each blocks in `finish` under the watchdog), drain, final stats.
+    eprintln!("rma-served: shutdown requested, draining");
+    for h in feeders {
+        let _ = h.join();
+    }
+    let (stats, outcome) = svc.shutdown();
+    spool.publish(&spool.root, "stats.json", format!("{}\n", stats.to_json()).as_bytes())?;
+    let exit_line = match &outcome {
+        DrainOutcome::Drained { streams } => format!("drained: {streams} stream(s)\n"),
+        DrainOutcome::Wedged { pending } => format!("wedged: {} stream(s) stuck\n", pending.len()),
+    };
+    spool.publish(&spool.root, "served.exit", exit_line.as_bytes())?;
+    let _ = std::fs::remove_file(&shutdown_sentinel);
+    eprint!("rma-served: {exit_line}");
+    eprint!("{}", stats.render());
+    Ok(if matches!(outcome, DrainOutcome::Drained { .. }) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let spool_dir =
+        take_opt(&mut args, "--spool")?.ok_or_else(|| format!("--spool required\n{USAGE}"))?;
+    let tenant = take_opt(&mut args, "--tenant")?.unwrap_or_else(|| "default".into());
+    let name = take_opt(&mut args, "--name")?;
+    let wait = take_flag(&mut args, "--wait");
+    let [file] = args.as_slice() else {
+        return Err(format!("submit takes one FILE\n{USAGE}"));
+    };
+    let name = match name {
+        Some(n) => n,
+        None => Path::new(file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("{file}: cannot derive a stream name; pass --name"))?
+            .to_string(),
+    };
+    if tenant.contains("__") || name.contains("__") {
+        return Err("tenant/name must not contain \"__\" (the spool separator)".into());
+    }
+    let spool = Spool::open(&spool_dir, false)?;
+    let bytes = std::fs::read(file).map_err(|e| format!("{file}: {e}"))?;
+    let stream_file = format!("{tenant}__{name}.rmatrc");
+    let verdict_path = spool.outbox.join(format!("{tenant}__{name}.verdict"));
+    let _ = std::fs::remove_file(&verdict_path);
+    spool.publish(&spool.inbox, &stream_file, &bytes)?;
+    println!("submitted {file} as {tenant}/{name} ({} bytes)", bytes.len());
+    if wait {
+        loop {
+            if let Ok(body) = std::fs::read_to_string(&verdict_path) {
+                print!("{body}");
+                return Ok(if body.contains("\nerror: ") {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                });
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let spool_dir =
+        take_opt(&mut args, "--spool")?.ok_or_else(|| format!("--spool required\n{USAGE}"))?;
+    let check = take_flag(&mut args, "--check");
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
+    }
+    let path = PathBuf::from(&spool_dir).join("stats.json");
+    let body = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{}: {e} (stats.json is written at daemon shutdown)", path.display()))?;
+    print!("{body}");
+    if check {
+        check_stats_json(&body).map_err(|e| format!("stats.json: {e}"))?;
+        eprintln!("stats.json: schema ok");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let spool_dir =
+        take_opt(&mut args, "--spool")?.ok_or_else(|| format!("--spool required\n{USAGE}"))?;
+    let wait = take_flag(&mut args, "--wait");
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
+    }
+    let spool = Spool::open(&spool_dir, false)?;
+    let exit_path = spool.root.join("served.exit");
+    let _ = std::fs::remove_file(&exit_path);
+    spool.publish(&spool.inbox, "__shutdown__", b"")?;
+    if wait {
+        loop {
+            if let Ok(body) = std::fs::read_to_string(&exit_path) {
+                print!("{body}");
+                return Ok(if body.starts_with("drained") {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                });
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,334 @@
+//! Aggregate telemetry, in two renderings with different contracts:
+//!
+//! * [`ServedStats::to_json`] — a single-line JSON object of *counts
+//!   only* (streams, events, races, respawns, degraded stores, verdict
+//!   tiers, per-tenant breakdown in sorted order). Deterministic for a
+//!   deterministic workload: no timestamps, durations, rates or queue
+//!   occupancy — the same discipline as `rma-chaos --json`, and what
+//!   lets ci.sh diff two identical service runs byte-for-byte.
+//! * [`ServedStats::render`] — human output, which *does* include the
+//!   wall-clock-derived numbers (events/sec, peak queue depth,
+//!   blocked-producer counts) that vary run to run.
+//!
+//! [`check_stats_json`] validates the JSON against its schema with the
+//! same hand-rolled targeted scans the bench harness uses — this
+//! workspace has no JSON parser, and does not need one to keep a
+//! machine-readable artifact honest.
+
+use crate::service::{ServeCfg, Tier};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Per-tenant accumulated counters.
+#[derive(Clone, Debug, Default)]
+pub struct TenantStats {
+    /// Streams reported.
+    pub streams: u64,
+    /// Events analyzed (counted once per stream, at verdict time).
+    pub events: u64,
+    /// Races found.
+    pub races: u64,
+    /// Worker deaths absorbed or suffered.
+    pub respawns: u64,
+    /// Streams whose detector store coalesced under its node budget.
+    pub degraded_stores: u64,
+    /// Closed epochs retained, summed over streams.
+    pub epochs: u64,
+    /// Verdicts by tier, [`Tier::ALL`] order.
+    pub tiers: [u64; 5],
+    /// Deepest any of this tenant's stream queues ever got
+    /// (scheduling-dependent — human rendering only).
+    pub peak_queue_depth: usize,
+    /// Producer sends that found a queue full (scheduling-dependent —
+    /// human rendering only).
+    pub blocked_sends: u64,
+}
+
+/// A telemetry snapshot.
+#[derive(Clone, Debug)]
+pub struct ServedStats {
+    /// Detector name.
+    pub detector: &'static str,
+    /// Store engine name.
+    pub engine: &'static str,
+    /// Shard knob.
+    pub shards: usize,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Per-stream queue bound (the credit count).
+    pub queue_bound: usize,
+    /// Per-tenant counters, keyed by tenant (sorted).
+    pub tenants: BTreeMap<String, TenantStats>,
+    /// Service uptime at snapshot (human rendering only).
+    pub wall: Duration,
+    /// Events analyzed over the service lifetime.
+    pub events_total: u64,
+}
+
+impl ServedStats {
+    pub(crate) fn snapshot(
+        cfg: &ServeCfg,
+        tenants: &BTreeMap<String, TenantStats>,
+        wall: Duration,
+        events_total: u64,
+    ) -> ServedStats {
+        ServedStats {
+            detector: cfg.detector.name(),
+            engine: cfg.analyzer.engine.name(),
+            shards: cfg.analyzer.shards,
+            workers: cfg.workers.max(1),
+            queue_bound: cfg.queue_bound,
+            tenants: tenants.clone(),
+            wall,
+            events_total,
+        }
+    }
+
+    fn totals(&self) -> TenantStats {
+        let mut out = TenantStats::default();
+        for t in self.tenants.values() {
+            out.streams += t.streams;
+            out.events += t.events;
+            out.races += t.races;
+            out.respawns += t.respawns;
+            out.degraded_stores += t.degraded_stores;
+            out.epochs += t.epochs;
+            for (a, b) in out.tiers.iter_mut().zip(t.tiers) {
+                *a += b;
+            }
+            out.peak_queue_depth = out.peak_queue_depth.max(t.peak_queue_depth);
+            out.blocked_sends += t.blocked_sends;
+        }
+        out
+    }
+
+    /// The deterministic one-line JSON artifact (see module docs).
+    pub fn to_json(&self) -> String {
+        fn tiers_json(tiers: &[u64; 5]) -> String {
+            let fields: Vec<String> = Tier::ALL
+                .iter()
+                .map(|t| format!("\"{}\":{}", t.name(), tiers[t.idx()]))
+                .collect();
+            format!("{{{}}}", fields.join(","))
+        }
+        let tot = self.totals();
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .map(|(name, t)| {
+                format!(
+                    "{{\"tenant\":\"{}\",\"streams\":{},\"events\":{},\"races\":{},\
+                     \"respawns\":{},\"degraded_stores\":{},\"epochs\":{},\"tiers\":{}}}",
+                    json_escape(name),
+                    t.streams,
+                    t.events,
+                    t.races,
+                    t.respawns,
+                    t.degraded_stores,
+                    t.epochs,
+                    tiers_json(&t.tiers),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"service\":\"rma-served\",\"detector\":\"{}\",\"engine\":\"{}\",\
+             \"shards\":{},\"workers\":{},\"queue_bound\":{},\"streams\":{},\
+             \"events\":{},\"races\":{},\"respawns\":{},\"degraded_stores\":{},\
+             \"tiers\":{},\"tenants\":[{}]}}",
+            self.detector,
+            self.engine,
+            self.shards,
+            self.workers,
+            self.queue_bound,
+            tot.streams,
+            tot.events,
+            tot.races,
+            tot.respawns,
+            tot.degraded_stores,
+            tiers_json(&tot.tiers),
+            tenants.join(","),
+        )
+    }
+
+    /// Human-readable summary, including the run-to-run-variable
+    /// numbers the JSON deliberately leaves out.
+    pub fn render(&self) -> String {
+        let tot = self.totals();
+        let secs = self.wall.as_secs_f64();
+        let rate = if secs > 0.0 { self.events_total as f64 / secs } else { 0.0 };
+        let mut out = format!(
+            "rma-served: {} stream(s), {} event(s), {} race(s) | detector={} engine={} \
+             shards={} workers={} queue_bound={}\n\
+             throughput: {rate:.0} events/sec over {secs:.2}s | peak queue depth {} | \
+             blocked sends {} | respawns {} | degraded stores {}\n",
+            tot.streams,
+            tot.events,
+            tot.races,
+            self.detector,
+            self.engine,
+            self.shards,
+            self.workers,
+            self.queue_bound,
+            tot.peak_queue_depth,
+            tot.blocked_sends,
+            tot.respawns,
+            tot.degraded_stores,
+        );
+        out.push_str("tiers:");
+        for t in Tier::ALL {
+            out.push_str(&format!(" {}={}", t.name(), tot.tiers[t.idx()]));
+        }
+        out.push('\n');
+        for (name, t) in &self.tenants {
+            out.push_str(&format!(
+                "tenant {name}: streams={} events={} races={} respawns={} degraded={}\n",
+                t.streams, t.events, t.races, t.respawns, t.degraded_stores
+            ));
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Validates a stats JSON line against its schema: every required
+/// top-level key present, every tier key present under `"tiers"`, and
+/// every counter a bare unsigned integer. Schema-checks without a JSON
+/// parser, like the bench harness's report checker.
+pub fn check_stats_json(json: &str) -> Result<(), String> {
+    let line = json.trim();
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return Err("stats JSON must be a single object".into());
+    }
+    if line.lines().count() != 1 {
+        return Err("stats JSON must be a single line".into());
+    }
+    for key in ["service", "detector", "engine"] {
+        if !line.contains(&format!("\"{key}\":\"")) {
+            return Err(format!("missing string field {key:?}"));
+        }
+    }
+    for key in [
+        "shards",
+        "workers",
+        "queue_bound",
+        "streams",
+        "events",
+        "races",
+        "respawns",
+        "degraded_stores",
+    ] {
+        let tag = format!("\"{key}\":");
+        let Some(at) = line.find(&tag) else {
+            return Err(format!("missing numeric field {key:?}"));
+        };
+        let digits: String = line[at + tag.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if digits.is_empty() {
+            return Err(format!("field {key:?} is not an unsigned integer"));
+        }
+    }
+    let Some(tiers_at) = line.find("\"tiers\":{") else {
+        return Err("missing tiers object".into());
+    };
+    let tiers_end = line[tiers_at..]
+        .find('}')
+        .map(|i| tiers_at + i)
+        .ok_or("unterminated tiers object")?;
+    let tiers = &line[tiers_at..=tiers_end];
+    for t in Tier::ALL {
+        if !tiers.contains(&format!("\"{}\":", t.name())) {
+            return Err(format!("missing tier {:?}", t.name()));
+        }
+    }
+    if !line.contains("\"tenants\":[") {
+        return Err("missing tenants array".into());
+    }
+    for banned in ["timestamp", "duration", "_ms", "per_sec", "depth", "blocked"] {
+        if line.contains(banned) {
+            return Err(format!(
+                "stats JSON must stay deterministic: found banned fragment {banned:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServedStats {
+        let mut tenants = BTreeMap::new();
+        tenants.insert(
+            "acme".to_string(),
+            TenantStats {
+                streams: 2,
+                events: 100,
+                races: 1,
+                tiers: [1, 1, 0, 0, 0],
+                ..Default::default()
+            },
+        );
+        ServedStats {
+            detector: "fragmerge",
+            engine: "adaptive",
+            shards: 1,
+            workers: 2,
+            queue_bound: 64,
+            tenants,
+            wall: Duration::from_millis(1234),
+            events_total: 100,
+        }
+    }
+
+    #[test]
+    fn json_is_single_line_and_validates() {
+        let s = sample();
+        let json = s.to_json();
+        assert_eq!(json.lines().count(), 1);
+        check_stats_json(&json).unwrap();
+    }
+
+    #[test]
+    fn json_is_wall_clock_free() {
+        // Same counters, wildly different wall time: identical JSON.
+        let a = sample();
+        let mut b = sample();
+        b.wall = Duration::from_secs(9999);
+        assert_eq!(a.to_json(), b.to_json());
+        // But the human rendering does reflect it.
+        assert_ne!(a.render(), b.render());
+    }
+
+    #[test]
+    fn check_rejects_missing_fields() {
+        let json = sample().to_json();
+        let broken = json.replace("\"races\":1", "\"racez\":1");
+        assert!(check_stats_json(&broken).is_err());
+        let broken = json.replace("\"racy\":", "\"spicy\":");
+        assert!(check_stats_json(&broken).is_err());
+        assert!(check_stats_json("not json").is_err());
+    }
+
+    #[test]
+    fn tenant_names_are_escaped() {
+        let mut s = sample();
+        let t = s.tenants.remove("acme").unwrap();
+        s.tenants.insert("we\"ird\\name".to_string(), t);
+        let json = s.to_json();
+        assert!(json.contains("we\\\"ird\\\\name"));
+        check_stats_json(&json).unwrap();
+    }
+}

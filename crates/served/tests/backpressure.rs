@@ -1,0 +1,118 @@
+//! Backpressure and watchdog contracts: a slow tenant with a tiny
+//! queue bound cannot buffer unboundedly (credit-based flow control
+//! caps the queue depth), and a wedged pool is reported structurally
+//! instead of hanging the client.
+
+use rma_served::{DrainOutcome, ServeCfg, ServeError, Service, Tier};
+use rma_suite::{find_case, generate_suite, run_case_with_monitor};
+use rma_trace::{replay, verdict_line, Detector, TraceWriter};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn record(name: &str) -> (Vec<u8>, String) {
+    let cases = generate_suite();
+    let spec = find_case(&cases, name).expect("suite case");
+    let writer = Arc::new(TraceWriter::new(name, 0x5EED));
+    run_case_with_monitor(&spec, writer.clone());
+    let trace = writer.trace();
+    let verdict = verdict_line(&replay(&trace, Detector::FragMerge).races);
+    (trace.encode(), verdict)
+}
+
+/// A producer outrunning a deliberately slow worker parks on the
+/// bounded queue: depth never exceeds the bound (that IS the memory
+/// cap), the blocking is visible in the accounting, and the verdict is
+/// unaffected.
+#[test]
+fn slow_tenant_is_flow_controlled_not_buffered() {
+    let (bytes, direct) = record("lo2_put_put_inwindow_target_race");
+    let svc = Service::new(ServeCfg {
+        workers: 1,
+        queue_bound: 2,
+        ingest_delay: Some(Duration::from_millis(2)),
+        ..Default::default()
+    });
+    let handle = svc.submit("slow", "capped").unwrap();
+    for piece in bytes.chunks(16) {
+        handle.feed(piece).unwrap();
+    }
+    assert!(handle.queue_peak() <= 2, "queue depth exceeded its bound");
+    assert!(
+        handle.blocked_sends() > 0,
+        "a 2-slot queue with a 2ms/chunk consumer must have parked the producer"
+    );
+    let report = handle.finish().unwrap();
+    assert_eq!(report.verdict, direct, "backpressure must not change the verdict");
+    assert_eq!(report.tier, Tier::Racy);
+
+    let (stats, outcome) = svc.shutdown();
+    assert!(matches!(outcome, DrainOutcome::Drained { streams: 1 }));
+    let t = &stats.tenants["slow"];
+    assert!(t.peak_queue_depth <= 2);
+    assert!(t.blocked_sends > 0);
+}
+
+/// A wedged pool (the worker is stuck "processing" one chunk for 60s)
+/// trips the progress watchdog: `drain` reports the stuck streams, and
+/// shutdown wakes the parked producer with a structured error instead
+/// of leaving it blocked forever.
+#[test]
+fn wedged_pool_trips_watchdog_and_shutdown_frees_parked_producers() {
+    let (bytes, _) = record("lo2_put_put_inwindow_target_race");
+    let svc = Service::new(ServeCfg {
+        workers: 1,
+        queue_bound: 1,
+        ingest_delay: Some(Duration::from_secs(60)),
+        watchdog_ms: 300,
+        ..Default::default()
+    });
+    let handle = svc.submit("stuck", "wedged-stream").unwrap();
+    let feeder = std::thread::spawn(move || {
+        // Parks on the full queue once the worker starts its 60s
+        // "processing" of the first chunk; errors out at shutdown.
+        for piece in bytes.chunks(16) {
+            handle.feed(piece)?;
+        }
+        handle.finish().map(|_| ())
+    });
+
+    match svc.drain() {
+        DrainOutcome::Wedged { pending } => {
+            assert_eq!(pending, vec![("stuck".to_string(), "wedged-stream".to_string())]);
+        }
+        DrainOutcome::Drained { .. } => panic!("a 60s-per-chunk worker cannot have drained"),
+    }
+
+    let (_stats, outcome) = svc.shutdown();
+    assert!(matches!(outcome, DrainOutcome::Wedged { .. }));
+    let err = feeder.join().unwrap().unwrap_err();
+    assert!(
+        matches!(err, ServeError::Rejected | ServeError::Wedged),
+        "parked producer must fail structurally, got {err}"
+    );
+}
+
+/// Admission control: the live-stream cap rejects the excess stream
+/// with `Busy`, not by queueing it invisibly.
+#[test]
+fn live_stream_cap_rejects_excess_submissions() {
+    let (bytes, _) = record("ll_put_put_inwindow_target_epochs_safe");
+    let svc = Service::new(ServeCfg {
+        workers: 1,
+        max_live_streams: 1,
+        ingest_delay: Some(Duration::from_millis(5)),
+        ..Default::default()
+    });
+    let first = svc.submit("t", "one").unwrap();
+    first.feed(&bytes[..64]).unwrap();
+    assert!(matches!(svc.submit("t", "two"), Err(ServeError::Busy)));
+    for piece in bytes[64..].chunks(64) {
+        first.feed(piece).unwrap();
+    }
+    let report = first.finish().unwrap();
+    assert_eq!(report.tier, Tier::Clean);
+    // The slot freed: admission works again.
+    let again = svc.submit("t", "two").unwrap();
+    again.feed(&bytes[..]).unwrap();
+    assert_eq!(again.finish().unwrap().tier, Tier::Clean);
+}

@@ -1,10 +1,25 @@
-//! An unbounded MPMC channel with disconnect semantics — the subset of
+//! MPMC channels with disconnect semantics — the subset of
 //! `crossbeam::channel` this workspace used, plus clonable receivers.
+//!
+//! Two constructors share the same `Sender`/`Receiver` types:
+//!
+//! * [`unbounded`] — `send` never blocks;
+//! * [`bounded`] — the queue holds at most `cap` messages and `send`
+//!   *blocks* while it is full. The block is the credit mechanism: a
+//!   producer that outruns its consumer parks until a slot (credit)
+//!   frees, so queue memory can never exceed `cap × message size`.
+//!   [`Sender::try_send`] and [`Sender::send_timeout`] offer
+//!   non-blocking / deadline-bounded admission, and the channel counts
+//!   how often producers had to wait ([`Sender::blocked_sends`]) and
+//!   the deepest the queue ever got ([`Sender::peak_len`]) for
+//!   backpressure telemetry.
 //!
 //! Senders and receivers are both clonable. When the last `Sender` is
 //! dropped the channel *disconnects*: blocked and future `recv` calls
 //! return [`RecvError`] once the queue drains. When the last `Receiver`
-//! is dropped, `send` returns the value back inside [`SendError`].
+//! is dropped, `send` returns the value back inside [`SendError`] (and
+//! any sender parked on a full bounded queue wakes with the same error
+//! rather than sleeping forever).
 //! Sender/receiver accounting lives *inside* the queue mutex, so wakeups
 //! cannot be lost between a count check and a condvar park.
 
@@ -40,23 +55,91 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error returned by [`Sender::try_send`]; carries the unsent value.
+#[derive(PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// Bounded queue momentarily full; receivers still connected.
+    Full(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TrySendError::Full(_) => "TrySendError::Full(..)",
+            TrySendError::Disconnected(_) => "TrySendError::Disconnected(..)",
+        })
+    }
+}
+
+/// Error returned by [`Sender::send_timeout`]; carries the unsent value.
+#[derive(PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The queue stayed full for the whole timeout.
+    Timeout(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Debug for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SendTimeoutError::Timeout(_) => "SendTimeoutError::Timeout(..)",
+            SendTimeoutError::Disconnected(_) => "SendTimeoutError::Disconnected(..)",
+        })
+    }
+}
+
 struct State<T> {
     q: VecDeque<T>,
     senders: usize,
     receivers: usize,
+    /// `Some(cap)` for a bounded channel; `None` never blocks a send.
+    cap: Option<usize>,
+    /// Send calls that found the queue full and had to wait (or bail).
+    blocked_sends: u64,
+    /// Deepest the queue ever got.
+    peak_len: usize,
 }
 
 struct Chan<T> {
     state: Mutex<State<T>>,
+    /// Parked receivers (queue empty).
     cv: Condvar,
+    /// Parked senders (bounded queue full). Separate from `cv` so a
+    /// freed slot never wakes a receiver and vice versa.
+    cv_send: Condvar,
+}
+
+impl<T> Chan<T> {
+    fn with_cap(cap: Option<usize>) -> Arc<Self> {
+        Arc::new(Chan {
+            state: Mutex::new(State {
+                q: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                cap,
+                blocked_sends: 0,
+                peak_len: 0,
+            }),
+            cv: Condvar::new(),
+            cv_send: Condvar::new(),
+        })
+    }
 }
 
 /// Creates an unbounded MPMC channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-    let chan = Arc::new(Chan {
-        state: Mutex::new(State { q: VecDeque::new(), senders: 1, receivers: 1 }),
-        cv: Condvar::new(),
-    });
+    let chan = Chan::with_cap(None);
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+/// Creates a bounded MPMC channel holding at most `cap` messages
+/// (`cap` is clamped to at least 1). `send` blocks while the queue is
+/// full — backpressure by construction.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Chan::with_cap(Some(cap.max(1)));
     (Sender { chan: chan.clone() }, Receiver { chan })
 }
 
@@ -65,18 +148,111 @@ pub struct Sender<T> {
     chan: Arc<Chan<T>>,
 }
 
+impl<T> State<T> {
+    fn full(&self) -> bool {
+        matches!(self.cap, Some(cap) if self.q.len() >= cap)
+    }
+
+    fn push(&mut self, value: T) {
+        self.q.push_back(value);
+        self.peak_len = self.peak_len.max(self.q.len());
+    }
+}
+
 impl<T> Sender<T> {
-    /// Enqueues `value`, waking one blocked receiver. Fails (returning
-    /// the value) when every receiver has been dropped.
+    /// Enqueues `value`, waking one blocked receiver. On a bounded
+    /// channel, blocks while the queue is full. Fails (returning the
+    /// value) when every receiver has been dropped — including while
+    /// parked on a full queue.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut st = self.chan.state.lock();
         if st.receivers == 0 {
             return Err(SendError(value));
         }
-        st.q.push_back(value);
+        if st.full() {
+            st.blocked_sends += 1;
+            while st.full() {
+                self.chan.cv_send.wait(&mut st);
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+            }
+        }
+        st.push(value);
         drop(st);
         self.chan.cv.notify_one();
         Ok(())
+    }
+
+    /// Non-blocking send: fails immediately with [`TrySendError::Full`]
+    /// instead of parking when a bounded queue is full.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.chan.state.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if st.full() {
+            st.blocked_sends += 1;
+            return Err(TrySendError::Full(value));
+        }
+        st.push(value);
+        drop(st);
+        self.chan.cv.notify_one();
+        Ok(())
+    }
+
+    /// Like [`send`](Self::send) but gives up after `timeout` — the
+    /// admission-control variant: a wedged consumer turns into a
+    /// structured [`SendTimeoutError::Timeout`] instead of a hang.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.chan.state.lock();
+        if st.receivers == 0 {
+            return Err(SendTimeoutError::Disconnected(value));
+        }
+        if st.full() {
+            st.blocked_sends += 1;
+            while st.full() {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(value));
+                }
+                self.chan.cv_send.wait_for(&mut st, deadline - now);
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+            }
+        }
+        st.push(value);
+        drop(st);
+        self.chan.cv.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().q.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bound this channel was created with (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.chan.state.lock().cap
+    }
+
+    /// Send calls (any flavour) that found the queue full.
+    pub fn blocked_sends(&self) -> u64 {
+        self.chan.state.lock().blocked_sends
+    }
+
+    /// Deepest the queue ever got. On a bounded channel this never
+    /// exceeds the capacity — the invariant backpressure tests assert.
+    pub fn peak_len(&self) -> usize {
+        self.chan.state.lock().peak_len
     }
 }
 
@@ -107,12 +283,23 @@ pub struct Receiver<T> {
 }
 
 impl<T> Receiver<T> {
+    /// Wakes one parked sender after a pop freed a slot (bounded only —
+    /// unbounded channels never park senders, so skip the syscall).
+    fn credit(&self, bounded: bool) {
+        if bounded {
+            self.chan.cv_send.notify_one();
+        }
+    }
+
     /// Dequeues the next message, blocking while the channel is empty
     /// and at least one sender is alive.
     pub fn recv(&self) -> Result<T, RecvError> {
         let mut st = self.chan.state.lock();
         loop {
             if let Some(v) = st.q.pop_front() {
+                let bounded = st.cap.is_some();
+                drop(st);
+                self.credit(bounded);
                 return Ok(v);
             }
             if st.senders == 0 {
@@ -128,6 +315,9 @@ impl<T> Receiver<T> {
         let mut st = self.chan.state.lock();
         loop {
             if let Some(v) = st.q.pop_front() {
+                let bounded = st.cap.is_some();
+                drop(st);
+                self.credit(bounded);
                 return Ok(v);
             }
             if st.senders == 0 {
@@ -145,12 +335,40 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut st = self.chan.state.lock();
         if let Some(v) = st.q.pop_front() {
+            let bounded = st.cap.is_some();
+            drop(st);
+            self.credit(bounded);
             return Ok(v);
         }
         if st.senders == 0 {
             return Err(TryRecvError::Disconnected);
         }
         Err(TryRecvError::Empty)
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().q.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bound this channel was created with (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.chan.state.lock().cap
+    }
+
+    /// Send calls (any flavour) that found the queue full.
+    pub fn blocked_sends(&self) -> u64 {
+        self.chan.state.lock().blocked_sends
+    }
+
+    /// Deepest the queue ever got (never exceeds a bounded capacity).
+    pub fn peak_len(&self) -> usize {
+        self.chan.state.lock().peak_len
     }
 }
 
@@ -163,7 +381,15 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.chan.state.lock().receivers -= 1;
+        let mut st = self.chan.state.lock();
+        st.receivers -= 1;
+        let disconnected = st.receivers == 0;
+        drop(st);
+        if disconnected {
+            // Senders parked on a full bounded queue must re-check and
+            // observe the disconnect instead of sleeping forever.
+            self.chan.cv_send.notify_all();
+        }
     }
 }
 
@@ -212,5 +438,64 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(5)),
             Err(TryRecvError::Disconnected)
         );
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_and_counts_blocks() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(tx.blocked_sends(), 1);
+        assert_eq!(tx.peak_len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(tx.capacity(), Some(2));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_slot_frees_and_never_overfills() {
+        let (tx, rx) = bounded::<u32>(2);
+        let feeder = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            tx.blocked_sends()
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            // A slow consumer: the producer must park regularly.
+            std::thread::sleep(Duration::from_micros(50));
+            got.push(rx.recv().unwrap());
+        }
+        let blocked = feeder.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>(), "FIFO preserved");
+        assert!(blocked > 0, "a slow consumer must have parked the producer");
+        assert!(rx.peak_len() <= 2, "queue never exceeds its bound");
+    }
+
+    #[test]
+    fn bounded_send_timeout_times_out_then_succeeds() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        assert!(matches!(
+            tx.send_timeout(2, Duration::from_millis(5)),
+            Err(SendTimeoutError::Timeout(2))
+        ));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.send_timeout(2, Duration::from_millis(5)).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn blocked_sender_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let parked = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(10));
+        drop(rx); // must wake the parked sender with a disconnect
+        assert_eq!(parked.join().unwrap(), Err(SendError(2)));
     }
 }

@@ -13,9 +13,11 @@
 //! * [`sync`] — `Mutex`/`Condvar`/`RwLock` shims over `std::sync` with
 //!   the `parking_lot` API shape (no `Result` on `lock()`, poison
 //!   unwrapping, `Condvar::wait_for(&mut guard, timeout)`).
-//! * [`channel`] — an unbounded MPMC channel with clonable senders *and*
-//!   receivers and disconnect semantics (replaces
-//!   `crossbeam::channel::unbounded`).
+//! * [`channel`] — unbounded *and* bounded MPMC channels with clonable
+//!   senders and receivers and disconnect semantics (replaces
+//!   `crossbeam::channel::{unbounded, bounded}`); the bounded flavour
+//!   blocks full sends for credit-based backpressure and exposes
+//!   queue-depth / blocked-producer accounting.
 //! * [`prop`] — a seeded property-test harness (fixed case count,
 //!   failing-seed reporting, halving shrink for integer/vec inputs)
 //!   replacing `proptest`, and [`bench`] — a warmup + median-of-N timing

@@ -8,6 +8,7 @@
 //! rma-trace stat    FILE
 //! rma-trace diff    FILE1 FILE2
 //! rma-trace bench   FILE...
+//! rma-trace pump    (--case NAME | FILE) --spool DIR [--tenant T] [--name N] [--wait]
 //! ```
 //!
 //! `record` runs the program live with the frag-merge analyzer tee'd
@@ -17,6 +18,13 @@
 //! `salvage` recovers the longest epoch-aligned prefix of a damaged
 //! file; `replay --tolerate-truncation` falls back to the same recovery
 //! when a full decode fails, replaying whatever prefix survives.
+//!
+//! `pump` is the client side of the `rma-served` daemon: it records a
+//! suite case (or takes an existing trace file) and submits it into the
+//! daemon's file spool — written to the spool's `tmp/` and renamed into
+//! `inbox/`, so the daemon never observes a partial stream. With
+//! `--wait` it blocks for the verdict file and prints it; the file's
+//! `verdict:` line compares byte-for-byte with `rma-trace replay`.
 
 use rma_apps::{run_bfs, run_cfd, run_minivite, BfsCfg, CfdCfg, Method, MethodRun, MiniViteCfg};
 use rma_monitor::{Algorithm, AnalyzerCfg, Delivery, OnRace, RmaAnalyzer};
@@ -34,7 +42,8 @@ const USAGE: &str = "usage:
   rma-trace salvage FILE [--out FILE]
   rma-trace stat    FILE
   rma-trace diff    FILE1 FILE2
-  rma-trace bench   FILE...";
+  rma-trace bench   FILE...
+  rma-trace pump    (--case NAME | FILE) --spool DIR [--tenant T] [--name N] [--wait]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +54,7 @@ fn main() -> ExitCode {
         Some("stat") => cmd_stat(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("pump") => cmd_pump(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
     match result {
@@ -337,6 +347,72 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
         println!("traces identical ({} events) — {va}", a.event_count());
         Ok(ExitCode::SUCCESS)
     }
+}
+
+/// Client mode for the `rma-served` spool protocol (duplicated inline —
+/// a dep on rma-served here would cycle the workspace graph): record or
+/// load a trace, then atomically drop it into the daemon's inbox.
+fn cmd_pump(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let case = take_opt(&mut args, "--case")?;
+    let spool = take_opt(&mut args, "--spool")?
+        .ok_or_else(|| format!("--spool required\n{USAGE}"))?;
+    let tenant = take_opt(&mut args, "--tenant")?.unwrap_or_else(|| "default".into());
+    let name = take_opt(&mut args, "--name")?;
+    let wait = take_flag(&mut args, "--wait");
+
+    let (bytes, name) = match (case, args.as_slice()) {
+        (Some(case), []) => {
+            let cases = generate_suite();
+            let spec = find_case(&cases, &case)
+                .ok_or_else(|| format!("unknown suite case {case:?} (see rma-suite)"))?;
+            let writer = Arc::new(TraceWriter::new(case.as_str(), 0x5EED));
+            run_case_with_monitor(&spec, writer.clone());
+            (writer.trace().encode(), name.unwrap_or(case))
+        }
+        (None, [file]) => {
+            let bytes = std::fs::read(file).map_err(|e| format!("{file}: {e}"))?;
+            let stem = std::path::Path::new(file)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("{file}: cannot derive a stream name; pass --name"))?;
+            (bytes, name.unwrap_or_else(|| stem.to_string()))
+        }
+        _ => return Err(format!("pump takes exactly one of --case NAME / FILE\n{USAGE}")),
+    };
+    if tenant.contains("__") || name.contains("__") {
+        return Err("tenant/name must not contain \"__\" (the spool separator)".into());
+    }
+    let spool = std::path::PathBuf::from(spool);
+    let inbox = spool.join("inbox");
+    if !inbox.is_dir() {
+        return Err(format!(
+            "{}: not a spool directory (no inbox/ — is rma-served up?)",
+            spool.display()
+        ));
+    }
+    let stream_file = format!("{tenant}__{name}.rmatrc");
+    let verdict_path = spool.join("outbox").join(format!("{tenant}__{name}.verdict"));
+    let _ = std::fs::remove_file(&verdict_path);
+    let tmp = spool.join("tmp").join(&stream_file);
+    std::fs::write(&tmp, &bytes).map_err(|e| format!("{}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, inbox.join(&stream_file))
+        .map_err(|e| format!("{}: {e}", inbox.display()))?;
+    println!("pumped {tenant}/{name} ({} bytes)", bytes.len());
+    if wait {
+        loop {
+            if let Ok(body) = std::fs::read_to_string(&verdict_path) {
+                print!("{body}");
+                return Ok(if body.contains("\nerror: ") {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {

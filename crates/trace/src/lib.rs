@@ -29,6 +29,7 @@ pub mod format;
 pub mod journal;
 pub mod replay;
 pub mod salvage;
+pub mod stream;
 pub mod trace;
 pub mod varint;
 pub mod writer;
@@ -39,6 +40,7 @@ pub use replay::{
     ReplayTarget, StoreTarget,
 };
 pub use salvage::{salvage, SalvageReport};
+pub use stream::{StreamDecoder, StreamEnd};
 pub use trace::{EpochMark, Trace, TraceHeader, FORMAT_VERSION, MAGIC, TAIL_MAGIC};
 pub use writer::TraceWriter;
 

@@ -191,8 +191,9 @@ fn decode_sequential(
 /// the minimum close count across ranks — except when every rank ran to
 /// `Finish`, where the damage evidently spared the records and nothing
 /// needs trimming. Missing streams are padded so the trace always has
-/// `nranks` of them.
-fn align_to_epochs(
+/// `nranks` of them. Shared with the incremental [`crate::stream`]
+/// decoder, whose truncated endings need the same consistent cut.
+pub(crate) fn align_to_epochs(
     mut streams: Vec<Vec<TraceEvent>>,
     nranks: usize,
 ) -> (Vec<Vec<TraceEvent>>, usize) {

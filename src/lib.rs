@@ -15,7 +15,10 @@
 //! * [`suite`] (`rma-suite`) — the generated validation microbenchmarks;
 //! * [`apps`] (`rma-apps`) — MiniVite-sim and CFD-Proxy-sim;
 //! * [`trace`] (`rma-trace`) — binary trace capture, offline replay, and
-//!   the corpus-driven detection pipeline (`rma-trace` CLI).
+//!   the corpus-driven detection pipeline (`rma-trace` CLI);
+//! * [`served`] (`rma-served`) — the streaming multi-tenant detection
+//!   service (bounded-queue ingest, supervised per-stream workers,
+//!   deterministic telemetry; `rma-served` CLI).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@ pub use rma_apps as apps;
 pub use rma_core as core;
 pub use rma_monitor as monitor;
 pub use rma_must as must;
+pub use rma_served as served;
 pub use rma_sim as sim;
 pub use rma_suite as suite;
 pub use rma_trace as trace;
