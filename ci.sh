@@ -181,6 +181,64 @@ if ! diff "$SMOKE_DIR/served-a/stats.json" "$SMOKE_DIR/served-b/stats.json"; the
 fi
 echo "    both runs' stats.json byte-identical"
 
+echo "==> crash-restart smoke: kill -9 mid-stream, restart, verdict must match direct replay"
+# The durability contract end-to-end with a real process kill: admit a
+# stream, hold it in flight with a large per-chunk ingest delay, SIGKILL
+# the daemon (no drain, no cleanup — exactly what the WAL exists for),
+# then restart over the same spool. Startup recovery must publish a
+# verdict byte-comparable with direct replay, leave zero spool debris,
+# and report itself in the (schema-checked) stats.json recovery object.
+SPOOL="$SMOKE_DIR/served-crash"
+rm -rf "$SPOOL"
+mkdir -p "$SPOOL"
+# No `timeout` wrapper on this daemon: $! must be the daemon itself so
+# the kill -9 below hits it (SIGKILL is not forwarded through timeout,
+# which would orphan the daemon on the spool — and an orphan holding
+# stdout would wedge the surrounding pipeline). The kill is
+# deterministic, so the wedge-guard timeout is not needed here; stdout
+# and stderr are dropped for the same reason.
+"$RMA_SERVED" serve --spool "$SPOOL" --workers 1 --durability strict \
+    --ingest-delay-ms 400 > /dev/null 2>&1 &
+SERVED_PID=$!
+I=0
+while [ ! -d "$SPOOL/inbox" ] && [ "$I" -lt 100 ]; do I=$((I + 1)); sleep 0.1; done
+timeout 60 "$RMA_SERVED" submit "$SMOKE_A" --spool "$SPOOL" --tenant alpha \
+    --name put-race > /dev/null
+# The WAL appears at admission, well before the delayed feed completes.
+I=0
+while [ ! -s "$SPOOL/wal/alpha__put-race.wal" ] && [ "$I" -lt 200 ]; do
+    I=$((I + 1)); sleep 0.05
+done
+kill -9 "$SERVED_PID"
+wait "$SERVED_PID" 2> /dev/null || true
+if [ -e "$SPOOL/outbox/alpha__put-race.verdict" ]; then
+    echo "ERROR: verdict already published before the kill (smoke raced; raise delay)" >&2
+    exit 1
+fi
+timeout 180 "$RMA_SERVED" serve --spool "$SPOOL" --workers 1 --durability strict \
+    2> "$SPOOL/restart.log" &
+SERVED_PID=$!
+timeout 120 "$RMA_SERVED" shutdown --spool "$SPOOL" --wait > /dev/null
+wait "$SERVED_PID"
+if ! grep -q "recovery:" "$SPOOL/restart.log"; then
+    echo "ERROR: restarted daemon reported no recovery (state was lost?)" >&2
+    exit 1
+fi
+SERVED_VERDICT=$(grep '^verdict:' "$SPOOL/outbox/alpha__put-race.verdict")
+DIRECT_VERDICT=$("$RMA_TRACE" replay "$SMOKE_A" --store fragmerge | grep '^verdict:')
+if [ "$SERVED_VERDICT" != "$DIRECT_VERDICT" ]; then
+    echo "ERROR: recovered verdict '$SERVED_VERDICT' != direct '$DIRECT_VERDICT'" >&2
+    exit 1
+fi
+for SUB in wal work tmp; do
+    if [ -n "$(ls -A "$SPOOL/$SUB" 2> /dev/null)" ]; then
+        echo "ERROR: spool debris left in $SUB/ after recovery" >&2
+        exit 1
+    fi
+done
+timeout 60 "$RMA_SERVED" stats --spool "$SPOOL" --check > /dev/null
+echo "    kill -9 mid-stream recovered: $SERVED_VERDICT; spool clean, stats schema ok"
+
 echo "==> bench_served smoke: runs, self-validates, baseline stays well-formed"
 BENCH_SERVED=./target/release/bench_served
 timeout 180 "$BENCH_SERVED" --smoke --out "$SMOKE_DIR/bench_served_smoke.json"

@@ -3,9 +3,12 @@
 //! pipeline — chunked feeds over the bounded queues, round-robin
 //! scheduling, per-stream decode and detector replay, structured
 //! shutdown — at several pool sizes, against a direct in-process
-//! `replay` of the same traces (the no-service cost floor). Emits
-//! `BENCH_served.json` holding, per configuration: median and best
-//! wall time for the whole batch and the derived events/second.
+//! `replay` of the same traces (the no-service cost floor), plus full
+//! spool-daemon passes (WAL admission, verdict publishes) at every
+//! `--durability` fsync discipline so the durability tax is a measured
+//! number. Emits `BENCH_served.json` holding, per configuration:
+//! median and best wall time for the whole batch and the derived
+//! events/second.
 //!
 //! The JSON is byte-stable modulo the timing fields: `streams`,
 //! `events` and `races` are pure functions of the deterministic
@@ -22,13 +25,16 @@
 //!   benchmarking: required keys present, every number finite; exits
 //!   non-zero on violation.
 
-use rma_served::{ServeCfg, Service};
+use rma_served::daemon::{run_daemon, DaemonCfg, DaemonExit};
+use rma_served::{Durability, ServeCfg, Service, Spool};
+use rma_substrate::fs::Fs;
 use rma_suite::{generate_suite, run_case_with_monitor};
 use rma_trace::{replay, Detector, TraceWriter};
 use std::hint::black_box;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Bytes per `StreamHandle::feed` call, matching the daemon's spool
 /// reader.
@@ -37,6 +43,15 @@ const FEED_CHUNK: usize = 4096;
 /// Pool shapes compared (label, workers). `queue_bound` is fixed at the
 /// service default so the comparison isolates pool parallelism.
 const POOLS: [(&str, usize); 3] = [("served/w1", 1), ("served/w2", 2), ("served/w4", 4)];
+
+/// Full spool-daemon passes (inbox → WAL → feed → verdict publish) at
+/// each fsync discipline, so the durability tax is a measured number
+/// against the same in-process pool and the direct floor.
+const SPOOL_MODES: [(&str, Durability); 3] = [
+    ("spool/none", Durability::None),
+    ("spool/batch", Durability::Batch),
+    ("spool/strict", Durability::Strict),
+];
 
 struct Workload {
     streams: Vec<Vec<u8>>,
@@ -91,6 +106,40 @@ fn serve_batch(w: &Workload, workers: usize) -> (u64, u64) {
     (t.events, t.races)
 }
 
+/// One full spool-daemon pass: the batch dropped into a fresh inbox
+/// with a shutdown sentinel, served through [`run_daemon`] (WAL
+/// admission, chunked feeds, idempotent verdict publishes, structured
+/// drain) at the given durability. Returns `(events, races)` from the
+/// final stats.
+fn spool_batch(w: &Workload, durability: Durability) -> (u64, u64) {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bench-served-spool-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spool = Spool::create(&dir, Fs::real()).expect("spool");
+    for (i, bytes) in w.streams.iter().enumerate() {
+        std::fs::write(spool.inbox.join(format!("bench__s{i}.rmatrc")), bytes)
+            .expect("inbox write");
+    }
+    std::fs::write(spool.inbox.join("__shutdown__"), b"").expect("sentinel");
+    let cfg = DaemonCfg {
+        serve: ServeCfg { workers: 2, ..Default::default() },
+        durability,
+        serial: false,
+        poll: Duration::from_millis(1),
+    };
+    let DaemonExit::Drained { stats, .. } = run_daemon(&spool, &cfg).expect("daemon") else {
+        panic!("bench daemon crashed without an injected fault");
+    };
+    let t = &stats.tenants["bench"];
+    let out = (t.events, t.races);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
 /// Direct in-process replay of the same batch — the no-service floor.
 fn direct_batch(w: &Workload) -> (u64, u64) {
     let mut events = 0u64;
@@ -107,6 +156,7 @@ fn direct_batch(w: &Workload) -> (u64, u64) {
 struct Row {
     config: &'static str,
     workers: usize,
+    durability: &'static str,
     median_ns: f64,
     best_ns: f64,
     events_per_sec: f64,
@@ -122,10 +172,11 @@ fn report_json(smoke: bool, w: &Workload, rows: &[Row]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"config\": \"{}\", \"workers\": {}, \"median_ns\": {:.1}, \
-             \"best_ns\": {:.1}, \"events_per_sec\": {:.0}}}{}\n",
+            "    {{\"config\": \"{}\", \"workers\": {}, \"durability\": \"{}\", \
+             \"median_ns\": {:.1}, \"best_ns\": {:.1}, \"events_per_sec\": {:.0}}}{}\n",
             r.config,
             r.workers,
+            r.durability,
             r.median_ns,
             r.best_ns,
             r.events_per_sec,
@@ -154,9 +205,14 @@ fn check_report(text: &str) -> Result<(), String> {
             continue;
         }
         rows += 1;
-        for key in
-            ["\"config\"", "\"workers\"", "\"median_ns\"", "\"best_ns\"", "\"events_per_sec\""]
-        {
+        for key in [
+            "\"config\"",
+            "\"workers\"",
+            "\"durability\"",
+            "\"median_ns\"",
+            "\"best_ns\"",
+            "\"events_per_sec\"",
+        ] {
             if !line.contains(key) {
                 return Err(format!("row {rows}: missing key {key}"));
             }
@@ -225,8 +281,8 @@ fn main() -> ExitCode {
         w.races
     );
 
-    // Equivalence gate before any timing: every pool shape must
-    // reproduce the direct totals exactly.
+    // Equivalence gate before any timing: every pool shape and every
+    // spool durability mode must reproduce the direct totals exactly.
     for &(label, workers) in &POOLS {
         let (events, races) = serve_batch(&w, workers);
         assert_eq!(
@@ -235,9 +291,20 @@ fn main() -> ExitCode {
             "{label}: served totals diverged from direct replay"
         );
     }
+    for &(label, durability) in &SPOOL_MODES {
+        let (events, races) = spool_batch(&w, durability);
+        assert_eq!(
+            (events, races),
+            (w.events as u64, w.races as u64),
+            "{label}: spool-daemon totals diverged from direct replay"
+        );
+    }
 
     let mut rows = Vec::new();
-    let mut measure = |config: &'static str, workers: usize, f: &dyn Fn() -> (u64, u64)| {
+    let mut measure = |config: &'static str,
+                       workers: usize,
+                       durability: &'static str,
+                       f: &dyn Fn() -> (u64, u64)| {
         let mut ns: Vec<f64> = (0..samples)
             .map(|_| {
                 let t0 = Instant::now();
@@ -251,14 +318,18 @@ fn main() -> ExitCode {
         rows.push(Row {
             config,
             workers,
+            durability,
             median_ns,
             best_ns,
             events_per_sec: w.events as f64 / (best_ns / 1e9),
         });
     };
-    measure("direct", 0, &|| direct_batch(&w));
+    measure("direct", 0, "-", &|| direct_batch(&w));
     for &(label, workers) in &POOLS {
-        measure(label, workers, &|| serve_batch(&w, workers));
+        measure(label, workers, "-", &|| serve_batch(&w, workers));
+    }
+    for &(label, durability) in &SPOOL_MODES {
+        measure(label, 2, durability.name(), &|| spool_batch(&w, durability));
     }
 
     let eps = |config: &str| {
@@ -266,6 +337,10 @@ fn main() -> ExitCode {
     };
     println!("service overhead (w2 vs direct): {:.2}x", eps("direct") / eps("served/w2"));
     println!("pool scaling (w4 vs w1): {:.2}x", eps("served/w4") / eps("served/w1"));
+    println!(
+        "durability tax (strict vs none): {:.2}x",
+        eps("spool/none") / eps("spool/strict")
+    );
 
     let json = report_json(smoke, &w, &rows);
     if let Err(e) = check_report(&json) {

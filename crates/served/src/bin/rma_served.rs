@@ -5,6 +5,8 @@
 //! rma-served serve    --spool DIR [--store ...] [--engine ...] [--shards N]
 //!                     [--workers N] [--queue-bound N] [--max-respawns N]
 //!                     [--watchdog-ms N] [--ingest-delay-ms N]
+//!                     [--durability none|batch|strict] [--serial]
+//!                     [--fault-seed N]
 //!                     [--chaos-kill-tenant T [--chaos-kill-times N] [--chaos-kill-at N]]
 //! rma-served submit   FILE --spool DIR [--tenant T] [--name N] [--wait]
 //! rma-served stats    --spool DIR [--check]
@@ -21,10 +23,24 @@
 //! sentinel in the inbox triggers the structured drain: every in-flight
 //! stream reports, the final deterministic `DIR/stats.json` is written,
 //! and `DIR/served.exit` records the drain outcome.
+//!
+//! The daemon is crash-safe: admitted streams are journaled to
+//! per-stream WALs under `DIR/wal/` (fsync discipline set by
+//! `--durability`), their bytes parked under `DIR/work/` until the
+//! verdict is out, and a restarted daemon recovers in-flight streams to
+//! byte-identical verdicts before serving anything new — `kill -9`
+//! mid-stream loses nothing. `--fault-seed` arms the injectable I/O
+//! fault layer (torn/short writes, ENOSPC, failed renames) for chaos
+//! drills; the run stops dead at the fault, exit code 3.
+//!
+//! The serve loop itself lives in [`rma_served::daemon`]; this binary
+//! is flag parsing around it.
 
 use rma_monitor::{AnalyzerCfg, Engine};
-use rma_served::{check_stats_json, ChaosCfg, DrainOutcome, ServeCfg, ServeError, Service};
+use rma_served::daemon::{run_daemon, DaemonCfg, DaemonExit};
+use rma_served::{check_stats_json, ChaosCfg, DrainOutcome, Durability, ServeCfg, Spool};
 use rma_sim::FaultKind;
+use rma_substrate::fs::{Fs, FsPlan};
 use rma_trace::Detector;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -35,14 +51,11 @@ const USAGE: &str = "usage:
                       [--engine tree|flat|adaptive] [--shards N] [--node-budget N]
                       [--workers N] [--queue-bound N] [--max-respawns N]
                       [--watchdog-ms N] [--ingest-delay-ms N]
+                      [--durability none|batch|strict] [--serial] [--fault-seed N]
                       [--chaos-kill-tenant T] [--chaos-kill-times N] [--chaos-kill-at N]
   rma-served submit   FILE --spool DIR [--tenant T] [--name N] [--wait]
   rma-served stats    --spool DIR [--check]
   rma-served shutdown --spool DIR [--wait]";
-
-/// How the daemon feeds stream bytes to the service: small chunks so
-/// the bounded queue (not the chunk size) is what limits buffering.
-const FEED_CHUNK: usize = 4096;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -98,53 +111,6 @@ fn take_num<T: std::str::FromStr>(
     }
 }
 
-struct Spool {
-    inbox: PathBuf,
-    outbox: PathBuf,
-    tmp: PathBuf,
-    root: PathBuf,
-}
-
-impl Spool {
-    fn open(dir: &str, create: bool) -> Result<Spool, String> {
-        let root = PathBuf::from(dir);
-        let s = Spool {
-            inbox: root.join("inbox"),
-            outbox: root.join("outbox"),
-            tmp: root.join("tmp"),
-            root,
-        };
-        if create {
-            for d in [&s.inbox, &s.outbox, &s.tmp] {
-                std::fs::create_dir_all(d).map_err(|e| format!("{}: {e}", d.display()))?;
-            }
-        } else if !s.inbox.is_dir() {
-            return Err(format!("{dir}: not a spool directory (no inbox/ — is the daemon up?)"));
-        }
-        Ok(s)
-    }
-
-    /// Atomic publish: write to tmp/, rename into place. Readers never
-    /// observe a partially written file.
-    fn publish(&self, dir: &Path, name: &str, bytes: &[u8]) -> Result<(), String> {
-        let tmp = self.tmp.join(name);
-        std::fs::write(&tmp, bytes).map_err(|e| format!("{}: {e}", tmp.display()))?;
-        let dst = dir.join(name);
-        std::fs::rename(&tmp, &dst).map_err(|e| format!("{}: {e}", dst.display()))
-    }
-}
-
-/// `TENANT__NAME.rmatrc` → `(tenant, stream)`; no separator means the
-/// `default` tenant.
-fn parse_stream_file(stem: &str) -> (String, String) {
-    match stem.split_once("__") {
-        Some((tenant, name)) if !tenant.is_empty() && !name.is_empty() => {
-            (tenant.to_string(), name.to_string())
-        }
-        _ => ("default".to_string(), stem.to_string()),
-    }
-}
-
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let mut args = args.to_vec();
     let spool_dir =
@@ -185,111 +151,55 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         let at_event = take_num(&mut args, "--chaos-kill-at")?.unwrap_or(0);
         cfg.chaos = Some(ChaosCfg { kind: FaultKind::KillWorker { times }, tenant, at_event });
     }
+    let durability = match take_opt(&mut args, "--durability")? {
+        Some(d) => Durability::parse(&d)
+            .ok_or_else(|| format!("unknown durability {d:?} (none|batch|strict)"))?,
+        None => Durability::default(),
+    };
+    let serial = take_flag(&mut args, "--serial");
+    let fs = match take_num::<u64>(&mut args, "--fault-seed")? {
+        Some(seed) => {
+            let plan = FsPlan::from_seed(seed);
+            eprintln!(
+                "rma-served: armed I/O fault {} at mutating op {} (seed {seed})",
+                plan.kind.name(),
+                plan.at_op
+            );
+            Fs::faulty(plan)
+        }
+        None => Fs::real(),
+    };
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
     }
 
-    let spool = Spool::open(&spool_dir, true)?;
-    let svc = Service::new(cfg);
-    eprintln!("rma-served: serving spool {spool_dir} (detector={})", detector.name());
-
-    // Inbox poll loop. Feeder threads carry each admitted stream so a
-    // tenant parked on its bounded queue never stalls admission of the
-    // others.
-    let mut feeders: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    let shutdown_sentinel = spool.inbox.join("__shutdown__");
-    loop {
-        if shutdown_sentinel.exists() {
-            break;
-        }
-        let mut entries: Vec<PathBuf> = std::fs::read_dir(&spool.inbox)
-            .map_err(|e| format!("{}: {e}", spool.inbox.display()))?
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|x| x == "rmatrc"))
-            .collect();
-        entries.sort();
-        for path in entries {
-            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("stream").to_string();
-            let (tenant, name) = parse_stream_file(&stem);
-            let bytes = match std::fs::read(&path) {
-                Ok(b) => b,
-                Err(e) => {
-                    eprintln!("rma-served: skipping {}: {e}", path.display());
-                    continue;
+    let spool = Spool::create(Path::new(&spool_dir), fs)?;
+    eprintln!(
+        "rma-served: serving spool {spool_dir} (detector={} durability={durability})",
+        detector.name()
+    );
+    let dcfg = DaemonCfg { serve: cfg, durability, serial, ..Default::default() };
+    match run_daemon(&spool, &dcfg)? {
+        DaemonExit::Drained { stats, outcome } => {
+            let exit_line = match &outcome {
+                DrainOutcome::Drained { streams } => format!("drained: {streams} stream(s)\n"),
+                DrainOutcome::Wedged { pending } => {
+                    format!("wedged: {} stream(s) stuck\n", pending.len())
                 }
             };
-            let handle = match svc.submit(&tenant, &name) {
-                Ok(h) => h,
-                Err(ServeError::Busy) => continue, // retry next poll round
-                Err(e) => {
-                    eprintln!("rma-served: {tenant}/{name}: {e}");
-                    let _ = std::fs::remove_file(&path);
-                    continue;
-                }
-            };
-            let _ = std::fs::remove_file(&path);
-            let spool_out = spool.outbox.clone();
-            let spool_tmp = spool.tmp.clone();
-            feeders.push(std::thread::spawn(move || {
-                let mut ok = true;
-                for piece in bytes.chunks(FEED_CHUNK) {
-                    if handle.feed(piece).is_err() {
-                        ok = false;
-                        break;
-                    }
-                }
-                let body = if !ok {
-                    format!("stream: {tenant}/{name}\nerror: rejected mid-stream\n")
-                } else {
-                    match handle.finish() {
-                        Ok(rep) => format!(
-                            "stream: {}/{}\ntier: {}\n{}\ncompleteness: {}\nraces: {}\n\
-                             events: {}\nrespawns: {}\ndegraded: {}\n",
-                            rep.tenant,
-                            rep.stream,
-                            rep.tier.name(),
-                            rep.verdict,
-                            rep.completeness.label(),
-                            rep.races,
-                            rep.events,
-                            rep.respawns,
-                            rep.degraded,
-                        ),
-                        Err(e) => format!("stream: {tenant}/{name}\nerror: {e}\n"),
-                    }
-                };
-                let file = format!("{tenant}__{name}.verdict");
-                let tmp = spool_tmp.join(&file);
-                if std::fs::write(&tmp, &body).is_ok() {
-                    let _ = std::fs::rename(&tmp, spool_out.join(&file));
-                }
-            }));
+            eprint!("rma-served: {exit_line}");
+            eprint!("{}", stats.render());
+            Ok(if matches!(outcome, DrainOutcome::Drained { .. }) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
-        feeders.retain(|h| !h.is_finished());
-        std::thread::sleep(Duration::from_millis(10));
+        DaemonExit::Crashed => {
+            eprintln!("rma-served: injected fault tripped — stopping dead (restart to recover)");
+            Ok(ExitCode::from(3))
+        }
     }
-
-    // Structured shutdown: stop scanning, let in-flight feeders finish
-    // (each blocks in `finish` under the watchdog), drain, final stats.
-    eprintln!("rma-served: shutdown requested, draining");
-    for h in feeders {
-        let _ = h.join();
-    }
-    let (stats, outcome) = svc.shutdown();
-    spool.publish(&spool.root, "stats.json", format!("{}\n", stats.to_json()).as_bytes())?;
-    let exit_line = match &outcome {
-        DrainOutcome::Drained { streams } => format!("drained: {streams} stream(s)\n"),
-        DrainOutcome::Wedged { pending } => format!("wedged: {} stream(s) stuck\n", pending.len()),
-    };
-    spool.publish(&spool.root, "served.exit", exit_line.as_bytes())?;
-    let _ = std::fs::remove_file(&shutdown_sentinel);
-    eprint!("rma-served: {exit_line}");
-    eprint!("{}", stats.render());
-    Ok(if matches!(outcome, DrainOutcome::Drained { .. }) {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
 }
 
 fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
@@ -313,12 +223,14 @@ fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
     if tenant.contains("__") || name.contains("__") {
         return Err("tenant/name must not contain \"__\" (the spool separator)".into());
     }
-    let spool = Spool::open(&spool_dir, false)?;
+    let spool = Spool::attach(Path::new(&spool_dir))?;
     let bytes = std::fs::read(file).map_err(|e| format!("{file}: {e}"))?;
-    let stream_file = format!("{tenant}__{name}.rmatrc");
-    let verdict_path = spool.outbox.join(format!("{tenant}__{name}.verdict"));
+    let stream_file = Spool::stream_file(&tenant, &name, "rmatrc");
+    let verdict_path = spool.verdict_path(&tenant, &name);
     let _ = std::fs::remove_file(&verdict_path);
-    spool.publish(&spool.inbox, &stream_file, &bytes)?;
+    spool
+        .publish(&spool.inbox, &stream_file, &bytes, Durability::None)
+        .map_err(|e| format!("{stream_file}: {e}"))?;
     println!("submitted {file} as {tenant}/{name} ({} bytes)", bytes.len());
     if wait {
         loop {
@@ -363,10 +275,12 @@ fn cmd_shutdown(args: &[String]) -> Result<ExitCode, String> {
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
     }
-    let spool = Spool::open(&spool_dir, false)?;
+    let spool = Spool::attach(Path::new(&spool_dir))?;
     let exit_path = spool.root.join("served.exit");
     let _ = std::fs::remove_file(&exit_path);
-    spool.publish(&spool.inbox, "__shutdown__", b"")?;
+    spool
+        .publish(&spool.inbox, "__shutdown__", b"", Durability::None)
+        .map_err(|e| format!("shutdown sentinel: {e}"))?;
     if wait {
         loop {
             if let Ok(body) = std::fs::read_to_string(&exit_path) {

@@ -19,9 +19,11 @@ use crate::stats::{ServedStats, TenantStats};
 use rma_monitor::AnalyzerCfg;
 use rma_must::Completeness;
 use rma_sim::FaultKind;
-use rma_substrate::channel::{bounded, Receiver, Sender, TryRecvError};
+use rma_substrate::channel::{bounded, Receiver, RecvCancelError, Sender};
 use rma_substrate::sync::{Condvar, Mutex};
-use rma_trace::{replay_trace, verdict_line, Detector, MustTarget, StoreTarget, StreamDecoder};
+use rma_trace::{
+    replay_trace, verdict_line, Detector, MustTarget, StoreTarget, StreamDecoder, StreamEnd,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -215,6 +217,16 @@ struct Job {
     /// Taken by the worker that first picks the job up; torn down (to
     /// wake parked producers) on shutdown.
     rx: Mutex<Option<Receiver<Vec<u8>>>>,
+    /// A second receiver clone kept solely so teardown can wake a
+    /// worker parked in a cancellable receive on this stream's queue.
+    /// Dropped (after the wake) so the sender-side disconnect
+    /// accounting still sees every receiver go away.
+    wake: Mutex<Option<Receiver<Vec<u8>>>>,
+    /// Events decoded so far — live progress for durability watermarks.
+    decoded: AtomicU64,
+    /// Epoch boundaries decoded so far ([`StreamDecoder::epoch_marks`])
+    /// — the monotone signal durability checkpoints key on.
+    epochs: AtomicU64,
     /// Every consumed chunk, retained until the verdict is out — the
     /// redelivery source for crash recovery.
     journal: Mutex<Vec<u8>>,
@@ -228,6 +240,13 @@ struct Job {
 }
 
 impl Job {
+    /// Stores the decoder's live progress where the producer side can
+    /// read it ([`StreamHandle::progress`]).
+    fn publish_progress(&self, dec: &StreamDecoder) {
+        self.decoded.store(dec.decoded_events() as u64, Ordering::SeqCst);
+        self.epochs.store(dec.epoch_marks() as u64, Ordering::SeqCst);
+    }
+
     /// Consumes one chaos kill if this point qualifies.
     fn take_kill(&self, decoded: u64) -> bool {
         if decoded < self.kill_at {
@@ -316,10 +335,7 @@ pub struct StreamHandle {
 impl Service {
     /// Spawns the worker pool.
     pub fn new(cfg: ServeCfg) -> Service {
-        let mut rcfg = cfg.analyzer;
-        if let Some(algo) = cfg.detector.algorithm() {
-            rcfg.algorithm = algo;
-        }
+        let rcfg = resolve_rcfg(&cfg);
         let inner = Arc::new(Inner {
             rcfg,
             sched: Mutex::new(Sched {
@@ -362,7 +378,10 @@ impl Service {
         let job = Arc::new(Job {
             tenant: tenant.to_string(),
             name: stream.to_string(),
+            wake: Mutex::new(Some(rx.clone())),
             rx: Mutex::new(Some(rx)),
+            decoded: AtomicU64::new(0),
+            epochs: AtomicU64::new(0),
             journal: Mutex::new(Vec::new()),
             kills_left: Mutex::new(kills),
             kill_at,
@@ -447,10 +466,15 @@ impl Service {
             let mut sched = self.inner.sched.lock();
             sched.accepting = false;
             sched.shutdown = true;
-            // Drop every queued/live stream's receiver so producers
-            // parked on full queues wake with a disconnect instead of
-            // sleeping forever.
+            // Wake any worker parked in a cancellable receive on a
+            // stream queue (it re-checks the shutdown flag and aborts),
+            // then drop every queued/live stream's receivers so
+            // producers parked on full queues wake with a disconnect
+            // instead of sleeping forever.
             for job in sched.live.drain(..) {
+                if let Some(wake) = job.wake.lock().take() {
+                    wake.wake_all();
+                }
                 job.rx.lock().take();
             }
             sched.queues.clear();
@@ -486,6 +510,15 @@ impl StreamHandle {
     /// Deepest this stream's queue ever got (never exceeds the bound).
     pub fn queue_peak(&self) -> usize {
         self.tx.peak_len()
+    }
+
+    /// Live `(events decoded, epoch boundaries decoded)` for this
+    /// stream — the worker publishes after every chunk it decodes. The
+    /// values lag the bytes the producer has *queued* (only consumed
+    /// chunks count) and are monotone; the daemon keys its durability
+    /// epoch checkpoints on the second component.
+    pub fn progress(&self) -> (u64, u64) {
+        (self.job.decoded.load(Ordering::SeqCst), self.job.epochs.load(Ordering::SeqCst))
     }
 
     /// Closes the stream (end of input) and waits for its verdict,
@@ -583,19 +616,10 @@ fn supervise(inner: &Arc<Inner>, job: &Arc<Job>) {
 /// it), returning the total journaled byte count as an event-free
 /// estimate of what was shipped.
 fn drain_to_eof(inner: &Inner, rx: &Receiver<Vec<u8>>, job: &Job) -> u64 {
-    loop {
-        match rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(chunk) => {
-                job.journal.lock().extend_from_slice(&chunk);
-                inner.progress.fetch_add(1, Ordering::SeqCst);
-            }
-            Err(TryRecvError::Disconnected) => break,
-            Err(TryRecvError::Empty) => {
-                if inner.shutting_down.load(Ordering::SeqCst) {
-                    break;
-                }
-            }
-        }
+    let cancelled = || inner.shutting_down.load(Ordering::SeqCst);
+    while let Ok(chunk) = rx.recv_cancel(&cancelled) {
+        job.journal.lock().extend_from_slice(&chunk);
+        inner.progress.fetch_add(1, Ordering::SeqCst);
     }
     job.journal.lock().len() as u64
 }
@@ -615,14 +639,18 @@ fn run_attempt(inner: &Inner, job: &Arc<Job>, rx: &Receiver<Vec<u8>>) -> Attempt
             wire_error = Some(e);
             break;
         }
+        job.publish_progress(&dec);
         if job.take_kill(dec.decoded_events() as u64) {
             return Attempt::Killed;
         }
     }
 
-    // Live ingest.
+    // Live ingest. Workers park on the stream's condvar while the
+    // queue is idle; teardown wakes them through the job's second
+    // receiver clone and the cancel predicate aborts the attempt.
+    let cancelled = || inner.shutting_down.load(Ordering::SeqCst);
     loop {
-        match rx.recv_timeout(Duration::from_millis(20)) {
+        match rx.recv_cancel(&cancelled) {
             Ok(chunk) => {
                 job.journal.lock().extend_from_slice(&chunk);
                 inner.progress.fetch_add(1, Ordering::SeqCst);
@@ -631,6 +659,7 @@ fn run_attempt(inner: &Inner, job: &Arc<Job>, rx: &Receiver<Vec<u8>>) -> Attempt
                         wire_error = Some(e);
                     }
                 }
+                job.publish_progress(&dec);
                 if job.take_kill(dec.decoded_events() as u64) {
                     return Attempt::Killed;
                 }
@@ -640,31 +669,59 @@ fn run_attempt(inner: &Inner, job: &Arc<Job>, rx: &Receiver<Vec<u8>>) -> Attempt
                     }
                 }
             }
-            Err(TryRecvError::Disconnected) => break,
-            Err(TryRecvError::Empty) => {
-                if inner.shutting_down.load(Ordering::SeqCst) {
-                    return Attempt::Aborted;
-                }
-            }
+            Err(RecvCancelError::Disconnected) => break,
+            Err(RecvCancelError::Cancelled) => return Attempt::Aborted,
         }
     }
 
     // End of stream: classify, then analyze.
     if let Some(e) = wire_error {
-        return Attempt::Done(Box::new(malformed_report(job, &format!("{e}"))));
+        return Attempt::Done(Box::new(malformed_report(&job.tenant, &job.name, &format!("{e}"))));
     }
     let end = match dec.finish() {
         Ok(end) => end,
-        Err(e) => return Attempt::Done(Box::new(malformed_report(job, &format!("{e}")))),
+        Err(e) => {
+            return Attempt::Done(Box::new(malformed_report(&job.tenant, &job.name, &format!("{e}"))))
+        }
     };
     // A chaos threshold past the end of the stream fires here, right
     // before analysis, so every configured kill lands deterministically.
     if job.take_kill(u64::MAX) {
         return Attempt::Killed;
     }
+    Attempt::Done(Box::new(report_for_end(
+        inner.cfg.detector,
+        &inner.rcfg,
+        &job.tenant,
+        &job.name,
+        end,
+    )))
+}
 
-    let rcfg = inner.rcfg;
-    let outcome = match inner.cfg.detector {
+/// `cfg.analyzer` with `algorithm` forced to the detector's — the
+/// store configuration every stream is actually replayed under.
+pub(crate) fn resolve_rcfg(cfg: &ServeCfg) -> AnalyzerCfg {
+    let mut rcfg = cfg.analyzer;
+    if let Some(algo) = cfg.detector.algorithm() {
+        rcfg.algorithm = algo;
+    }
+    rcfg
+}
+
+/// Replays a fully-decoded stream through the detector and classifies
+/// the verdict. Shared by the live worker path and the daemon's
+/// startup recovery so a recovered verdict is byte-identical to the
+/// uninterrupted one (`respawns` is 0 here; the supervisor overwrites
+/// it on the live path).
+pub(crate) fn report_for_end(
+    detector: Detector,
+    rcfg: &AnalyzerCfg,
+    tenant: &str,
+    stream: &str,
+    end: StreamEnd,
+) -> StreamReport {
+    let rcfg = *rcfg;
+    let outcome = match detector {
         Detector::Must => replay_trace(&end.trace, Box::new(MustTarget::new())),
         _ => replay_trace(&end.trace, Box::new(StoreTarget::new(move || rcfg.build_store(None)))),
     };
@@ -682,9 +739,9 @@ fn run_attempt(inner: &Inner, job: &Arc<Job>, rx: &Receiver<Vec<u8>>) -> Attempt
             },
         )
     };
-    Attempt::Done(Box::new(StreamReport {
-        tenant: job.tenant.clone(),
-        stream: job.name.clone(),
+    StreamReport {
+        tenant: tenant.to_string(),
+        stream: stream.to_string(),
         tier,
         verdict: verdict_line(&outcome.races),
         races: outcome.races.len(),
@@ -693,7 +750,25 @@ fn run_attempt(inner: &Inner, job: &Arc<Job>, rx: &Receiver<Vec<u8>>) -> Attempt
         completeness,
         respawns: 0, // supervisor fills in
         degraded: outcome.stats.coalesced > 0,
-    }))
+    }
+}
+
+/// Decodes raw stream bytes offline and produces the report the live
+/// path would have produced for them — the recovery-side analysis.
+/// The chunking is immaterial (the decoder is incremental); 4 KiB
+/// matches the live redelivery path.
+pub(crate) fn analyze_bytes(cfg: &ServeCfg, tenant: &str, stream: &str, bytes: &[u8]) -> StreamReport {
+    let rcfg = resolve_rcfg(cfg);
+    let mut dec = StreamDecoder::new();
+    for piece in bytes.chunks(4096) {
+        if let Err(e) = dec.feed(piece) {
+            return malformed_report(tenant, stream, &format!("{e}"));
+        }
+    }
+    match dec.finish() {
+        Ok(end) => report_for_end(cfg.detector, &rcfg, tenant, stream, end),
+        Err(e) => malformed_report(tenant, stream, &format!("{e}")),
+    }
 }
 
 /// Sleeps `total` in 5 ms slices; `false` means shutdown interrupted.
@@ -711,10 +786,10 @@ fn sliced_sleep(inner: &Inner, total: Duration) -> bool {
     }
 }
 
-fn malformed_report(job: &Job, why: &str) -> StreamReport {
+pub(crate) fn malformed_report(tenant: &str, stream: &str, why: &str) -> StreamReport {
     StreamReport {
-        tenant: job.tenant.clone(),
-        stream: job.name.clone(),
+        tenant: tenant.to_string(),
+        stream: stream.to_string(),
         tier: Tier::Malformed,
         verdict: format!("verdict: malformed ({why})"),
         races: 0,

@@ -15,6 +15,7 @@
 //! workspace has no JSON parser, and does not need one to keep a
 //! machine-readable artifact honest.
 
+use crate::recovery::RecoveryStats;
 use crate::service::{ServeCfg, Tier};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -63,6 +64,10 @@ pub struct ServedStats {
     pub wall: Duration,
     /// Events analyzed over the service lifetime.
     pub events_total: u64,
+    /// Startup-recovery counters (all zero for a run that inherited a
+    /// clean spool); the daemon fills this in after [`ServedStats`] is
+    /// snapshotted from the service, which never touches the disk.
+    pub recovery: RecoveryStats,
 }
 
 impl ServedStats {
@@ -81,6 +86,7 @@ impl ServedStats {
             tenants: tenants.clone(),
             wall,
             events_total,
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -134,7 +140,7 @@ impl ServedStats {
             "{{\"service\":\"rma-served\",\"detector\":\"{}\",\"engine\":\"{}\",\
              \"shards\":{},\"workers\":{},\"queue_bound\":{},\"streams\":{},\
              \"events\":{},\"races\":{},\"respawns\":{},\"degraded_stores\":{},\
-             \"tiers\":{},\"tenants\":[{}]}}",
+             \"tiers\":{},\"recovery\":{},\"tenants\":[{}]}}",
             self.detector,
             self.engine,
             self.shards,
@@ -146,6 +152,7 @@ impl ServedStats {
             tot.respawns,
             tot.degraded_stores,
             tiers_json(&tot.tiers),
+            self.recovery.to_json(),
             tenants.join(","),
         )
     }
@@ -252,6 +259,17 @@ pub fn check_stats_json(json: &str) -> Result<(), String> {
             return Err(format!("missing tier {:?}", t.name()));
         }
     }
+    let Some(rec_at) = line.find("\"recovery\":{") else {
+        return Err("missing recovery object".into());
+    };
+    let rec_end =
+        line[rec_at..].find('}').map(|i| rec_at + i).ok_or("unterminated recovery object")?;
+    let recovery = &line[rec_at..=rec_end];
+    for key in RecoveryStats::KEYS {
+        if !recovery.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing recovery counter {key:?}"));
+        }
+    }
     if !line.contains("\"tenants\":[") {
         return Err("missing tenants array".into());
     }
@@ -290,6 +308,7 @@ mod tests {
             tenants,
             wall: Duration::from_millis(1234),
             events_total: 100,
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -320,6 +339,18 @@ mod tests {
         let broken = json.replace("\"racy\":", "\"spicy\":");
         assert!(check_stats_json(&broken).is_err());
         assert!(check_stats_json("not json").is_err());
+    }
+
+    #[test]
+    fn recovery_counters_are_in_the_json_and_checked() {
+        let mut s = sample();
+        s.recovery.recovered = 2;
+        s.recovery.republished = 1;
+        let json = s.to_json();
+        assert!(json.contains("\"recovery\":{\"recovered\":2,\"republished\":1,"));
+        check_stats_json(&json).unwrap();
+        let broken = json.replace("\"tmp_swept\":", "\"tmp_cleared\":");
+        assert!(check_stats_json(&broken).is_err(), "missing recovery counter must fail");
     }
 
     #[test]

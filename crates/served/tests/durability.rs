@@ -1,0 +1,410 @@
+//! Crash-restart durability: a daemon killed at *any* write boundary
+//! recovers, on restart, to verdicts byte-identical to an uninterrupted
+//! run — zero lost verdicts, zero duplicates, no spool debris — across
+//! all three fsync disciplines.
+//!
+//! The sweep drives a complete in-process daemon ([`run_daemon`]) over
+//! a fault-injected filesystem: `FsPlan::new(kind, op)` trips on the
+//! op-th mutating operation, the daemon stops dead (`Crashed` — no
+//! drain, no cleanup, exactly what `kill -9` leaves), and a second
+//! daemon against the same spool must converge. Serial mode makes the
+//! operation sequence reproducible, so iterating `op` over the whole
+//! range visits every WAL-record, rename and cleanup boundary the
+//! protocol has.
+
+use rma_served::daemon::{run_daemon, DaemonCfg, DaemonExit};
+use rma_served::{
+    check_stats_json, recover, Durability, RecoveryStats, ServeCfg, Spool, WalRecord, WalWriter,
+};
+use rma_substrate::fs::{Fs, FsFault, FsPlan};
+use rma_suite::{generate_suite, run_case_with_monitor};
+use rma_trace::trace::fnv1a;
+use rma_trace::{replay, verdict_line, Detector, TraceWriter};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+/// `(name, bytes, direct verdict)` for one clean and one racy suite
+/// case — enough shapes to make verdict equality meaningful without
+/// blowing up the sweep's run count.
+fn cases() -> &'static [(String, Vec<u8>, String)] {
+    static CASES: OnceLock<Vec<(String, Vec<u8>, String)>> = OnceLock::new();
+    CASES.get_or_init(|| {
+        let mut clean = None;
+        let mut racy = None;
+        for spec in generate_suite() {
+            let writer = Arc::new(TraceWriter::new(spec.name(), 0x5EED));
+            run_case_with_monitor(&spec, writer.clone());
+            let trace = writer.trace();
+            let outcome = replay(&trace, Detector::FragMerge);
+            let rec = (spec.name(), trace.encode(), verdict_line(&outcome.races));
+            let slot = if outcome.races.is_empty() { &mut clean } else { &mut racy };
+            if slot.is_none() {
+                *slot = Some(rec);
+            }
+            if clean.is_some() && racy.is_some() {
+                break;
+            }
+        }
+        vec![clean.expect("suite has a clean case"), racy.expect("suite has a racy case")]
+    })
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let d = std::env::temp_dir()
+        .join(format!("rma-durability-{}-{seq}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Drops the test streams (tenant `t`) and the shutdown sentinel into a
+/// fresh spool's inbox, so a serial daemon serves everything then
+/// drains.
+fn seed_inbox(dir: &Path) {
+    std::fs::create_dir_all(dir.join("inbox")).unwrap();
+    for (name, bytes, _) in cases() {
+        std::fs::write(dir.join("inbox").join(format!("t__{name}.rmatrc")), bytes).unwrap();
+    }
+    std::fs::write(dir.join("inbox").join("__shutdown__"), b"").unwrap();
+}
+
+fn daemon_cfg(durability: Durability) -> DaemonCfg {
+    DaemonCfg {
+        serve: ServeCfg { workers: 1, queue_bound: 8, ..Default::default() },
+        durability,
+        serial: true,
+        poll: std::time::Duration::from_millis(1),
+    }
+}
+
+fn run(dir: &Path, fs: Fs, durability: Durability) -> DaemonExit {
+    let spool = Spool::create(dir, fs).unwrap();
+    run_daemon(&spool, &daemon_cfg(durability)).unwrap()
+}
+
+/// Every verdict file in the outbox, name → bytes.
+fn outbox_map(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir.join("outbox"))
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| {
+                    (e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).unwrap())
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// After a drained run the spool holds verdicts and artifacts only:
+/// no WALs, no parked work bytes, no staging debris, no unserved inbox
+/// entries.
+fn assert_no_debris(dir: &Path, ctx: &str) {
+    for sub in ["wal", "work", "tmp"] {
+        let d = dir.join(sub);
+        if d.is_dir() {
+            let left: Vec<_> = std::fs::read_dir(&d).unwrap().filter_map(|e| e.ok()).collect();
+            assert!(left.is_empty(), "{ctx}: {sub}/ holds {} file(s)", left.len());
+        }
+    }
+    let inbox: Vec<_> = std::fs::read_dir(dir.join("inbox"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "rmatrc"))
+        .collect();
+    assert!(inbox.is_empty(), "{ctx}: {} unserved inbox entr(ies)", inbox.len());
+}
+
+/// The uninterrupted-run outbox — the equivalence baseline every
+/// crash-restart pair must converge to — plus the run's mutating-op
+/// count, which bounds the sweep.
+fn baseline(durability: Durability) -> (BTreeMap<String, Vec<u8>>, u64) {
+    let dir = fresh_dir(&format!("baseline-{durability}"));
+    seed_inbox(&dir);
+    let fs = Fs::real();
+    let exit = run(&dir, fs.clone(), durability);
+    assert!(matches!(exit, DaemonExit::Drained { .. }), "baseline must drain");
+    assert_no_debris(&dir, "baseline");
+    let map = outbox_map(&dir);
+    assert_eq!(map.len(), cases().len(), "one verdict per stream, no duplicates");
+    for (name, _, direct) in cases() {
+        let body = String::from_utf8(map[&format!("t__{name}.verdict")].clone()).unwrap();
+        assert!(body.contains(&format!("\n{direct}\n")), "baseline verdict diverged: {body}");
+        assert!(body.contains("completeness: complete"), "{body}");
+    }
+    (map, fs.mutating_ops())
+}
+
+#[test]
+fn uninterrupted_runs_agree_across_durability_modes() {
+    let maps: Vec<_> = Durability::ALL.iter().map(|d| baseline(*d).0).collect();
+    assert_eq!(maps[0], maps[1], "none vs batch verdicts diverged");
+    assert_eq!(maps[1], maps[2], "batch vs strict verdicts diverged");
+}
+
+/// The tentpole acceptance sweep: torn-write crashes at every mutating
+/// operation of the protocol, every durability mode; each restart must
+/// byte-equal the uninterrupted outbox with no debris and a valid,
+/// deterministic stats artifact.
+#[test]
+fn crash_restart_at_every_write_boundary_recovers_byte_identical_verdicts() {
+    for durability in Durability::ALL {
+        let (want, ops) = baseline(durability);
+        assert!(ops > 10, "sweep needs real crash points, got {ops}");
+        let mut crashes = 0;
+        for op in 1..=ops {
+            let ctx = format!("durability={durability} op={op}");
+            let dir = fresh_dir(&format!("sweep-{durability}-{op}"));
+            seed_inbox(&dir);
+            let fs = Fs::faulty(FsPlan::new(FsFault::TornWrite, op));
+            match run(&dir, fs.clone(), durability) {
+                DaemonExit::Crashed => crashes += 1,
+                DaemonExit::Drained { .. } => {
+                    panic!("{ctx}: fault at op {op} <= {ops} must crash the run")
+                }
+            }
+            assert!(fs.tripped(), "{ctx}");
+            // Restart against the crashed spool: recovery then serve.
+            let exit = run(&dir, Fs::real(), durability);
+            let DaemonExit::Drained { stats, .. } = exit else {
+                panic!("{ctx}: restart must drain");
+            };
+            assert_eq!(outbox_map(&dir), want, "{ctx}: restart verdicts diverged");
+            assert_no_debris(&dir, &ctx);
+            check_stats_json(&stats.to_json()).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        assert_eq!(crashes, ops as usize, "every op must be a crash point");
+    }
+}
+
+/// Restarting from the same crash state is deterministic: same verdicts
+/// *and* byte-identical stats.json (recovery counters included).
+#[test]
+fn restart_recovery_counters_are_deterministic() {
+    let durability = Durability::Batch;
+    let (want, ops) = baseline(durability);
+    for op in (1..=ops).step_by(5) {
+        let mut stats_lines = Vec::new();
+        for copy in 0..2 {
+            let dir = fresh_dir(&format!("det-{op}-{copy}"));
+            seed_inbox(&dir);
+            let crashed = run(&dir, Fs::faulty(FsPlan::new(FsFault::TornWrite, op)), durability);
+            assert!(matches!(crashed, DaemonExit::Crashed));
+            let exit = run(&dir, Fs::real(), durability);
+            assert!(matches!(exit, DaemonExit::Drained { .. }));
+            assert_eq!(outbox_map(&dir), want, "op={op} copy={copy}");
+            stats_lines.push(std::fs::read(dir.join("stats.json")).unwrap());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        assert_eq!(
+            String::from_utf8_lossy(&stats_lines[0]),
+            String::from_utf8_lossy(&stats_lines[1]),
+            "op={op}: restart stats.json must be deterministic"
+        );
+    }
+}
+
+/// Seeded fault plans (all four kinds, including the *silent* short
+/// write) either never fire or crash-recover to the same verdicts.
+#[test]
+fn seeded_fault_kind_sweep_recovers() {
+    let durability = Durability::Batch;
+    let (want, _) = baseline(durability);
+    let mut fired = 0;
+    for seed in 0..24u64 {
+        let plan = FsPlan::from_seed(seed);
+        let ctx = format!("seed={seed} ({} at op {})", plan.kind.name(), plan.at_op);
+        let dir = fresh_dir(&format!("seeded-{seed}"));
+        seed_inbox(&dir);
+        let fs = Fs::faulty(plan);
+        match run(&dir, fs.clone(), durability) {
+            DaemonExit::Crashed => {
+                fired += 1;
+                let exit = run(&dir, Fs::real(), durability);
+                assert!(matches!(exit, DaemonExit::Drained { .. }), "{ctx}");
+            }
+            DaemonExit::Drained { .. } => {
+                assert!(!fs.tripped(), "{ctx}: a tripped run must report Crashed");
+            }
+        }
+        assert_eq!(outbox_map(&dir), want, "{ctx}: verdicts diverged");
+        assert_no_debris(&dir, &ctx);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(fired >= 8, "sweep too tame: only {fired}/24 plans fired");
+}
+
+/// A crash can also land *during recovery* (the restarted daemon dies
+/// again). Recovery's own operations are crash-safe: a third, clean
+/// start still converges.
+#[test]
+fn crash_during_recovery_is_recoverable() {
+    let durability = Durability::Strict;
+    let (want, ops) = baseline(durability);
+    // First crash mid-serve, somewhere past the first stream's admit.
+    let dir0 = fresh_dir("double-crash-src");
+    seed_inbox(&dir0);
+    let crashed = run(&dir0, Fs::faulty(FsPlan::new(FsFault::TornWrite, ops / 2)), durability);
+    assert!(matches!(crashed, DaemonExit::Crashed));
+    // Snapshot the crash state, then for each recovery op: restart with
+    // a fault aimed at it; whether that second run crashes or drains, a
+    // final clean run must converge.
+    for op in 1..=12u64 {
+        let dir = fresh_dir(&format!("double-crash-{op}"));
+        copy_tree(&dir0, &dir);
+        let second = run(&dir, Fs::faulty(FsPlan::new(FsFault::Enospc, op)), durability);
+        if matches!(second, DaemonExit::Drained { .. }) {
+            // Fault op landed beyond this run's op count; state is final.
+            assert_eq!(outbox_map(&dir), want, "op={op}");
+            let _ = std::fs::remove_dir_all(&dir);
+            continue;
+        }
+        let third = run(&dir, Fs::real(), durability);
+        assert!(matches!(third, DaemonExit::Drained { .. }), "op={op}");
+        assert_eq!(outbox_map(&dir), want, "op={op}: verdicts diverged after double crash");
+        assert_no_debris(&dir, &format!("op={op}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&dir0);
+}
+
+/// Two tenants, one stream fully published, the other caught in flight:
+/// recovery resolves only the in-flight stream, leaves the published
+/// verdict untouched, and reports it all in the counters.
+#[test]
+fn two_tenants_one_in_flight_recovers_exactly() {
+    let durability = Durability::Batch;
+    let cfg = daemon_cfg(durability).serve;
+    let (a_name, a_bytes, _) = &cases()[0];
+    let (b_name, b_bytes, _) = &cases()[1];
+
+    // Reference: what both verdicts should look like.
+    let refdir = fresh_dir("twotenant-ref");
+    std::fs::create_dir_all(refdir.join("inbox")).unwrap();
+    std::fs::write(refdir.join("inbox").join(format!("acme__{a_name}.rmatrc")), a_bytes).unwrap();
+    std::fs::write(refdir.join("inbox").join(format!("zeta__{b_name}.rmatrc")), b_bytes).unwrap();
+    std::fs::write(refdir.join("inbox").join("__shutdown__"), b"").unwrap();
+    let exit = run(&refdir, Fs::real(), durability);
+    assert!(matches!(exit, DaemonExit::Drained { .. }));
+    let want = outbox_map(&refdir);
+
+    // Handcraft the crash state: acme's stream fully published (spool
+    // state clean), zeta's admitted — WAL + work bytes — but no verdict.
+    let dir = fresh_dir("twotenant-crash");
+    let spool = Spool::create(&dir, Fs::real()).unwrap();
+    std::fs::write(
+        spool.outbox.join(format!("acme__{a_name}.verdict")),
+        &want[&format!("acme__{a_name}.verdict")],
+    )
+    .unwrap();
+    let wal = WalWriter::create(Fs::real(), spool.wal_path("zeta", b_name), durability).unwrap();
+    wal.append(&WalRecord::Admit {
+        bytes_len: b_bytes.len() as u64,
+        bytes_fnv: fnv1a(b_bytes),
+    })
+    .unwrap();
+    wal.append(&WalRecord::Watermark { offset: 4096.min(b_bytes.len() as u64) }).unwrap();
+    std::fs::write(spool.work_path("zeta", b_name), b_bytes).unwrap();
+    std::fs::write(spool.tmp.join("leftover.partial"), b"debris").unwrap();
+
+    let stats = recover(&spool, &cfg, durability).unwrap();
+    assert_eq!(
+        stats,
+        RecoveryStats {
+            recovered: 1,
+            republished: 1,
+            wal_records: 2,
+            tmp_swept: 1,
+            ..Default::default()
+        },
+        "exactly the in-flight stream recovers"
+    );
+    assert_eq!(outbox_map(&dir), want, "recovered outbox diverged from uninterrupted");
+    // Idempotence: a second recovery pass finds a clean spool.
+    let again = recover(&spool, &cfg, durability).unwrap();
+    assert_eq!(again, RecoveryStats::default());
+    let _ = std::fs::remove_dir_all(&refdir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Each WAL shape recovery distinguishes, exercised directly: published
+/// fast path (no rewrite), stale WAL, orphan work, torn tail.
+#[test]
+fn recovery_resolves_each_wal_shape() {
+    let durability = Durability::None;
+    let cfg = daemon_cfg(durability).serve;
+    let (name, bytes, _) = &cases()[0];
+    let dir = fresh_dir("shapes");
+    let spool = Spool::create(&dir, Fs::real()).unwrap();
+
+    // Shape 1: Published record + matching verdict → fast path, the
+    // verdict file is not rewritten.
+    let body = {
+        let stage = fresh_dir("shapes-stage");
+        let s = Spool::create(&stage, Fs::real()).unwrap();
+        std::fs::write(s.work_path("t", name), bytes).unwrap();
+        recover(&s, &cfg, durability).unwrap();
+        let b = std::fs::read(s.verdict_path("t", name)).unwrap();
+        let _ = std::fs::remove_dir_all(&stage);
+        b
+    };
+    std::fs::write(spool.verdict_path("t", name), &body).unwrap();
+    std::fs::write(spool.work_path("t", name), bytes).unwrap();
+    let wal = WalWriter::create(Fs::real(), spool.wal_path("t", name), durability).unwrap();
+    wal.append(&WalRecord::Admit { bytes_len: bytes.len() as u64, bytes_fnv: fnv1a(bytes) })
+        .unwrap();
+    wal.append(&WalRecord::Published {
+        verdict_len: body.len() as u64,
+        verdict_fnv: fnv1a(&body),
+    })
+    .unwrap();
+    // Shape 2: stale WAL (no work bytes).
+    let stale = WalWriter::create(Fs::real(), spool.wal_path("t", "ghost"), durability).unwrap();
+    stale.append(&WalRecord::Admit { bytes_len: 9, bytes_fnv: 9 }).unwrap();
+    // Shape 3: orphan work bytes, no WAL.
+    std::fs::write(spool.work_path("t", "orphan"), bytes).unwrap();
+    // Shape 4: torn WAL tail + work bytes → recompute path.
+    let torn = WalWriter::create(Fs::real(), spool.wal_path("t", "torn"), durability).unwrap();
+    torn.append(&WalRecord::Admit { bytes_len: bytes.len() as u64, bytes_fnv: fnv1a(bytes) })
+        .unwrap();
+    let torn_path = spool.wal_path("t", "torn");
+    let mut raw = std::fs::read(&torn_path).unwrap();
+    raw.extend_from_slice(&[7, 1, 2]); // half a record
+    std::fs::write(&torn_path, &raw).unwrap();
+    std::fs::write(spool.work_path("t", "torn"), bytes).unwrap();
+
+    let stats = recover(&spool, &cfg, durability).unwrap();
+    assert_eq!(
+        stats,
+        RecoveryStats {
+            recovered: 3,      // published fast path + orphan + torn
+            republished: 2,    // orphan + torn (fast path rewrote nothing)
+            wal_records: 4,    // 2 (published) + 1 (stale) + 1 (torn)
+            torn_wals: 1,
+            stale_wals: 1,
+            orphan_work: 1,
+            ..Default::default()
+        }
+    );
+    assert_eq!(std::fs::read(spool.verdict_path("t", name)).unwrap(), body, "fast path kept bytes");
+    assert!(spool.verdict_path("t", "orphan").exists());
+    assert!(spool.verdict_path("t", "torn").exists());
+    assert!(!spool.wal_path("t", "ghost").exists(), "stale WAL swept");
+    assert_no_debris(&dir, "shapes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for e in std::fs::read_dir(src).unwrap().filter_map(|e| e.ok()) {
+        let to = dst.join(e.file_name());
+        if e.path().is_dir() {
+            copy_tree(&e.path(), &to);
+        } else {
+            std::fs::copy(e.path(), &to).unwrap();
+        }
+    }
+}

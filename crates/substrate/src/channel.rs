@@ -55,6 +55,15 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error returned by [`Receiver::recv_cancel`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvCancelError {
+    /// The cancel predicate turned true while the queue was empty.
+    Cancelled,
+    /// Queue empty and all senders dropped.
+    Disconnected,
+}
+
 /// Error returned by [`Sender::try_send`]; carries the unsent value.
 #[derive(PartialEq, Eq)]
 pub enum TrySendError<T> {
@@ -331,6 +340,49 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Blocking dequeue with cancellation — the condvar replacement for
+    /// a `recv_timeout` polling loop. Parks on the channel's condvar
+    /// while the queue is empty, re-checking `cancelled` under the
+    /// channel lock on every wake (a two-generation wait: the predicate
+    /// is sampled once before parking and once after every wake, so a
+    /// cancel that lands between the check and the park is never lost —
+    /// provided the canceller trips its flag *before* calling
+    /// [`wake_all`](Self::wake_all), whose lock acquisition serializes
+    /// it with the check). Queued messages drain before cancellation is
+    /// reported; an idle receiver wakes only for data, disconnect or
+    /// cancel — never on a timer.
+    pub fn recv_cancel(&self, cancelled: &dyn Fn() -> bool) -> Result<T, RecvCancelError> {
+        let mut st = self.chan.state.lock();
+        loop {
+            if let Some(v) = st.q.pop_front() {
+                let bounded = st.cap.is_some();
+                drop(st);
+                self.credit(bounded);
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvCancelError::Disconnected);
+            }
+            if cancelled() {
+                return Err(RecvCancelError::Cancelled);
+            }
+            self.chan.cv.wait(&mut st);
+        }
+    }
+
+    /// Wakes every thread parked on this channel — receivers and
+    /// senders — without delivering anything, forcing each to re-check
+    /// its predicate. The cancellation kick for
+    /// [`recv_cancel`](Self::recv_cancel): trip the cancel flag first,
+    /// then call this. Taking the channel lock before notifying is what
+    /// makes the handoff race-free (see `recv_cancel`).
+    pub fn wake_all(&self) {
+        let st = self.chan.state.lock();
+        drop(st);
+        self.chan.cv.notify_all();
+        self.chan.cv_send.notify_all();
+    }
+
     /// Non-blocking dequeue.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut st = self.chan.state.lock();
@@ -487,6 +539,39 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         tx.send_timeout(2, Duration::from_millis(5)).unwrap();
         assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_cancel_drains_then_reports_cancel_or_disconnect() {
+        let (tx, rx) = bounded::<u8>(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let cancelled = || true;
+        // Queued data drains first even with the cancel flag already up.
+        assert_eq!(rx.recv_cancel(&cancelled), Ok(1));
+        assert_eq!(rx.recv_cancel(&cancelled), Ok(2));
+        assert_eq!(rx.recv_cancel(&cancelled), Err(RecvCancelError::Cancelled));
+        drop(tx);
+        assert_eq!(rx.recv_cancel(&|| false), Err(RecvCancelError::Disconnected));
+    }
+
+    #[test]
+    fn recv_cancel_parks_until_woken() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let (tx, rx) = bounded::<u8>(1);
+        let flag = Arc::new(AtomicBool::new(false));
+        let waker_rx = rx.clone();
+        let waiter_flag = flag.clone();
+        let waiter = std::thread::spawn(move || {
+            rx.recv_cancel(&|| waiter_flag.load(Ordering::SeqCst))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "an idle receiver must stay parked");
+        flag.store(true, Ordering::SeqCst);
+        waker_rx.wake_all();
+        assert_eq!(waiter.join().unwrap(), Err(RecvCancelError::Cancelled));
+        drop(tx);
     }
 
     #[test]

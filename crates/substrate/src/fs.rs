@@ -1,0 +1,381 @@
+//! Fault-injectable filesystem shim — the I/O analogue of
+//! `rma_sim::FaultPlan`.
+//!
+//! Durable state is only as trustworthy as the failure modes it was
+//! tested against. This module wraps the small `std::fs` subset the
+//! workspace's spool and write-ahead-log code uses behind an [`Fs`]
+//! handle that can inject *one* deterministic I/O fault, keyed to the
+//! Nth mutating operation and fully derivable from a seed via
+//! [`FsPlan::from_seed`] — the same replay-from-a-seed discipline as
+//! the simulator's fault plans. The fault vocabulary is the one real
+//! disks and kernels actually exhibit:
+//!
+//! * [`FsFault::TornWrite`] — a prefix of the bytes lands, then the
+//!   write errors (crash mid-`write(2)`);
+//! * [`FsFault::ShortWrite`] — a prefix lands and the call *reports
+//!   success* (an unchecked short write — silent corruption, the case
+//!   checksummed record formats exist for);
+//! * [`FsFault::Enospc`] — a small prefix lands, then the disk is
+//!   "full";
+//! * [`FsFault::RenameFail`] — an atomic-publish rename fails with the
+//!   source left in place.
+//!
+//! After a fault fires the handle is *tripped* ([`Fs::tripped`]):
+//! chaos harnesses treat that as "the process was killed at this write
+//! boundary", abandon the run without any graceful teardown, and then
+//! restart against the same directory to exercise recovery. Only one
+//! fault ever fires per plan, so the restarted run (a fresh [`Fs`],
+//! or the same plan already spent) proceeds clean.
+//!
+//! Reads are never faulted and never counted: the interesting crash
+//! boundaries are mutations, and recovery code must be free to inspect
+//! the damage.
+
+use crate::rng::SmallRng;
+use std::io::{Error, ErrorKind, Result, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What the injected fault does to the chosen operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsFault {
+    /// Roughly half the bytes land, then the write/append errors — a
+    /// crash mid-write. On `rename`/`remove_file` this degrades to a
+    /// plain failure with nothing changed.
+    TornWrite,
+    /// A prefix (all but the final byte) lands and the call returns
+    /// `Ok` — a short write nobody checked. Detectable only by
+    /// checksums or length framing downstream.
+    ShortWrite,
+    /// A small prefix lands, then `ENOSPC` — the classic almost-full
+    /// disk. On `rename`/`remove_file`: plain failure, nothing changed.
+    Enospc,
+    /// The operation fails outright with nothing changed — the
+    /// rename-refused case atomic publish protocols must survive.
+    RenameFail,
+}
+
+impl FsFault {
+    /// All kinds, for seeded sampling and table-driven sweeps.
+    pub const ALL: [FsFault; 4] =
+        [FsFault::TornWrite, FsFault::ShortWrite, FsFault::Enospc, FsFault::RenameFail];
+
+    /// Variant name for logs and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            FsFault::TornWrite => "torn-write",
+            FsFault::ShortWrite => "short-write",
+            FsFault::Enospc => "enospc",
+            FsFault::RenameFail => "rename-fail",
+        }
+    }
+
+    /// How many of `len` payload bytes still land when this fault fires.
+    fn landed(self, len: usize) -> usize {
+        match self {
+            FsFault::TornWrite => len / 2,
+            FsFault::ShortWrite => len.saturating_sub(1),
+            FsFault::Enospc => len / 4,
+            FsFault::RenameFail => 0,
+        }
+    }
+
+    /// Whether the faulted call still reports success (the silent case).
+    fn silent(self) -> bool {
+        matches!(self, FsFault::ShortWrite)
+    }
+
+    fn error(self) -> Error {
+        match self {
+            FsFault::Enospc => {
+                Error::new(ErrorKind::StorageFull, "injected fault: disk full (ENOSPC)")
+            }
+            FsFault::TornWrite => Error::other("injected fault: torn write"),
+            FsFault::ShortWrite => Error::other("injected fault: short write"),
+            FsFault::RenameFail => Error::other("injected fault: rename failed"),
+        }
+    }
+}
+
+/// One deterministic I/O fault: `kind` fires on the handle's `at_op`-th
+/// mutating operation (1-based). If the run performs fewer mutations
+/// the fault simply never fires — seeded sweeps rely on this to probe
+/// "late" crash points too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FsPlan {
+    /// 1-based index of the mutating operation the fault fires on.
+    pub at_op: u64,
+    /// What happens there.
+    pub kind: FsFault,
+}
+
+impl FsPlan {
+    /// A plan with explicit coordinates.
+    pub fn new(kind: FsFault, at_op: u64) -> FsPlan {
+        FsPlan { at_op: at_op.max(1), kind }
+    }
+
+    /// Derives a plan from a single seed (kind and trigger operation
+    /// both sampled), so an I/O chaos sweep is fully described by its
+    /// seed and replays identically everywhere.
+    pub fn from_seed(seed: u64) -> FsPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD15C_FA17_D15C_FA17);
+        let kind = FsFault::ALL[rng.gen_range(0..FsFault::ALL.len())];
+        // A single served stream performs a few dozen mutating ops
+        // (WAL appends, publishes, cleanups); sample the whole range so
+        // early, mid-stream and never-reached faults all occur.
+        let at_op = rng.gen_range(1..48u64);
+        FsPlan { at_op, kind }
+    }
+}
+
+struct FsInner {
+    plan: Option<FsPlan>,
+    /// Mutating operations performed so far.
+    ops: AtomicU64,
+    /// Set once the planned fault has fired.
+    tripped: AtomicBool,
+}
+
+/// A filesystem handle: the `std::fs` subset durable-state code needs,
+/// with optional single-fault injection. Cloning shares the operation
+/// counter and trip state.
+#[derive(Clone)]
+pub struct Fs {
+    inner: Arc<FsInner>,
+}
+
+impl std::fmt::Debug for Fs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fs")
+            .field("plan", &self.inner.plan)
+            .field("ops", &self.inner.ops.load(Ordering::SeqCst))
+            .field("tripped", &self.tripped())
+            .finish()
+    }
+}
+
+impl Default for Fs {
+    fn default() -> Fs {
+        Fs::real()
+    }
+}
+
+impl Fs {
+    /// A passthrough handle: no faults, ever.
+    pub fn real() -> Fs {
+        Fs { inner: Arc::new(FsInner { plan: None, ops: AtomicU64::new(0), tripped: AtomicBool::new(false) }) }
+    }
+
+    /// A handle that injects `plan` exactly once.
+    pub fn faulty(plan: FsPlan) -> Fs {
+        Fs {
+            inner: Arc::new(FsInner {
+                plan: Some(plan),
+                ops: AtomicU64::new(0),
+                tripped: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// `true` once the planned fault has fired. Chaos harnesses treat
+    /// this as "the process died at that write boundary".
+    pub fn tripped(&self) -> bool {
+        self.inner.tripped.load(Ordering::SeqCst)
+    }
+
+    /// Mutating operations performed through this handle so far —
+    /// lets a sweep discover how many crash points a workload has.
+    pub fn mutating_ops(&self) -> u64 {
+        self.inner.ops.load(Ordering::SeqCst)
+    }
+
+    /// Counts one mutating op; returns the fault to inject, if this is
+    /// the op the plan names.
+    fn step(&self) -> Option<FsFault> {
+        let op = self.inner.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        match self.inner.plan {
+            Some(p) if p.at_op == op => {
+                self.inner.tripped.store(true, Ordering::SeqCst);
+                Some(p.kind)
+            }
+            _ => None,
+        }
+    }
+
+    /// `std::fs::write` with whole-file-replace semantics (mutating).
+    pub fn write(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        match self.step() {
+            None => std::fs::write(path, bytes),
+            Some(fault) => {
+                std::fs::write(path, &bytes[..fault.landed(bytes.len())])?;
+                if fault.silent() {
+                    Ok(())
+                } else {
+                    Err(fault.error())
+                }
+            }
+        }
+    }
+
+    /// Appends `bytes` to `path`, creating it if absent (mutating).
+    pub fn append(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        match self.step() {
+            None => f.write_all(bytes),
+            Some(fault) => {
+                f.write_all(&bytes[..fault.landed(bytes.len())])?;
+                if fault.silent() {
+                    Ok(())
+                } else {
+                    Err(fault.error())
+                }
+            }
+        }
+    }
+
+    /// `std::fs::rename` (mutating). A faulted rename changes nothing.
+    pub fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        match self.step() {
+            None => std::fs::rename(from, to),
+            Some(fault) => Err(fault.error()),
+        }
+    }
+
+    /// `std::fs::remove_file` (mutating). A faulted remove changes
+    /// nothing.
+    pub fn remove_file(&self, path: &Path) -> Result<()> {
+        match self.step() {
+            None => std::fs::remove_file(path),
+            Some(fault) => Err(fault.error()),
+        }
+    }
+
+    /// Flushes `path`'s contents to stable storage (mutating: fsync is
+    /// a write-class syscall and a real crash boundary). A faulted
+    /// fsync reports failure; the data's durability is then unknown,
+    /// exactly like the real thing.
+    pub fn sync_file(&self, path: &Path) -> Result<()> {
+        match self.step() {
+            None => std::fs::File::open(path)?.sync_all(),
+            Some(fault) => Err(fault.error()),
+        }
+    }
+
+    /// `std::fs::read` — never faulted, never counted.
+    pub fn read(&self, path: &Path) -> Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    /// `std::fs::create_dir_all` — never faulted (spool setup happens
+    /// before any interesting crash boundary).
+    pub fn create_dir_all(&self, path: &Path) -> Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    /// Sorted regular-file listing of `dir` — never faulted. Sorting
+    /// makes every scan order (and therefore every recovery counter)
+    /// deterministic.
+    pub fn list_files(&self, dir: &Path) -> Result<Vec<PathBuf>> {
+        let mut out: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file())
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rma-fs-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_handle_roundtrips() {
+        let d = tmp("real");
+        let fs = Fs::real();
+        let p = d.join("a");
+        fs.write(&p, b"hello").unwrap();
+        assert_eq!(fs.read(&p).unwrap(), b"hello");
+        fs.append(&p, b" world").unwrap();
+        assert_eq!(fs.read(&p).unwrap(), b"hello world");
+        let q = d.join("b");
+        fs.rename(&p, &q).unwrap();
+        assert!(!p.exists() && q.exists());
+        fs.sync_file(&q).unwrap();
+        fs.remove_file(&q).unwrap();
+        assert!(!fs.tripped());
+        assert_eq!(fs.mutating_ops(), 5);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_prefix_and_errors() {
+        let d = tmp("torn");
+        let fs = Fs::faulty(FsPlan::new(FsFault::TornWrite, 1));
+        let p = d.join("a");
+        assert!(fs.write(&p, b"0123456789").is_err());
+        assert!(fs.tripped());
+        assert_eq!(fs.read(&p).unwrap(), b"01234", "half the bytes land");
+        // The plan is spent: the next write succeeds whole.
+        fs.write(&p, b"0123456789").unwrap();
+        assert_eq!(fs.read(&p).unwrap(), b"0123456789");
+    }
+
+    #[test]
+    fn short_write_is_silent() {
+        let d = tmp("short");
+        let fs = Fs::faulty(FsPlan::new(FsFault::ShortWrite, 2));
+        let p = d.join("a");
+        fs.write(&p, b"first").unwrap();
+        fs.append(&p, b"-second").unwrap(); // fault: reports Ok anyway
+        assert!(fs.tripped());
+        assert_eq!(fs.read(&p).unwrap(), b"first-secon", "last byte silently lost");
+    }
+
+    #[test]
+    fn enospc_and_rename_fail_change_nothing_or_a_prefix() {
+        let d = tmp("enospc");
+        let fs = Fs::faulty(FsPlan::new(FsFault::Enospc, 1));
+        let p = d.join("a");
+        let e = fs.write(&p, b"12345678").unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::StorageFull);
+        assert_eq!(fs.read(&p).unwrap(), b"12", "a quarter lands before the disk fills");
+
+        let fs = Fs::faulty(FsPlan::new(FsFault::RenameFail, 2));
+        fs.write(&p, b"payload").unwrap();
+        let q = d.join("b");
+        assert!(fs.rename(&p, &q).is_err());
+        assert!(p.exists() && !q.exists(), "failed rename leaves the source intact");
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_covers_all_kinds() {
+        let mut kinds = std::collections::HashSet::new();
+        for seed in 0..256u64 {
+            let p = FsPlan::from_seed(seed);
+            assert_eq!(p, FsPlan::from_seed(seed));
+            assert!(p.at_op >= 1);
+            kinds.insert(p.kind.name());
+        }
+        assert_eq!(kinds.len(), FsFault::ALL.len(), "sweep must sample every kind");
+    }
+
+    #[test]
+    fn clones_share_the_op_counter() {
+        let d = tmp("clone");
+        let fs = Fs::faulty(FsPlan::new(FsFault::RenameFail, 3));
+        let fs2 = fs.clone();
+        fs.write(&d.join("a"), b"x").unwrap();
+        fs2.write(&d.join("b"), b"y").unwrap();
+        assert!(fs.remove_file(&d.join("a")).is_err(), "third op trips on either clone");
+        assert!(fs2.tripped());
+    }
+}

@@ -22,12 +22,16 @@
 //!   failing-seed reporting, halving shrink for integer/vec inputs)
 //!   replacing `proptest`, and [`bench`] — a warmup + median-of-N timing
 //!   harness with JSON output replacing `criterion`.
+//! * [`fs`] — a fault-injectable filesystem shim (torn/short writes,
+//!   `ENOSPC`, failed renames, keyed to a seed like the simulator's
+//!   fault plans) for crash-restart durability testing.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod bench;
 pub mod channel;
+pub mod fs;
 pub mod prop;
 pub mod rng;
 pub mod sync;

@@ -74,6 +74,8 @@ pub struct StreamDecoder {
     /// events before it stand.
     poisoned: Option<TraceError>,
     decoded_events: usize,
+    /// Epoch-boundary events decoded so far, across all rank streams.
+    epoch_marks: usize,
 }
 
 impl StreamDecoder {
@@ -95,6 +97,13 @@ impl StreamDecoder {
     /// Rank streams that have run to `Finish` so far.
     pub fn closed_streams(&self) -> usize {
         self.closed.len()
+    }
+
+    /// Epoch-boundary events decoded so far, summed across rank
+    /// streams (v1 fallback: 0 until `finish`). Monotone as bytes are
+    /// fed — the progress signal durability checkpoints key on.
+    pub fn epoch_marks(&self) -> usize {
+        self.epoch_marks
     }
 
     /// `true` once every rank's stream has run to `Finish` — any
@@ -156,6 +165,9 @@ impl StreamDecoder {
                     self.consumed = pos;
                     self.state = state;
                     self.decoded_events += 1;
+                    if is_epoch_boundary(&ev) {
+                        self.epoch_marks += 1;
+                    }
                     let finished = matches!(ev, TraceEvent::Finish);
                     self.cur.push(ev);
                     if finished {
@@ -318,15 +330,24 @@ mod tests {
         let t = sample();
         let bytes = t.encode();
         let mut dec = StreamDecoder::new();
+        let mut last_marks = 0;
         for piece in bytes.chunks(16) {
             dec.feed(piece).unwrap();
             // Trailer bytes at the tail are the only thing a complete
             // decode keeps around; mid-stream the buffer holds at most
             // one partial record past the header.
             assert!(dec.buffered_bytes() < 256, "buffer grew: {}", dec.buffered_bytes());
+            assert!(dec.epoch_marks() >= last_marks, "epoch progress must be monotone");
+            last_marks = dec.epoch_marks();
         }
         assert!(dec.is_complete());
         assert_eq!(dec.decoded_events(), t.event_count());
+        let boundary_total: usize = t
+            .streams
+            .iter()
+            .map(|s| s.iter().filter(|e| is_epoch_boundary(e)).count())
+            .sum();
+        assert_eq!(dec.epoch_marks(), boundary_total);
     }
 
     /// Byte offset one past the last record (the footer's start), from
