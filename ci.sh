@@ -239,6 +239,78 @@ done
 timeout 60 "$RMA_SERVED" stats --spool "$SPOOL" --check > /dev/null
 echo "    kill -9 mid-stream recovered: $SERVED_VERDICT; spool clean, stats schema ok"
 
+echo "==> overload smoke: quota shed, memory brownout, quarantine — structured and byte-stable"
+# Floods a serial daemon past its per-tenant quota (3 streams, quota 1)
+# and its global memory budget, with a seeded poison stream in the mix.
+# Overload must degrade *structurally*: shed verdicts carry a
+# machine-readable retry hint, a browned-out verdict says so
+# (degraded: true — FP-only, never a hidden race), the poison stream is
+# quarantined with its bytes parked for offline replay — and the
+# stats.json artifact stays counts-only, so two identical floods must
+# be byte-identical.
+HEAVY="$SMOKE_DIR/overload_heavy.rmatrc"
+timeout 60 "$RMA_TRACE" record --app bfs --out "$HEAVY" > /dev/null
+for RUN in a b; do
+    SPOOL="$SMOKE_DIR/served-overload-$RUN"
+    rm -rf "$SPOOL"
+    mkdir -p "$SPOOL/inbox"
+    for S in s1 s2 s3; do cp "$HEAVY" "$SPOOL/inbox/acme__$S.rmatrc"; done
+    cp "$SMOKE_B" "$SPOOL/inbox/poison__bad.rmatrc"
+    : > "$SPOOL/inbox/__shutdown__"
+    timeout 180 "$RMA_SERVED" serve --spool "$SPOOL" --serial --workers 1 \
+        --memory-budget 2 --max-streams-per-tenant 1 \
+        --max-respawns 5 --quarantine-after 2 \
+        --chaos-kill-tenant poison --chaos-kill-times 99 > /dev/null 2>&1
+    for S in s2 s3; do
+        if ! grep -q '^shed: tenant quota reached' "$SPOOL/outbox/acme__$S.verdict" ||
+            ! grep -q '^retry-after-ms: ' "$SPOOL/outbox/acme__$S.verdict"; then
+            echo "ERROR: acme/$S shed verdict lacks the structured retry hint" >&2
+            exit 1
+        fi
+    done
+    if ! grep -q '^degraded: true' "$SPOOL/outbox/acme__s1.verdict"; then
+        echo "ERROR: browned-out verdict not marked degraded" >&2
+        exit 1
+    fi
+    if ! grep -q '^tier: quarantined' "$SPOOL/outbox/poison__bad.verdict"; then
+        echo "ERROR: poison stream was not quarantined" >&2
+        exit 1
+    fi
+    if ! cmp -s "$SPOOL/quarantine/poison__bad.rmatrc" "$SMOKE_B"; then
+        echo "ERROR: quarantined bytes differ from the admitted stream" >&2
+        exit 1
+    fi
+    for PAT in '"shed":2' '"quarantined":1' '"tenant_quota":1' '"memory_budget":2'; do
+        if ! grep -q "$PAT" "$SPOOL/stats.json"; then
+            echo "ERROR: stats.json missing overload counter $PAT" >&2
+            exit 1
+        fi
+    done
+    if ! grep -o '"brownout":[0-9]*' "$SPOOL/stats.json" | grep -qv '"brownout":0'; then
+        echo "ERROR: stats.json reports no brownouts despite the memory budget" >&2
+        exit 1
+    fi
+    timeout 60 "$RMA_SERVED" stats --spool "$SPOOL" --check > /dev/null
+    if ! timeout 60 "$RMA_SERVED" stats --spool "$SPOOL" --human | grep -q '^overload: shed 2'; then
+        echo "ERROR: human stats rendering lost the overload tallies" >&2
+        exit 1
+    fi
+    # quarantine/ legitimately holds the parked bytes; everything else
+    # must be clean after a drained exit.
+    for SUB in wal work tmp; do
+        if [ -n "$(ls -A "$SPOOL/$SUB" 2> /dev/null)" ]; then
+            echo "ERROR: spool debris left in $SUB/ after the overload run" >&2
+            exit 1
+        fi
+    done
+    echo "    run $RUN: 2 shed (retryable), 1 browned out (degraded), 1 quarantined (replayable)"
+done
+if ! diff "$SMOKE_DIR/served-overload-a/stats.json" "$SMOKE_DIR/served-overload-b/stats.json"; then
+    echo "ERROR: two identical overload floods produced different stats.json" >&2
+    exit 1
+fi
+echo "    both floods' stats.json byte-identical"
+
 echo "==> bench_served smoke: runs, self-validates, baseline stays well-formed"
 BENCH_SERVED=./target/release/bench_served
 timeout 180 "$BENCH_SERVED" --smoke --out "$SMOKE_DIR/bench_served_smoke.json"

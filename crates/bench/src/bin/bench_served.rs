@@ -27,9 +27,10 @@
 
 use rma_served::daemon::{run_daemon, DaemonCfg, DaemonExit};
 use rma_served::{Durability, ServeCfg, Service, Spool};
+use rma_core::{Interval, SrcLoc};
 use rma_substrate::fs::Fs;
 use rma_suite::{generate_suite, run_case_with_monitor};
-use rma_trace::{replay, Detector, TraceWriter};
+use rma_trace::{replay, Detector, Trace, TraceEvent, TraceHeader, TraceWriter};
 use std::hint::black_box;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,6 +58,45 @@ struct Workload {
     streams: Vec<Vec<u8>>,
     events: usize,
     races: usize,
+}
+
+/// A single outsized stream. The many-small-streams batch exercises
+/// scheduling and admission; this row exercises per-stream store
+/// growth, chunked decode of a long stream, and sustained single-worker
+/// throughput. Churn-shaped (see `bench_hotpath`): one rank, one
+/// `lock_all` epoch, disjoint tracked accesses interleaved across 1 MiB
+/// regions so the interval store accumulates a node per access.
+struct LargeStream {
+    bytes: Vec<u8>,
+    events: usize,
+    races: usize,
+}
+
+fn record_large(regions: u64, per_region: u64) -> LargeStream {
+    let mut ev = Vec::new();
+    let win = rma_sim::WinId(0);
+    ev.push(TraceEvent::WinAllocate { win, base: 0, len: regions << 20 });
+    ev.push(TraceEvent::LockAll { win });
+    for i in 0..per_region {
+        for r in 0..regions {
+            let lo = (r << 20) + i * 3;
+            ev.push(TraceEvent::Local {
+                interval: Interval::new(lo, lo + 1),
+                write: i % 4 == 0,
+                on_stack: false,
+                tracked: true,
+                loc: SrcLoc::synthetic("large.c", r as u32 + 1),
+            });
+        }
+    }
+    ev.push(TraceEvent::UnlockAll { win });
+    ev.push(TraceEvent::Finish);
+    let trace = Trace {
+        header: TraceHeader { version: 1, nranks: 1, seed: 0x5EED, app: "large".into() },
+        streams: vec![ev],
+    };
+    let outcome = replay(&trace, Detector::FragMerge);
+    LargeStream { bytes: trace.encode(), events: outcome.events, races: outcome.races.len() }
 }
 
 /// Records the first `n` suite cases and pins the direct-replay
@@ -140,6 +180,27 @@ fn spool_batch(w: &Workload, durability: Durability) -> (u64, u64) {
     out
 }
 
+/// One served pass over the single large stream: one submission, one
+/// feeder, chunked feeds through the bounded queue.
+fn serve_large(l: &LargeStream) -> (u64, u64) {
+    let svc = Service::new(ServeCfg { workers: 2, ..Default::default() });
+    let h = svc.submit("bench", "large").expect("admission");
+    for piece in l.bytes.chunks(FEED_CHUNK) {
+        h.feed(piece).expect("feed");
+    }
+    h.finish().expect("verdict");
+    let (stats, _) = svc.shutdown();
+    let t = &stats.tenants["bench"];
+    (t.events, t.races)
+}
+
+/// Direct in-process replay of the large stream — its no-service floor.
+fn direct_large(l: &LargeStream) -> (u64, u64) {
+    let trace = rma_trace::Trace::decode(&l.bytes).expect("large stream decodes");
+    let out = replay(&trace, Detector::FragMerge);
+    (out.events as u64, out.races.len() as u64)
+}
+
 /// Direct in-process replay of the same batch — the no-service floor.
 fn direct_batch(w: &Workload) -> (u64, u64) {
     let mut events = 0u64;
@@ -162,13 +223,15 @@ struct Row {
     events_per_sec: f64,
 }
 
-fn report_json(smoke: bool, w: &Workload, rows: &[Row]) -> String {
+fn report_json(smoke: bool, w: &Workload, l: &LargeStream, rows: &[Row]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"served\",\n");
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     out.push_str(&format!("  \"streams\": {},\n", w.streams.len()));
     out.push_str(&format!("  \"events\": {},\n", w.events));
     out.push_str(&format!("  \"races\": {},\n", w.races));
+    out.push_str(&format!("  \"large_bytes\": {},\n", l.bytes.len()));
+    out.push_str(&format!("  \"large_events\": {},\n", l.events));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -190,7 +253,16 @@ fn report_json(smoke: bool, w: &Workload, rows: &[Row]) -> String {
 /// Schema validation of an existing report — same targeted-scan style
 /// as `bench_hotpath --check`.
 fn check_report(text: &str) -> Result<(), String> {
-    for key in ["\"bench\"", "\"smoke\"", "\"streams\"", "\"events\"", "\"races\"", "\"rows\""] {
+    for key in [
+        "\"bench\"",
+        "\"smoke\"",
+        "\"streams\"",
+        "\"events\"",
+        "\"races\"",
+        "\"large_bytes\"",
+        "\"large_events\"",
+        "\"rows\"",
+    ] {
         if !text.contains(key) {
             return Err(format!("missing key {key}"));
         }
@@ -199,12 +271,14 @@ fn check_report(text: &str) -> Result<(), String> {
         return Err("bench id is not \"served\"".into());
     }
     let mut rows = 0;
+    let mut large_rows = 0;
     for line in text.lines() {
         let line = line.trim();
         if !line.starts_with("{\"config\"") {
             continue;
         }
         rows += 1;
+        large_rows += usize::from(line.contains("large"));
         for key in [
             "\"config\"",
             "\"workers\"",
@@ -220,6 +294,9 @@ fn check_report(text: &str) -> Result<(), String> {
     }
     if rows == 0 {
         return Err("no measurement rows".into());
+    }
+    if large_rows == 0 {
+        return Err("no large-trace rows".into());
     }
     for key in
         ["\"workers\":", "\"median_ns\":", "\"best_ns\":", "\"events_per_sec\":", "\"events\":"]
@@ -272,13 +349,18 @@ fn main() -> ExitCode {
     }
 
     let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_served.json".to_string());
-    let (nstreams, samples) = if smoke { (16, 3) } else { (120, 7) };
+    let (nstreams, samples, regions, per_region) =
+        if smoke { (16, 3, 8, 200) } else { (120, 7, 64, 2000) };
     let w = record_workload(nstreams);
+    let l = record_large(regions, per_region);
     eprintln!(
-        "bench_served: {} stream(s), {} event(s), {} race(s) direct",
+        "bench_served: {} stream(s), {} event(s), {} race(s) direct; \
+         large stream {} bytes / {} event(s)",
         w.streams.len(),
         w.events,
-        w.races
+        w.races,
+        l.bytes.len(),
+        l.events
     );
 
     // Equivalence gate before any timing: every pool shape and every
@@ -299,11 +381,17 @@ fn main() -> ExitCode {
             "{label}: spool-daemon totals diverged from direct replay"
         );
     }
+    assert_eq!(
+        serve_large(&l),
+        (l.events as u64, l.races as u64),
+        "served/large: totals diverged from direct replay of the large stream"
+    );
 
     let mut rows = Vec::new();
     let mut measure = |config: &'static str,
                        workers: usize,
                        durability: &'static str,
+                       events: usize,
                        f: &dyn Fn() -> (u64, u64)| {
         let mut ns: Vec<f64> = (0..samples)
             .map(|_| {
@@ -321,16 +409,18 @@ fn main() -> ExitCode {
             durability,
             median_ns,
             best_ns,
-            events_per_sec: w.events as f64 / (best_ns / 1e9),
+            events_per_sec: events as f64 / (best_ns / 1e9),
         });
     };
-    measure("direct", 0, "-", &|| direct_batch(&w));
+    measure("direct", 0, "-", w.events, &|| direct_batch(&w));
     for &(label, workers) in &POOLS {
-        measure(label, workers, "-", &|| serve_batch(&w, workers));
+        measure(label, workers, "-", w.events, &|| serve_batch(&w, workers));
     }
     for &(label, durability) in &SPOOL_MODES {
-        measure(label, 2, durability.name(), &|| spool_batch(&w, durability));
+        measure(label, 2, durability.name(), w.events, &|| spool_batch(&w, durability));
     }
+    measure("direct/large", 0, "-", l.events, &|| direct_large(&l));
+    measure("served/large", 2, "-", l.events, &|| serve_large(&l));
 
     let eps = |config: &str| {
         rows.iter().find(|r| r.config == config).map(|r| r.events_per_sec).unwrap_or(f64::NAN)
@@ -341,8 +431,12 @@ fn main() -> ExitCode {
         "durability tax (strict vs none): {:.2}x",
         eps("spool/none") / eps("spool/strict")
     );
+    println!(
+        "large-trace overhead (served vs direct): {:.2}x",
+        eps("direct/large") / eps("served/large")
+    );
 
-    let json = report_json(smoke, &w, &rows);
+    let json = report_json(smoke, &w, &l, &rows);
     if let Err(e) = check_report(&json) {
         eprintln!("bench_served: generated report fails its own schema check: {e}");
         return ExitCode::FAILURE;

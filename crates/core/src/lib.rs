@@ -62,6 +62,7 @@ pub mod avl;
 pub mod conflict;
 pub mod flat;
 pub mod fragmerge;
+pub mod gauge;
 pub mod interval;
 pub mod legacy;
 pub mod naive;
@@ -75,6 +76,7 @@ pub use adaptive::{AdaptiveCfg, AdaptiveStore};
 pub use conflict::{combine, conflicts, legacy_conflicts, precedence};
 pub use flat::FlatStore;
 pub use fragmerge::FragMergeStore;
+pub use gauge::{MemGauge, MeteredStore, StoreRebuild};
 pub use interval::{Addr, Interval};
 pub use legacy::LegacyStore;
 pub use naive::{NaiveStore, ShadowRef};

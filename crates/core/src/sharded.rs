@@ -271,6 +271,7 @@ impl<S: ShardableStore> AccessStore for ShardedStore<S> {
             fragments: inner.fragments,
             merges: inner.merges,
             coalesced: inner.coalesced,
+            brownouts: inner.brownouts,
             epochs: self.stats.epochs,
             cum_epoch_end_len: self.stats.cum_epoch_end_len,
             fast_hits: self.stats.fast_hits,

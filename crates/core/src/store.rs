@@ -25,6 +25,12 @@ pub struct StoreStats {
     /// precision for memory: reported races may include false positives,
     /// but never false negatives.
     pub coalesced: usize,
+    /// Times a service-wide memory-pressure brownout retroactively
+    /// coalesced this store (0 outside metered serving; see
+    /// `rma_core::gauge`). Like `coalesced`, non-zero means precision
+    /// was traded for memory: false positives possible, false negatives
+    /// still impossible.
+    pub brownouts: usize,
     /// Number of epochs closed (`clear` calls).
     pub epochs: usize,
     /// Sum over epochs of the node count at epoch end — the per-run
@@ -65,6 +71,7 @@ impl StoreStats {
         self.fragments += other.fragments;
         self.merges += other.merges;
         self.coalesced += other.coalesced;
+        self.brownouts += other.brownouts;
         self.epochs += other.epochs;
         self.cum_epoch_end_len += other.cum_epoch_end_len;
         self.fast_hits += other.fast_hits;

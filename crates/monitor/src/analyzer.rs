@@ -29,7 +29,8 @@ use rma_substrate::channel::{unbounded, Receiver, Sender};
 use rma_substrate::sync::{Condvar, Mutex, RwLock};
 use rma_core::{
     AccessStore, AdaptiveCfg, AdaptiveStore, FlatStore, FragMergeStore, Interval, LegacyStore,
-    MemAccess, NaiveStore, RaceReport, ShardedStore, StoreStats,
+    MemAccess, MemGauge, MeteredStore, NaiveStore, RaceReport, ShardedStore, StoreRebuild,
+    StoreStats,
 };
 use rma_sim::{AbortView, HookResult, LocalEvent, Monitor, RankId, RmaEvent, WinId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -285,6 +286,21 @@ impl AnalyzerCfg {
                 }
             }
         }
+    }
+
+    /// Like [`AnalyzerCfg::build_store`], but the store keeps its node
+    /// count synced into `gauge` and retro-coalesces (FP-only, see
+    /// [`rma_core::gauge`]) when the gauge crosses its budget and this
+    /// store exceeds its fair share. Brownout replacements are built
+    /// from this same configuration with `node_budget` set to the cap.
+    pub fn build_store_metered(
+        &self,
+        domain: Option<Interval>,
+        gauge: &MemGauge,
+    ) -> Box<dyn AccessStore + Send> {
+        let cfg = *self;
+        let rebuild: StoreRebuild = Box::new(move |cap| cfg.budgeted(cap).build_store(domain));
+        Box::new(MeteredStore::new(self.build_store(domain), rebuild, gauge.clone()))
     }
 }
 

@@ -38,7 +38,9 @@
 
 use rma_monitor::{AnalyzerCfg, Engine};
 use rma_served::daemon::{run_daemon, DaemonCfg, DaemonExit};
-use rma_served::{check_stats_json, ChaosCfg, DrainOutcome, Durability, ServeCfg, Spool};
+use rma_served::{
+    check_stats_json, render_stats_json, ChaosCfg, DrainOutcome, Durability, ServeCfg, Spool,
+};
 use rma_sim::FaultKind;
 use rma_substrate::fs::{Fs, FsPlan};
 use rma_trace::Detector;
@@ -51,10 +53,12 @@ const USAGE: &str = "usage:
                       [--engine tree|flat|adaptive] [--shards N] [--node-budget N]
                       [--workers N] [--queue-bound N] [--max-respawns N]
                       [--watchdog-ms N] [--ingest-delay-ms N]
+                      [--memory-budget NODES] [--stream-deadline MS]
+                      [--max-streams-per-tenant N] [--quarantine-after N]
                       [--durability none|batch|strict] [--serial] [--fault-seed N]
                       [--chaos-kill-tenant T] [--chaos-kill-times N] [--chaos-kill-at N]
   rma-served submit   FILE --spool DIR [--tenant T] [--name N] [--wait]
-  rma-served stats    --spool DIR [--check]
+  rma-served stats    --spool DIR [--check] [--human]
   rma-served shutdown --spool DIR [--wait]";
 
 fn main() -> ExitCode {
@@ -146,6 +150,18 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     if let Some(d) = take_num::<u64>(&mut args, "--ingest-delay-ms")? {
         cfg.ingest_delay = Some(Duration::from_millis(d));
     }
+    if let Some(b) = take_num::<usize>(&mut args, "--memory-budget")? {
+        cfg.memory_budget = Some(b);
+    }
+    if let Some(d) = take_num::<u64>(&mut args, "--stream-deadline")? {
+        cfg.stream_deadline = Some(d);
+    }
+    if let Some(q) = take_num(&mut args, "--max-streams-per-tenant")? {
+        cfg.max_streams_per_tenant = q;
+    }
+    if let Some(q) = take_num(&mut args, "--quarantine-after")? {
+        cfg.quarantine_after = q;
+    }
     if let Some(tenant) = take_opt(&mut args, "--chaos-kill-tenant")? {
         let times = take_num(&mut args, "--chaos-kill-times")?.unwrap_or(1);
         let at_event = take_num(&mut args, "--chaos-kill-at")?.unwrap_or(0);
@@ -236,7 +252,11 @@ fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
         loop {
             if let Ok(body) = std::fs::read_to_string(&verdict_path) {
                 print!("{body}");
-                return Ok(if body.contains("\nerror: ") {
+                // `shed:` bodies are structured refusals (tenant quota):
+                // the machine-readable `retry-after-ms:` line tells the
+                // caller when to resubmit. Both refusal shapes fail the
+                // wait so scripts notice.
+                return Ok(if body.contains("\nerror: ") || body.contains("\nshed: ") {
                     ExitCode::FAILURE
                 } else {
                     ExitCode::SUCCESS
@@ -253,13 +273,18 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     let spool_dir =
         take_opt(&mut args, "--spool")?.ok_or_else(|| format!("--spool required\n{USAGE}"))?;
     let check = take_flag(&mut args, "--check");
+    let human = take_flag(&mut args, "--human");
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
     }
     let path = PathBuf::from(&spool_dir).join("stats.json");
     let body = std::fs::read_to_string(&path)
         .map_err(|e| format!("{}: {e} (stats.json is written at daemon shutdown)", path.display()))?;
-    print!("{body}");
+    if human {
+        print!("{}", render_stats_json(&body).map_err(|e| format!("stats.json: {e}"))?);
+    } else {
+        print!("{body}");
+    }
     if check {
         check_stats_json(&body).map_err(|e| format!("stats.json: {e}"))?;
         eprintln!("stats.json: schema ok");

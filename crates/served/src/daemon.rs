@@ -19,13 +19,13 @@
 //! silently dropped.
 
 use crate::recovery::{recover, RecoveryStats};
-use crate::service::{ServeCfg, ServeError, Service, StreamHandle};
-use crate::spool::{error_body, parse_stream_stem, verdict_body, Spool};
+use crate::service::{ServeCfg, ServeError, Service, StreamHandle, Tier};
+use crate::spool::{error_body, parse_stream_stem, shed_body, verdict_body, Spool};
 use crate::stats::ServedStats;
 use crate::wal::{Durability, WalRecord, WalWriter};
 use crate::DrainOutcome;
 use rma_trace::trace::fnv1a;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -123,6 +123,18 @@ pub fn run_daemon(spool: &Spool, cfg: &DaemonCfg) -> Result<DaemonExit, String> 
             .filter(|p| p.extension().is_some_and(|x| x == "rmatrc"))
             .collect();
 
+        // Per-tenant admission pressure as of this round: everything
+        // already claimed but not yet admitted, plus live streams. The
+        // quota decision keys on it *at claim time* — a sorted scan and
+        // a deterministic count, so which stream sheds is reproducible.
+        let quota = cfg.serve.max_streams_per_tenant;
+        let mut tenant_load: HashMap<String, usize> = HashMap::new();
+        if quota > 0 {
+            for p in &pending {
+                *tenant_load.entry(p.tenant.clone()).or_insert(0) += 1;
+            }
+        }
+
         // Claim every inbox entry: WAL-admit it, then atomically move
         // its bytes to work/. From this point a crash can no longer
         // lose the stream — recovery recomputes from work/.
@@ -132,6 +144,33 @@ pub fn run_daemon(spool: &Spool, cfg: &DaemonCfg) -> Result<DaemonExit, String> 
             }
             let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("stream").to_string();
             let (tenant, name) = parse_stream_stem(&stem);
+            if quota > 0 {
+                let load = tenant_load.entry(tenant.clone()).or_insert(0);
+                if *load + svc.tenant_live(&tenant) >= quota {
+                    // Load shed: refuse before journaling anything. The
+                    // structured verdict carries a machine-readable
+                    // retry hint; the submission is consumed so the
+                    // client unblocks instead of being served late.
+                    let retry_ms = (cfg.poll.as_millis() as u64).saturating_mul(2).max(1);
+                    let body = shed_body(&tenant, &name, "tenant quota reached", retry_ms);
+                    let file = Spool::stream_file(&tenant, &name, "verdict");
+                    let shed = spool
+                        .publish_idempotent(&spool.outbox, &file, body.as_bytes(), cfg.durability)
+                        .and_then(|_| fs.remove_file(&path));
+                    match shed {
+                        Ok(()) => svc.note_shed(&tenant),
+                        Err(e) => {
+                            // Couldn't refuse cleanly: leave the inbox
+                            // entry for the next round.
+                            if !fs.tripped() {
+                                eprintln!("rma-served: {tenant}/{name}: shed failed: {e}");
+                            }
+                        }
+                    }
+                    continue;
+                }
+                *load += 1;
+            }
             let bytes = match fs.read(&path) {
                 Ok(b) => b,
                 Err(e) => {
@@ -333,26 +372,88 @@ fn feed_stream(ctx: FeederCtx, p: Pending, handle: StreamHandle) {
     if fs.tripped() {
         return;
     }
-    let (body, complete) = if !ok {
-        (error_body(&p.tenant, &p.name, "rejected mid-stream"), false)
-    } else {
-        match handle.finish() {
-            Ok(rep) => {
-                // Final epoch checkpoint: the analyzed count is exact
-                // and reproducible once the verdict exists.
-                let rec = WalRecord::Epoch { epochs: rep.epochs_kept as u64, offset: fed };
-                if p.wal.append(&rec).is_err() && !fs.tripped() {
-                    eprintln!("rma-served: {}/{}: wal epoch failed", p.tenant, p.name);
-                }
-                (verdict_body(&rep), true)
+    let (body, complete) = match handle.finish() {
+        Ok(rep) if rep.tier == Tier::Quarantined => {
+            // Poison stream: its bytes are retained, not cleaned up,
+            // and the quarantine must survive a crash-restart without
+            // recovery re-analyzing (and re-crashing on) them.
+            if !fs.tripped() {
+                publish_quarantined(&ctx, &p, &rep);
             }
-            Err(e) => (error_body(&p.tenant, &p.name, &format!("{e}")), false),
+            return;
         }
+        Ok(rep) => {
+            // Final epoch checkpoint: the analyzed count is exact
+            // and reproducible once the verdict exists.
+            let rec = WalRecord::Epoch { epochs: rep.epochs_kept as u64, offset: fed };
+            if p.wal.append(&rec).is_err() && !fs.tripped() {
+                eprintln!("rma-served: {}/{}: wal epoch failed", p.tenant, p.name);
+            }
+            (verdict_body(&rep), true)
+        }
+        // A mid-stream rejection whose stream the service still saw
+        // through to a verdict (deadline eviction, lost worker):
+        // `finish` above returned it and the arms before this ran. Here
+        // the service produced nothing — surface a structured error.
+        Err(_) if !ok => (error_body(&p.tenant, &p.name, "rejected mid-stream"), false),
+        Err(e) => (error_body(&p.tenant, &p.name, &format!("{e}")), false),
     };
     if fs.tripped() {
         return;
     }
     publish_verdict(&ctx, &p, body.as_bytes(), complete);
+}
+
+/// Publishes a quarantined stream's verdict and parks its bytes under
+/// `quarantine/` for offline replay, journaling so recovery can finish
+/// (or byte-identically repeat) any step a crash interrupts:
+/// `Quarantined` record → verdict → move `work/`→`quarantine/` →
+/// `Published` record → rm WAL.
+fn publish_quarantined(ctx: &FeederCtx, p: &Pending, rep: &crate::service::StreamReport) {
+    let fs = ctx.spool.fs();
+    let rec = WalRecord::Quarantined { deaths: u64::from(rep.respawns) };
+    if p.wal.append(&rec).is_err() {
+        if !fs.tripped() {
+            eprintln!("rma-served: {}/{}: wal quarantine record failed", p.tenant, p.name);
+        }
+        return; // WAL + work stay; recovery re-runs the stream
+    }
+    let body = verdict_body(rep);
+    let file = Spool::stream_file(&p.tenant, &p.name, "verdict");
+    let published =
+        ctx.spool.publish_idempotent(&ctx.spool.outbox, &file, body.as_bytes(), ctx.durability);
+    if let Err(e) = published {
+        ctx.publish_failures.fetch_add(1, Ordering::SeqCst);
+        if !fs.tripped() {
+            eprintln!(
+                "rma-served: {}/{}: quarantine verdict publish failed: {e} (recoverable)",
+                p.tenant, p.name
+            );
+        }
+        return;
+    }
+    let parked = fs.rename(
+        &ctx.spool.work_path(&p.tenant, &p.name),
+        &ctx.spool.quarantine_path(&p.tenant, &p.name),
+    );
+    if let Err(e) = parked {
+        if !fs.tripped() {
+            eprintln!("rma-served: {}/{}: quarantine park failed: {e}", p.tenant, p.name);
+        }
+        return; // recovery sees the Quarantined record and finishes the move
+    }
+    let rec = WalRecord::Published {
+        verdict_len: body.len() as u64,
+        verdict_fnv: fnv1a(body.as_bytes()),
+    };
+    if p.wal.append(&rec).is_err() && !fs.tripped() {
+        eprintln!("rma-served: {}/{}: wal publish record failed", p.tenant, p.name);
+    }
+    if let Err(e) = fs.remove_file(p.wal.path()) {
+        if !fs.tripped() {
+            eprintln!("rma-served: {}: cleanup failed: {e}", p.wal.path().display());
+        }
+    }
 }
 
 /// Publishes a verdict body and, if `complete`, clears the stream's

@@ -53,11 +53,30 @@
 //!   byte-identical to an uninterrupted run, with zero duplicates and
 //!   zero losses.
 //!
+//! * **Overload resilience** — four independent pressure valves, each
+//!   structured and each surfaced in the stats artifact: a global
+//!   memory-pressure accountant ([`rma_core::MemGauge`] via
+//!   `--memory-budget`) that tightens node budgets on admission and
+//!   retroactively coalesces the heaviest live stores (*FP-only* — a
+//!   brownout can add false positives, never lose a true race, and
+//!   marks its verdicts `degraded`); per-stream progress deadlines
+//!   (`--stream-deadline`, on an injectable [`rma_substrate::clock`])
+//!   that evict zero-progress streams with [`Tier::Timeout`];
+//!   poison-stream quarantine (`--quarantine-after`) that parks a
+//!   stream whose worker keeps dying across respawns *or restarts*
+//!   (persisted via a WAL `Quarantined` record) under
+//!   `spool/quarantine/` with [`Tier::Quarantined`], bytes retained
+//!   for offline replay; and per-tenant admission quotas
+//!   (`--max-streams-per-tenant`) whose load-shed verdicts carry a
+//!   machine-readable `retry-after-ms` hint.
+//!
 //! Verdict tiers follow the True-Positives-Theorem framing: a verdict
 //! on a *complete* stream ([`Tier::Clean`] / [`Tier::Racy`]) is exact
 //! for that execution, while [`Tier::Truncated`] marks a verdict that
 //! only covers the salvaged epoch-aligned prefix (needs review) and
 //! [`Tier::Lost`] / [`Tier::Malformed`] carry no verdict at all.
+//! [`Tier::Timeout`] and [`Tier::Quarantined`] mark overload/poison
+//! evictions: no verdict, but a structured, machine-readable reason.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -74,6 +93,6 @@ pub use recovery::{recover, RecoveryStats};
 pub use service::{
     ChaosCfg, DrainOutcome, ServeCfg, ServeError, Service, StreamHandle, StreamReport, Tier,
 };
-pub use spool::{parse_stream_stem, verdict_body, PublishOutcome, Spool};
-pub use stats::{check_stats_json, ServedStats, TenantStats};
+pub use spool::{parse_stream_stem, shed_body, verdict_body, PublishOutcome, Spool};
+pub use stats::{check_stats_json, render_stats_json, ServedStats, TenantStats};
 pub use wal::{read_wal, Durability, WalRecord, WalScan, WalWriter};

@@ -30,10 +30,21 @@
 //! Every counter in [`RecoveryStats`] is a deterministic function of
 //! the crash state (scans are sorted), so a seeded crash-restart sweep
 //! can assert them byte-for-byte via `stats.json`.
+//!
+//! **Poison streams.** A WAL carrying a `Quarantined` record is never
+//! re-analyzed — re-analysis is exactly what re-crashes on a poison
+//! stream. Its verdict is a pure function of the record, so recovery
+//! republishes it byte-identically, finishes parking the bytes under
+//! `quarantine/`, and sweeps the WAL. Symmetrically, when
+//! `quarantine_after` is enabled, recovery counts the WAL's `Admit`
+//! records (one per incarnation that started the stream and died) and
+//! appends a fresh one before re-analyzing; a stream that keeps taking
+//! the daemon down crosses the threshold *at startup* and is
+//! quarantined instead of analyzed — the restart loop converges.
 
-use crate::service::{analyze_bytes, ServeCfg};
+use crate::service::{analyze_bytes, quarantined_report, ServeCfg};
 use crate::spool::{parse_stream_stem, verdict_body, PublishOutcome, Spool};
-use crate::wal::{read_wal, Durability};
+use crate::wal::{read_wal, Durability, WalRecord, WalWriter};
 use rma_trace::trace::fnv1a;
 use std::io;
 
@@ -61,6 +72,11 @@ pub struct RecoveryStats {
     /// Verdict publishes that failed and were surfaced (serve-time
     /// counter; recovery retries these on the next start).
     pub publish_failures: u64,
+    /// Streams resolved as poison at startup: a `Quarantined` WAL
+    /// record was honored, or the restart-attempt count crossed
+    /// `quarantine_after`. Their bytes sit in `quarantine/`, never
+    /// re-analyzed.
+    pub quarantined: u64,
 }
 
 impl RecoveryStats {
@@ -68,7 +84,8 @@ impl RecoveryStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"recovered\":{},\"republished\":{},\"wal_records\":{},\"torn_wals\":{},\
-             \"stale_wals\":{},\"orphan_work\":{},\"tmp_swept\":{},\"publish_failures\":{}}}",
+             \"stale_wals\":{},\"orphan_work\":{},\"tmp_swept\":{},\"publish_failures\":{},\
+             \"quarantined\":{}}}",
             self.recovered,
             self.republished,
             self.wal_records,
@@ -76,13 +93,14 @@ impl RecoveryStats {
             self.stale_wals,
             self.orphan_work,
             self.tmp_swept,
-            self.publish_failures
+            self.publish_failures,
+            self.quarantined
         )
     }
 
     /// Field names, [`RecoveryStats::to_json`] order — the schema the
     /// stats checker enforces.
-    pub const KEYS: [&'static str; 8] = [
+    pub const KEYS: [&'static str; 9] = [
         "recovered",
         "republished",
         "wal_records",
@@ -91,7 +109,39 @@ impl RecoveryStats {
         "orphan_work",
         "tmp_swept",
         "publish_failures",
+        "quarantined",
     ];
+}
+
+/// Publishes the (purely record-derived) quarantined verdict, parks the
+/// stream's bytes under `quarantine/`, and sweeps its WAL — without
+/// ever decoding the bytes.
+fn resolve_quarantined(
+    spool: &Spool,
+    durability: Durability,
+    tenant: &str,
+    name: &str,
+    deaths: u64,
+    stats: &mut RecoveryStats,
+) -> io::Result<()> {
+    let report = quarantined_report(tenant, name, deaths.min(u64::from(u32::MAX)) as u32);
+    let body = verdict_body(&report);
+    let file = Spool::stream_file(tenant, name, "verdict");
+    match spool.publish_idempotent(&spool.outbox, &file, body.as_bytes(), durability)? {
+        PublishOutcome::Written => stats.republished += 1,
+        PublishOutcome::Identical => {}
+    }
+    let work = spool.work_path(tenant, name);
+    if work.exists() {
+        spool.fs().rename(&work, &spool.quarantine_path(tenant, name))?;
+    }
+    let wal = spool.wal_path(tenant, name);
+    if wal.exists() {
+        spool.fs().remove_file(&wal)?;
+    }
+    stats.recovered += 1;
+    stats.quarantined += 1;
+    Ok(())
 }
 
 /// Recomputes and idempotently publishes the verdict for `work` bytes,
@@ -141,6 +191,14 @@ pub fn recover(spool: &Spool, cfg: &ServeCfg, durability: Durability) -> io::Res
         stats.wal_records += scan.records.len() as u64;
         stats.torn_wals += u64::from(scan.torn);
 
+        // Poison stream: the quarantine verdict is a pure function of
+        // the record, the bytes are parked, never re-analyzed. Checked
+        // before anything that would decode them.
+        if let Some(deaths) = scan.quarantined() {
+            resolve_quarantined(spool, durability, &tenant, &name, deaths, &mut stats)?;
+            continue;
+        }
+
         let work = spool.work_path(&tenant, &name);
         let Ok(bytes) = spool.fs().read(&work) else {
             // No admitted bytes: fully published (cleanup interrupted)
@@ -162,6 +220,26 @@ pub fn recover(spool: &Spool, cfg: &ServeCfg, durability: Durability) -> io::Res
                     continue;
                 }
             }
+        }
+
+        // Restart-attempt accounting, only when quarantine is enabled
+        // (the append changes the mutating-op sequence, and the fault
+        // sweeps pin that). Every `Admit` in the log is an incarnation
+        // that started this stream and died with it unresolved; at the
+        // threshold the stream is declared poison *instead of* being
+        // re-analyzed, so a crash loop converges at startup.
+        let threshold = u64::from(cfg.quarantine_after);
+        if threshold > 0 {
+            let attempts = scan.admits();
+            if attempts >= threshold {
+                resolve_quarantined(spool, durability, &tenant, &name, attempts, &mut stats)?;
+                continue;
+            }
+            let w = WalWriter::reopen(spool.fs().clone(), wal_path.clone(), durability, &scan)?;
+            w.append(&WalRecord::Admit {
+                bytes_len: bytes.len() as u64,
+                bytes_fnv: fnv1a(&bytes),
+            })?;
         }
         resolve_from_work(spool, cfg, durability, &tenant, &name, &bytes, &mut stats)?;
     }

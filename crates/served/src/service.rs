@@ -16,10 +16,12 @@
 //! past the budget the stream fail-stops with [`Tier::Lost`].
 
 use crate::stats::{ServedStats, TenantStats};
+use rma_core::MemGauge;
 use rma_monitor::AnalyzerCfg;
 use rma_must::Completeness;
 use rma_sim::FaultKind;
 use rma_substrate::channel::{bounded, Receiver, RecvCancelError, Sender};
+use rma_substrate::clock::Clock;
 use rma_substrate::sync::{Condvar, Mutex};
 use rma_trace::{
     replay_trace, verdict_line, Detector, MustTarget, StoreTarget, StreamDecoder, StreamEnd,
@@ -45,12 +47,27 @@ pub enum Tier {
     Lost,
     /// The bytes never decoded to a trace; no verdict.
     Malformed,
+    /// The stream made no progress within [`ServeCfg::stream_deadline`]
+    /// and was evicted to reclaim its slot; no verdict.
+    Timeout,
+    /// The stream's worker died [`ServeCfg::quarantine_after`] times
+    /// (across respawns or daemon restarts): the bytes are treated as
+    /// poison, parked in `spool/quarantine/` for offline replay, and
+    /// never fed to a worker again.
+    Quarantined,
 }
 
 impl Tier {
     /// All tiers, telemetry order.
-    pub const ALL: [Tier; 5] =
-        [Tier::Clean, Tier::Racy, Tier::Truncated, Tier::Lost, Tier::Malformed];
+    pub const ALL: [Tier; 7] = [
+        Tier::Clean,
+        Tier::Racy,
+        Tier::Truncated,
+        Tier::Lost,
+        Tier::Malformed,
+        Tier::Timeout,
+        Tier::Quarantined,
+    ];
 
     /// Canonical telemetry key.
     pub fn name(self) -> &'static str {
@@ -60,10 +77,12 @@ impl Tier {
             Tier::Truncated => "truncated",
             Tier::Lost => "lost",
             Tier::Malformed => "malformed",
+            Tier::Timeout => "timeout",
+            Tier::Quarantined => "quarantined",
         }
     }
 
-    /// Position of this tier in a `[u64; 5]` tier-count array
+    /// Position of this tier in a `[u64; 7]` tier-count array
     /// ([`Tier::ALL`] order), e.g. [`crate::TenantStats::tiers`].
     pub fn idx(self) -> usize {
         match self {
@@ -72,6 +91,8 @@ impl Tier {
             Tier::Truncated => 2,
             Tier::Lost => 3,
             Tier::Malformed => 4,
+            Tier::Timeout => 5,
+            Tier::Quarantined => 6,
         }
     }
 }
@@ -123,6 +144,31 @@ pub struct ServeCfg {
     pub ingest_delay: Option<Duration>,
     /// Deterministic fault injection.
     pub chaos: Option<ChaosCfg>,
+    /// The clock deadlines and delays are measured on. Defaults to the
+    /// wall clock; tests inject [`Clock::manual`] and drive time with
+    /// [`Clock::advance`] so timeout edges are deterministic.
+    pub clock: Clock,
+    /// Per-stream zero-progress deadline in clock milliseconds: a live
+    /// stream that consumes no chunk for this long is evicted with
+    /// [`Tier::Timeout`], reclaiming its admission slot instead of
+    /// wedging it. `None` (the default) disables eviction.
+    pub stream_deadline: Option<u64>,
+    /// Worker deaths (across respawns — and, through the daemon's WAL,
+    /// across restarts) after which a stream is declared poison and
+    /// parked with [`Tier::Quarantined`]. `0` (the default) disables
+    /// quarantine. Set this ≤ [`ServeCfg::max_respawns`] for quarantine
+    /// to win over [`Tier::Lost`] on the live path.
+    pub quarantine_after: u32,
+    /// Streams one tenant may hold in flight before `submit` sheds
+    /// with [`ServeError::Quota`]. `0` (the default) means unlimited.
+    pub max_streams_per_tenant: usize,
+    /// Service-wide detector-store node budget. When the summed live
+    /// footprint crosses it, new analyses are admitted with a tightened
+    /// `node_budget` and the heaviest live stores retroactively
+    /// coalesce ([`rma_core::gauge`]) — FP-only brownout: affected
+    /// verdicts flag `degraded` and count as `brownout`. `None` (the
+    /// default) disables the accountant.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for ServeCfg {
@@ -137,6 +183,11 @@ impl Default for ServeCfg {
             watchdog_ms: 5_000,
             ingest_delay: None,
             chaos: None,
+            clock: Clock::real(),
+            stream_deadline: None,
+            quarantine_after: 0,
+            max_streams_per_tenant: 0,
+            memory_budget: None,
         }
     }
 }
@@ -168,6 +219,10 @@ pub struct StreamReport {
     /// The detector store coalesced under its node budget: the verdict
     /// may contain false positives, never false negatives.
     pub degraded: bool,
+    /// The coalescing was forced by service-wide memory pressure
+    /// ([`ServeCfg::memory_budget`]) rather than this stream's own
+    /// budget. Implies `degraded`; same FP-only contract.
+    pub brownout: bool,
 }
 
 /// Why the service refused or abandoned an operation.
@@ -178,6 +233,10 @@ pub enum ServeError {
     Rejected,
     /// Admission refused: `max_live_streams` already in flight.
     Busy,
+    /// Admission shed: the tenant already holds
+    /// [`ServeCfg::max_streams_per_tenant`] streams in flight. Retry
+    /// after one of them drains.
+    Quota,
     /// The pool made no progress for a whole watchdog window.
     Wedged,
 }
@@ -187,6 +246,7 @@ impl std::fmt::Display for ServeError {
         f.write_str(match self {
             ServeError::Rejected => "stream rejected (service shutting down)",
             ServeError::Busy => "service busy (live-stream cap reached)",
+            ServeError::Quota => "tenant quota reached (per-tenant live-stream cap)",
             ServeError::Wedged => "pool wedged (no progress within the watchdog window)",
         })
     }
@@ -234,17 +294,25 @@ struct Job {
     kills_left: Mutex<u32>,
     /// Decoded-event threshold for the next kill.
     kill_at: u64,
+    /// Clock time ([`ServeCfg::clock`]) of admission or of the last
+    /// consumed chunk — what the deadline monitor measures staleness
+    /// against.
+    last_progress_ms: AtomicU64,
+    /// Set (once) by the deadline monitor; workers treat it as a
+    /// per-stream cancellation and the stream reports [`Tier::Timeout`].
+    timed_out: AtomicBool,
     /// The verdict, once produced.
     done: Mutex<Option<StreamReport>>,
-    done_cv: Condvar,
 }
 
 impl Job {
     /// Stores the decoder's live progress where the producer side can
-    /// read it ([`StreamHandle::progress`]).
-    fn publish_progress(&self, dec: &StreamDecoder) {
+    /// read it ([`StreamHandle::progress`]) and stamps the deadline
+    /// clock.
+    fn publish_progress(&self, dec: &StreamDecoder, clock: &Clock) {
         self.decoded.store(dec.decoded_events() as u64, Ordering::SeqCst);
         self.epochs.store(dec.epoch_marks() as u64, Ordering::SeqCst);
+        self.last_progress_ms.store(clock.now_ms(), Ordering::SeqCst);
     }
 
     /// Consumes one chaos kill if this point qualifies.
@@ -303,6 +371,9 @@ struct Inner {
     cfg: ServeCfg,
     /// `cfg.analyzer` with `algorithm` forced to the detector's.
     rcfg: AnalyzerCfg,
+    /// The memory-pressure accountant, when
+    /// [`ServeCfg::memory_budget`] is set.
+    gauge: Option<MemGauge>,
     sched: Mutex<Sched>,
     /// Workers park here waiting for jobs.
     job_cv: Condvar,
@@ -316,6 +387,24 @@ struct Inner {
     /// stream at verdict time, so redelivery does not double-count).
     events_total: AtomicU64,
     shutting_down: AtomicBool,
+    /// Watchdog parking lot: [`Service::drain`] and
+    /// [`StreamHandle::finish`] park here instead of polling; every
+    /// progress bump notifies while someone waits.
+    tick: (Mutex<()>, Condvar),
+    tick_waiters: AtomicU64,
+}
+
+impl Inner {
+    /// Counts one unit of pool progress and wakes parked watchdogs.
+    fn bump_progress(&self) {
+        self.progress.fetch_add(1, Ordering::SeqCst);
+        if self.tick_waiters.load(Ordering::SeqCst) > 0 {
+            // Lock-then-notify so a watchdog between its progress check
+            // and its park cannot miss the tick.
+            drop(self.tick.0.lock());
+            self.tick.1.notify_all();
+        }
+    }
 }
 
 /// The running service. Dropping it shuts the pool down (without a
@@ -333,11 +422,14 @@ pub struct StreamHandle {
 }
 
 impl Service {
-    /// Spawns the worker pool.
+    /// Spawns the worker pool (plus the deadline monitor when
+    /// [`ServeCfg::stream_deadline`] is set).
     pub fn new(cfg: ServeCfg) -> Service {
         let rcfg = resolve_rcfg(&cfg);
+        let gauge = cfg.memory_budget.map(MemGauge::new);
         let inner = Arc::new(Inner {
             rcfg,
+            gauge,
             sched: Mutex::new(Sched {
                 queues: BTreeMap::new(),
                 cursor: String::new(),
@@ -351,14 +443,20 @@ impl Service {
             active: AtomicU64::new(0),
             events_total: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
+            tick: (Mutex::new(()), Condvar::new()),
+            tick_waiters: AtomicU64::new(0),
             cfg,
         });
-        let workers = (0..inner.cfg.workers.max(1))
+        let mut workers: Vec<JoinHandle<()>> = (0..inner.cfg.workers.max(1))
             .map(|_| {
                 let inner = inner.clone();
                 std::thread::spawn(move || worker_loop(&inner))
             })
             .collect();
+        if inner.cfg.stream_deadline.is_some() {
+            let inner = inner.clone();
+            workers.push(std::thread::spawn(move || deadline_loop(&inner)));
+        }
         Service { inner, workers }
     }
 
@@ -385,8 +483,9 @@ impl Service {
             journal: Mutex::new(Vec::new()),
             kills_left: Mutex::new(kills),
             kill_at,
+            last_progress_ms: AtomicU64::new(self.inner.cfg.clock.now_ms()),
+            timed_out: AtomicBool::new(false),
             done: Mutex::new(None),
-            done_cv: Condvar::new(),
         });
         {
             let mut sched = self.inner.sched.lock();
@@ -396,12 +495,44 @@ impl Service {
             if sched.live.len() >= self.inner.cfg.max_live_streams {
                 return Err(ServeError::Busy);
             }
+            let quota = self.inner.cfg.max_streams_per_tenant;
+            if quota > 0 && sched.live.iter().filter(|j| j.tenant == tenant).count() >= quota {
+                return Err(ServeError::Quota);
+            }
             sched.queues.entry(tenant.to_string()).or_default().push_back(job.clone());
             sched.live.push(job.clone());
+            let live_now = sched.live.iter().filter(|j| j.tenant == tenant).count();
+            drop(sched);
+            let mut acc = self.inner.stats.lock();
+            let t = acc.tenants.entry(tenant.to_string()).or_default();
+            t.peak_live = t.peak_live.max(live_now);
         }
         self.inner.active.fetch_add(1, Ordering::SeqCst);
         self.inner.job_cv.notify_one();
         Ok(StreamHandle { inner: self.inner.clone(), job, tx })
+    }
+
+    /// Streams `tenant` currently holds in flight — what the quota
+    /// compares against. Lets an admission front-end (the daemon's
+    /// claim loop) shed deterministically before claiming bytes.
+    pub fn tenant_live(&self, tenant: &str) -> usize {
+        self.inner.sched.lock().live.iter().filter(|j| j.tenant == tenant).count()
+    }
+
+    /// Records a quota load-shed for `tenant` in the telemetry (the
+    /// admission front-end calls this when it refuses work on the
+    /// service's behalf, or after [`ServeError::Quota`]).
+    pub fn note_shed(&self, tenant: &str) {
+        self.inner.stats.lock().tenants.entry(tenant.to_string()).or_default().shed += 1;
+    }
+
+    /// Memory-pressure snapshot `(live nodes, peak nodes, brownouts)`,
+    /// all zero when [`ServeCfg::memory_budget`] is unset.
+    pub fn pressure(&self) -> (usize, usize, u64) {
+        match &self.inner.gauge {
+            Some(g) => (g.live_nodes(), g.peak_nodes(), g.brownouts()),
+            None => (0, 0, 0),
+        }
     }
 
     /// A snapshot of the aggregate telemetry.
@@ -424,27 +555,39 @@ impl Service {
         let watchdog = Duration::from_millis(self.inner.cfg.watchdog_ms.max(1));
         let mut last = self.inner.progress.load(Ordering::SeqCst);
         let mut stalled_since = Instant::now();
-        loop {
+        self.inner.tick_waiters.fetch_add(1, Ordering::SeqCst);
+        let outcome = loop {
             if self.inner.active.load(Ordering::SeqCst) == 0 {
                 let streams =
                     self.inner.stats.lock().tenants.values().map(|t| t.streams).sum::<u64>();
-                return DrainOutcome::Drained { streams };
+                break DrainOutcome::Drained { streams };
             }
-            std::thread::sleep(Duration::from_millis(10));
+            // Park on the tick condvar instead of polling: every
+            // progress bump notifies while we are registered. The
+            // progress re-check happens under the tick lock, so a bump
+            // between the check and the park still wakes us.
+            let mut tick = self.inner.tick.0.lock();
             let p = self.inner.progress.load(Ordering::SeqCst);
             if p != last {
                 last = p;
                 stalled_since = Instant::now();
-            } else if stalled_since.elapsed() >= watchdog {
+                continue;
+            }
+            let stalled = stalled_since.elapsed();
+            if stalled >= watchdog {
+                drop(tick);
                 let sched = self.inner.sched.lock();
                 let pending = sched
                     .live
                     .iter()
                     .map(|j| (j.tenant.clone(), j.name.clone()))
                     .collect();
-                return DrainOutcome::Wedged { pending };
+                break DrainOutcome::Wedged { pending };
             }
-        }
+            self.inner.tick.1.wait_for(&mut tick, watchdog - stalled);
+        };
+        self.inner.tick_waiters.fetch_sub(1, Ordering::SeqCst);
+        outcome
     }
 
     /// Structured shutdown: drain (watchdog-bounded) → stop admitting →
@@ -480,6 +623,13 @@ impl Service {
             sched.queues.clear();
         }
         self.inner.job_cv.notify_all();
+        // Wake clock sleepers (ingest delays, the deadline monitor) and
+        // parked watchdogs so everyone observes the shutdown flag.
+        self.inner.cfg.clock.kick();
+        if self.inner.tick_waiters.load(Ordering::SeqCst) > 0 {
+            drop(self.inner.tick.0.lock());
+            self.inner.tick.1.notify_all();
+        }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -528,20 +678,29 @@ impl StreamHandle {
         let watchdog = Duration::from_millis(self.inner.cfg.watchdog_ms.max(1));
         let mut last = self.inner.progress.load(Ordering::SeqCst);
         let mut stalled_since = Instant::now();
-        let mut done = self.job.done.lock();
-        loop {
-            if let Some(report) = done.clone() {
-                return Ok(report);
+        self.inner.tick_waiters.fetch_add(1, Ordering::SeqCst);
+        let outcome = loop {
+            if let Some(report) = self.job.done.lock().clone() {
+                break Ok(report);
             }
-            self.job.done_cv.wait_for(&mut done, Duration::from_millis(10));
+            // Same condvar-park discipline as [`Service::drain`]: the
+            // verdict is published before the progress bump, so a tick
+            // wake always re-checks `done` first.
+            let mut tick = self.inner.tick.0.lock();
             let p = self.inner.progress.load(Ordering::SeqCst);
             if p != last {
                 last = p;
                 stalled_since = Instant::now();
-            } else if stalled_since.elapsed() >= watchdog {
-                return Err(ServeError::Wedged);
+                continue;
             }
-        }
+            let stalled = stalled_since.elapsed();
+            if stalled >= watchdog {
+                break Err(ServeError::Wedged);
+            }
+            self.inner.tick.1.wait_for(&mut tick, watchdog - stalled);
+        };
+        self.inner.tick_waiters.fetch_sub(1, Ordering::SeqCst);
+        outcome
     }
 }
 
@@ -558,6 +717,8 @@ enum Attempt {
     Killed,
     /// Service shutdown interrupted the attempt; no verdict.
     Aborted,
+    /// The deadline monitor evicted the stream mid-attempt.
+    TimedOut,
 }
 
 fn worker_loop(inner: &Arc<Inner>) {
@@ -595,7 +756,19 @@ fn supervise(inner: &Arc<Inner>, job: &Arc<Job>) {
             }
             Attempt::Killed => {
                 deaths += 1;
-                inner.progress.fetch_add(1, Ordering::SeqCst);
+                inner.bump_progress();
+                let quarantine = inner.cfg.quarantine_after;
+                if quarantine > 0 && deaths >= quarantine {
+                    // Poison: park the stream instead of burning more
+                    // respawns on it (now, or after a daemon restart).
+                    // Drain the queue so its producer is never left
+                    // parked.
+                    let _ = drain_to_eof(inner, &rx, job);
+                    let report = quarantined_report(&job.tenant, &job.name, deaths);
+                    fold_queue_accounting(inner, job, &rx);
+                    finalize(inner, job, report);
+                    return;
+                }
                 if deaths > inner.cfg.max_respawns {
                     // Budget spent: fail-stop this stream only. Drain
                     // the queue so its producer is never left parked.
@@ -606,6 +779,12 @@ fn supervise(inner: &Arc<Inner>, job: &Arc<Job>) {
                     return;
                 }
                 // else: next attempt redelivers the journal.
+            }
+            Attempt::TimedOut => {
+                let report = timeout_report(inner, job, deaths);
+                fold_queue_accounting(inner, job, &rx);
+                finalize(inner, job, report);
+                return;
             }
             Attempt::Aborted => return,
         }
@@ -619,7 +798,7 @@ fn drain_to_eof(inner: &Inner, rx: &Receiver<Vec<u8>>, job: &Job) -> u64 {
     let cancelled = || inner.shutting_down.load(Ordering::SeqCst);
     while let Ok(chunk) = rx.recv_cancel(&cancelled) {
         job.journal.lock().extend_from_slice(&chunk);
-        inner.progress.fetch_add(1, Ordering::SeqCst);
+        inner.bump_progress();
     }
     job.journal.lock().len() as u64
 }
@@ -639,38 +818,48 @@ fn run_attempt(inner: &Inner, job: &Arc<Job>, rx: &Receiver<Vec<u8>>) -> Attempt
             wire_error = Some(e);
             break;
         }
-        job.publish_progress(&dec);
+        job.publish_progress(&dec, &inner.cfg.clock);
         if job.take_kill(dec.decoded_events() as u64) {
             return Attempt::Killed;
         }
     }
 
     // Live ingest. Workers park on the stream's condvar while the
-    // queue is idle; teardown wakes them through the job's second
-    // receiver clone and the cancel predicate aborts the attempt.
-    let cancelled = || inner.shutting_down.load(Ordering::SeqCst);
+    // queue is idle; teardown (and the deadline monitor) wakes them
+    // through the job's second receiver clone and the cancel predicate
+    // ends the attempt.
+    let cancelled = || {
+        inner.shutting_down.load(Ordering::SeqCst) || job.timed_out.load(Ordering::SeqCst)
+    };
+    let cancel_kind = |job: &Job| {
+        if !inner.shutting_down.load(Ordering::SeqCst) && job.timed_out.load(Ordering::SeqCst) {
+            Attempt::TimedOut
+        } else {
+            Attempt::Aborted
+        }
+    };
     loop {
         match rx.recv_cancel(&cancelled) {
             Ok(chunk) => {
                 job.journal.lock().extend_from_slice(&chunk);
-                inner.progress.fetch_add(1, Ordering::SeqCst);
+                inner.bump_progress();
                 if wire_error.is_none() {
                     if let Err(e) = dec.feed(&chunk) {
                         wire_error = Some(e);
                     }
                 }
-                job.publish_progress(&dec);
+                job.publish_progress(&dec, &inner.cfg.clock);
                 if job.take_kill(dec.decoded_events() as u64) {
                     return Attempt::Killed;
                 }
                 if let Some(delay) = inner.cfg.ingest_delay {
-                    if !sliced_sleep(inner, delay) {
-                        return Attempt::Aborted;
+                    if !sliced_sleep(inner, job, delay) {
+                        return cancel_kind(job);
                     }
                 }
             }
             Err(RecvCancelError::Disconnected) => break,
-            Err(RecvCancelError::Cancelled) => return Attempt::Aborted,
+            Err(RecvCancelError::Cancelled) => return cancel_kind(job),
         }
     }
 
@@ -692,10 +881,80 @@ fn run_attempt(inner: &Inner, job: &Arc<Job>, rx: &Receiver<Vec<u8>>) -> Attempt
     Attempt::Done(Box::new(report_for_end(
         inner.cfg.detector,
         &inner.rcfg,
+        inner.gauge.as_ref(),
         &job.tenant,
         &job.name,
         end,
     )))
+}
+
+/// The deadline monitor: evicts streams that made zero progress within
+/// [`ServeCfg::stream_deadline`], on [`ServeCfg::clock`]. Queued
+/// streams (never picked up — the wedged-slot case) are finalized here
+/// directly; in-worker streams are flagged and woken, and their worker
+/// reports the eviction. A manual clock makes the whole path
+/// deterministic: eviction happens exactly when a test `advance`s past
+/// the deadline.
+fn deadline_loop(inner: &Arc<Inner>) {
+    let deadline = inner.cfg.stream_deadline.unwrap_or(u64::MAX).max(1);
+    let clock = &inner.cfg.clock;
+    let cancelled = || inner.shutting_down.load(Ordering::SeqCst);
+    loop {
+        if cancelled() {
+            return;
+        }
+        let now = clock.now_ms();
+        let mut next: Option<u64> = None;
+        let mut evict: Vec<Arc<Job>> = Vec::new();
+        {
+            let mut sched = inner.sched.lock();
+            for job in &sched.live {
+                if job.done.lock().is_some() {
+                    continue;
+                }
+                let due = job.last_progress_ms.load(Ordering::SeqCst).saturating_add(deadline);
+                if now >= due {
+                    // First flagger owns the eviction.
+                    if !job.timed_out.swap(true, Ordering::SeqCst) {
+                        evict.push(job.clone());
+                    }
+                } else {
+                    next = Some(next.map_or(due, |n| n.min(due)));
+                }
+            }
+            // Unqueue evicted streams under the same lock so no worker
+            // picks one up after the flag.
+            for job in &evict {
+                if let Some(q) = sched.queues.get_mut(&job.tenant) {
+                    q.retain(|j| !Arc::ptr_eq(j, job));
+                }
+            }
+        }
+        for job in evict {
+            match job.rx.lock().take() {
+                // Never picked up by a worker: evict right here. Both
+                // receiver clones drop, so a producer parked on the
+                // full queue wakes with a disconnect.
+                Some(rx) => {
+                    if let Some(wake) = job.wake.lock().take() {
+                        wake.wake_all();
+                    }
+                    fold_queue_accounting(inner, &job, &rx);
+                    finalize(inner, &job, timeout_report(inner, &job, 0));
+                }
+                // In a worker: wake its parked receive; the cancel
+                // predicate sees `timed_out` and the attempt reports
+                // [`Attempt::TimedOut`].
+                None => {
+                    if let Some(wake) = job.wake.lock().as_ref() {
+                        wake.wake_all();
+                    }
+                }
+            }
+        }
+        let target = next.unwrap_or_else(|| clock.now_ms().saturating_add(deadline));
+        clock.wait_until(target, &cancelled);
+    }
 }
 
 /// `cfg.analyzer` with `algorithm` forced to the detector's — the
@@ -713,17 +972,38 @@ pub(crate) fn resolve_rcfg(cfg: &ServeCfg) -> AnalyzerCfg {
 /// startup recovery so a recovered verdict is byte-identical to the
 /// uninterrupted one (`respawns` is 0 here; the supervisor overwrites
 /// it on the live path).
+///
+/// With a `gauge`, stores are metered: admission under pressure
+/// tightens the node budget to the gauge's fair-share cap, and live
+/// growth past the cap retro-coalesces (FP-only; see
+/// [`rma_core::gauge`]). The MUST detector keeps no interval store and
+/// ignores the gauge.
 pub(crate) fn report_for_end(
     detector: Detector,
     rcfg: &AnalyzerCfg,
+    gauge: Option<&MemGauge>,
     tenant: &str,
     stream: &str,
     end: StreamEnd,
 ) -> StreamReport {
-    let rcfg = *rcfg;
-    let outcome = match detector {
-        Detector::Must => replay_trace(&end.trace, Box::new(MustTarget::new())),
-        _ => replay_trace(&end.trace, Box::new(StoreTarget::new(move || rcfg.build_store(None)))),
+    let mut rcfg = *rcfg;
+    if let Some(cap) = gauge.and_then(MemGauge::brownout_cap) {
+        // Brownout admission: streams analyzed while the service is
+        // over budget start under the fair-share cap.
+        rcfg.node_budget = Some(rcfg.node_budget.map_or(cap, |b| b.min(cap)));
+    }
+    let outcome = match (detector, gauge) {
+        (Detector::Must, _) => replay_trace(&end.trace, Box::new(MustTarget::new())),
+        (_, Some(gauge)) => {
+            let gauge = gauge.clone();
+            replay_trace(
+                &end.trace,
+                Box::new(StoreTarget::new(move || rcfg.build_store_metered(None, &gauge))),
+            )
+        }
+        (_, None) => {
+            replay_trace(&end.trace, Box::new(StoreTarget::new(move || rcfg.build_store(None))))
+        }
     };
     let (tier, completeness) = if end.complete {
         (
@@ -750,15 +1030,19 @@ pub(crate) fn report_for_end(
         completeness,
         respawns: 0, // supervisor fills in
         degraded: outcome.stats.coalesced > 0,
+        brownout: outcome.stats.brownouts > 0,
     }
 }
 
 /// Decodes raw stream bytes offline and produces the report the live
 /// path would have produced for them — the recovery-side analysis.
 /// The chunking is immaterial (the decoder is incremental); 4 KiB
-/// matches the live redelivery path.
+/// matches the live redelivery path. A configured memory budget gets a
+/// fresh per-stream gauge, matching the one-stream-at-a-time pressure
+/// of the serial daemon so recovered verdicts stay byte-identical.
 pub(crate) fn analyze_bytes(cfg: &ServeCfg, tenant: &str, stream: &str, bytes: &[u8]) -> StreamReport {
     let rcfg = resolve_rcfg(cfg);
+    let gauge = cfg.memory_budget.map(MemGauge::new);
     let mut dec = StreamDecoder::new();
     for piece in bytes.chunks(4096) {
         if let Err(e) = dec.feed(piece) {
@@ -766,24 +1050,20 @@ pub(crate) fn analyze_bytes(cfg: &ServeCfg, tenant: &str, stream: &str, bytes: &
         }
     }
     match dec.finish() {
-        Ok(end) => report_for_end(cfg.detector, &rcfg, tenant, stream, end),
+        Ok(end) => report_for_end(cfg.detector, &rcfg, gauge.as_ref(), tenant, stream, end),
         Err(e) => malformed_report(tenant, stream, &format!("{e}")),
     }
 }
 
-/// Sleeps `total` in 5 ms slices; `false` means shutdown interrupted.
-fn sliced_sleep(inner: &Inner, total: Duration) -> bool {
-    let deadline = Instant::now() + total;
-    loop {
-        if inner.shutting_down.load(Ordering::SeqCst) {
-            return false;
-        }
-        let now = Instant::now();
-        if now >= deadline {
-            return true;
-        }
-        std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
-    }
+/// Parks for `total` on the service clock; `false` means the attempt
+/// was cancelled (shutdown, or this stream's deadline eviction) —
+/// [`Clock::kick`] / the eviction wake delivers the flag.
+fn sliced_sleep(inner: &Inner, job: &Job, total: Duration) -> bool {
+    let cancelled = || {
+        inner.shutting_down.load(Ordering::SeqCst) || job.timed_out.load(Ordering::SeqCst)
+    };
+    let ms = (total.as_millis() as u64).max(u64::from(!total.is_zero()));
+    inner.cfg.clock.sleep_ms(ms, &cancelled)
 }
 
 pub(crate) fn malformed_report(tenant: &str, stream: &str, why: &str) -> StreamReport {
@@ -798,6 +1078,7 @@ pub(crate) fn malformed_report(tenant: &str, stream: &str, why: &str) -> StreamR
         completeness: Completeness::Partial { processed: 0, target: 0 },
         respawns: 0,
         degraded: false,
+        brownout: false,
     }
 }
 
@@ -813,6 +1094,49 @@ fn lost_report(job: &Job, shipped_bytes: u64, deaths: u32) -> StreamReport {
         completeness: Completeness::Partial { processed: 0, target: shipped_bytes },
         respawns: deaths,
         degraded: false,
+        brownout: false,
+    }
+}
+
+/// The [`Tier::Quarantined`] verdict. Deliberately a function of
+/// `(tenant, stream, deaths)` alone so the daemon's recovery can
+/// reconstruct the byte-identical verdict from the WAL `Quarantined`
+/// record without touching the poison bytes.
+pub(crate) fn quarantined_report(tenant: &str, stream: &str, deaths: u32) -> StreamReport {
+    StreamReport {
+        tenant: tenant.to_string(),
+        stream: stream.to_string(),
+        tier: Tier::Quarantined,
+        verdict: format!(
+            "verdict: quarantined (worker died {deaths} times; bytes parked for offline replay)"
+        ),
+        races: 0,
+        events: 0,
+        epochs_kept: 0,
+        completeness: Completeness::Partial { processed: 0, target: 0 },
+        respawns: deaths,
+        degraded: false,
+        brownout: false,
+    }
+}
+
+fn timeout_report(inner: &Inner, job: &Job, deaths: u32) -> StreamReport {
+    let deadline = inner.cfg.stream_deadline.unwrap_or(0);
+    StreamReport {
+        tenant: job.tenant.clone(),
+        stream: job.name.clone(),
+        tier: Tier::Timeout,
+        verdict: format!("verdict: timeout (no progress within {deadline}ms, slot reclaimed)"),
+        races: 0,
+        events: 0,
+        epochs_kept: 0,
+        completeness: Completeness::Partial {
+            processed: 0,
+            target: job.decoded.load(Ordering::SeqCst),
+        },
+        respawns: deaths,
+        degraded: false,
+        brownout: false,
     }
 }
 
@@ -830,6 +1154,9 @@ fn finalize(inner: &Inner, job: &Arc<Job>, report: StreamReport) {
         if report.degraded {
             t.degraded_stores += 1;
         }
+        if report.brownout {
+            t.brownout += 1;
+        }
     }
     inner.events_total.fetch_add(report.events as u64, Ordering::SeqCst);
     // Free the admission slot BEFORE publishing the verdict: a client
@@ -842,9 +1169,10 @@ fn finalize(inner: &Inner, job: &Arc<Job>, report: StreamReport) {
         let mut done = job.done.lock();
         *done = Some(report);
     }
-    job.done_cv.notify_all();
     inner.active.fetch_sub(1, Ordering::SeqCst);
-    inner.progress.fetch_add(1, Ordering::SeqCst);
+    // The bump's tick wake is what tells a parked `finish` the verdict
+    // above is out.
+    inner.bump_progress();
 }
 
 /// Folds a finished stream's queue accounting into its tenant's stats.

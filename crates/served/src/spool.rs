@@ -8,6 +8,9 @@
 //! DIR/wal/TENANT__NAME.wal        per-stream progress WAL
 //! DIR/outbox/TENANT__NAME.verdict daemon → client
 //! DIR/tmp/                        staging for every atomic publish
+//! DIR/quarantine/TENANT__NAME.rmatrc
+//!                                 bytes of poison streams, parked for
+//!                                 offline replay (never re-analyzed)
 //! ```
 //!
 //! Every cross-directory move is write-to-`tmp/`-then-rename, so no
@@ -52,6 +55,9 @@ pub struct Spool {
     pub wal: PathBuf,
     /// Admitted stream bytes, held until the verdict is published.
     pub work: PathBuf,
+    /// Bytes of quarantined (poison) streams, retained for offline
+    /// replay instead of being deleted with the WAL.
+    pub quarantine: PathBuf,
     fs: Fs,
 }
 
@@ -63,6 +69,7 @@ impl Spool {
             tmp: dir.join("tmp"),
             wal: dir.join("wal"),
             work: dir.join("work"),
+            quarantine: dir.join("quarantine"),
             root: dir.to_path_buf(),
             fs,
         }
@@ -72,7 +79,7 @@ impl Spool {
     /// subsequent I/O (including fault injection) goes through `fs`.
     pub fn create(dir: &Path, fs: Fs) -> Result<Spool, String> {
         let s = Spool::layout(dir, fs);
-        for d in [&s.inbox, &s.outbox, &s.tmp, &s.wal, &s.work] {
+        for d in [&s.inbox, &s.outbox, &s.tmp, &s.wal, &s.work, &s.quarantine] {
             s.fs.create_dir_all(d).map_err(|e| format!("{}: {e}", d.display()))?;
         }
         Ok(s)
@@ -114,6 +121,11 @@ impl Spool {
     /// This stream's verdict path.
     pub fn verdict_path(&self, tenant: &str, name: &str) -> PathBuf {
         self.outbox.join(Spool::stream_file(tenant, name, "verdict"))
+    }
+
+    /// Where this stream's bytes land if it is quarantined.
+    pub fn quarantine_path(&self, tenant: &str, name: &str) -> PathBuf {
+        self.quarantine.join(Spool::stream_file(tenant, name, "rmatrc"))
     }
 
     /// Atomic publish: stage in `tmp/`, read back and verify (catching
@@ -214,6 +226,15 @@ pub fn error_body(tenant: &str, name: &str, why: &str) -> String {
     format!("stream: {tenant}/{name}\nerror: {why}\n")
 }
 
+/// The verdict file body for a load-shed submission: the daemon never
+/// admitted the stream (tenant quota), and the client should resubmit
+/// after the machine-readable `retry-after-ms` hint. `shed:` bodies
+/// fail `submit --wait` like `error:` bodies do, but carry the hint so
+/// callers can back off instead of giving up.
+pub fn shed_body(tenant: &str, name: &str, why: &str, retry_after_ms: u64) -> String {
+    format!("stream: {tenant}/{name}\nshed: {why}\nretry-after-ms: {retry_after_ms}\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +251,25 @@ mod tests {
         assert_eq!(parse_stream_stem("acme__run1"), ("acme".into(), "run1".into()));
         assert_eq!(parse_stream_stem("solo"), ("default".into(), "solo".into()));
         assert_eq!(parse_stream_stem("__odd"), ("default".into(), "__odd".into()));
+    }
+
+    #[test]
+    fn shed_body_carries_the_retry_hint() {
+        let body = shed_body("acme", "run1", "tenant quota reached", 400);
+        assert!(body.starts_with("stream: acme/run1\n"));
+        assert!(body.contains("\nshed: tenant quota reached\n"));
+        assert!(body.ends_with("retry-after-ms: 400\n"));
+    }
+
+    #[test]
+    fn create_makes_the_quarantine_dir() {
+        let d = tmpdir("qdir");
+        let s = Spool::create(&d, Fs::real()).unwrap();
+        assert!(s.quarantine.is_dir());
+        assert_eq!(
+            s.quarantine_path("t", "s"),
+            s.quarantine.join("t__s.rmatrc")
+        );
     }
 
     #[test]

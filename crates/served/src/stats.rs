@@ -33,10 +33,20 @@ pub struct TenantStats {
     pub respawns: u64,
     /// Streams whose detector store coalesced under its node budget.
     pub degraded_stores: u64,
+    /// Streams whose store was browned out by service-wide memory
+    /// pressure (a subset of `degraded_stores`).
+    pub brownout: u64,
+    /// Admissions shed by the per-tenant quota (the stream never ran;
+    /// not counted in `streams`).
+    pub shed: u64,
     /// Closed epochs retained, summed over streams.
     pub epochs: u64,
     /// Verdicts by tier, [`Tier::ALL`] order.
-    pub tiers: [u64; 5],
+    pub tiers: [u64; 7],
+    /// Most streams this tenant ever held in flight at once — what the
+    /// per-tenant quota caps (scheduling-dependent — human rendering
+    /// only).
+    pub peak_live: usize,
     /// Deepest any of this tenant's stream queues ever got
     /// (scheduling-dependent — human rendering only).
     pub peak_queue_depth: usize,
@@ -58,6 +68,14 @@ pub struct ServedStats {
     pub workers: usize,
     /// Per-stream queue bound (the credit count).
     pub queue_bound: usize,
+    /// Per-tenant live-stream quota (0 = unlimited) — config echo.
+    pub tenant_quota: usize,
+    /// Service-wide store node budget (0 = unlimited) — config echo.
+    pub memory_budget: usize,
+    /// Per-stream zero-progress deadline in ms (0 = off) — config echo.
+    pub stream_deadline: u64,
+    /// Worker-death quarantine threshold (0 = off) — config echo.
+    pub quarantine_after: u32,
     /// Per-tenant counters, keyed by tenant (sorted).
     pub tenants: BTreeMap<String, TenantStats>,
     /// Service uptime at snapshot (human rendering only).
@@ -83,6 +101,10 @@ impl ServedStats {
             shards: cfg.analyzer.shards,
             workers: cfg.workers.max(1),
             queue_bound: cfg.queue_bound,
+            tenant_quota: cfg.max_streams_per_tenant,
+            memory_budget: cfg.memory_budget.unwrap_or(0),
+            stream_deadline: cfg.stream_deadline.unwrap_or(0),
+            quarantine_after: cfg.quarantine_after,
             tenants: tenants.clone(),
             wall,
             events_total,
@@ -98,10 +120,13 @@ impl ServedStats {
             out.races += t.races;
             out.respawns += t.respawns;
             out.degraded_stores += t.degraded_stores;
+            out.brownout += t.brownout;
+            out.shed += t.shed;
             out.epochs += t.epochs;
             for (a, b) in out.tiers.iter_mut().zip(t.tiers) {
                 *a += b;
             }
+            out.peak_live = out.peak_live.max(t.peak_live);
             out.peak_queue_depth = out.peak_queue_depth.max(t.peak_queue_depth);
             out.blocked_sends += t.blocked_sends;
         }
@@ -110,7 +135,7 @@ impl ServedStats {
 
     /// The deterministic one-line JSON artifact (see module docs).
     pub fn to_json(&self) -> String {
-        fn tiers_json(tiers: &[u64; 5]) -> String {
+        fn tiers_json(tiers: &[u64; 7]) -> String {
             let fields: Vec<String> = Tier::ALL
                 .iter()
                 .map(|t| format!("\"{}\":{}", t.name(), tiers[t.idx()]))
@@ -124,13 +149,16 @@ impl ServedStats {
             .map(|(name, t)| {
                 format!(
                     "{{\"tenant\":\"{}\",\"streams\":{},\"events\":{},\"races\":{},\
-                     \"respawns\":{},\"degraded_stores\":{},\"epochs\":{},\"tiers\":{}}}",
+                     \"respawns\":{},\"degraded_stores\":{},\"brownout\":{},\"shed\":{},\
+                     \"epochs\":{},\"tiers\":{}}}",
                     json_escape(name),
                     t.streams,
                     t.events,
                     t.races,
                     t.respawns,
                     t.degraded_stores,
+                    t.brownout,
+                    t.shed,
                     t.epochs,
                     tiers_json(&t.tiers),
                 )
@@ -138,19 +166,27 @@ impl ServedStats {
             .collect();
         format!(
             "{{\"service\":\"rma-served\",\"detector\":\"{}\",\"engine\":\"{}\",\
-             \"shards\":{},\"workers\":{},\"queue_bound\":{},\"streams\":{},\
-             \"events\":{},\"races\":{},\"respawns\":{},\"degraded_stores\":{},\
+             \"shards\":{},\"workers\":{},\"queue_bound\":{},\"tenant_quota\":{},\
+             \"memory_budget\":{},\"stream_deadline\":{},\"quarantine_after\":{},\
+             \"streams\":{},\"events\":{},\"races\":{},\"respawns\":{},\
+             \"degraded_stores\":{},\"brownout\":{},\"shed\":{},\
              \"tiers\":{},\"recovery\":{},\"tenants\":[{}]}}",
             self.detector,
             self.engine,
             self.shards,
             self.workers,
             self.queue_bound,
+            self.tenant_quota,
+            self.memory_budget,
+            self.stream_deadline,
+            self.quarantine_after,
             tot.streams,
             tot.events,
             tot.races,
             tot.respawns,
             tot.degraded_stores,
+            tot.brownout,
+            tot.shed,
             tiers_json(&tot.tiers),
             self.recovery.to_json(),
             tenants.join(","),
@@ -181,15 +217,49 @@ impl ServedStats {
             tot.respawns,
             tot.degraded_stores,
         );
+        out.push_str(&format!(
+            "overload: shed {} | brownouts {} | quarantined {} | timeouts {}",
+            tot.shed,
+            tot.brownout,
+            tot.tiers[Tier::Quarantined.idx()],
+            tot.tiers[Tier::Timeout.idx()],
+        ));
+        if self.tenant_quota > 0 {
+            out.push_str(&format!(" | tenant quota {}", self.tenant_quota));
+        }
+        if self.memory_budget > 0 {
+            out.push_str(&format!(" | memory budget {} nodes", self.memory_budget));
+        }
+        if self.stream_deadline > 0 {
+            out.push_str(&format!(" | stream deadline {}ms", self.stream_deadline));
+        }
+        if self.quarantine_after > 0 {
+            out.push_str(&format!(" | quarantine after {} deaths", self.quarantine_after));
+        }
+        out.push('\n');
         out.push_str("tiers:");
         for t in Tier::ALL {
             out.push_str(&format!(" {}={}", t.name(), tot.tiers[t.idx()]));
         }
         out.push('\n');
         for (name, t) in &self.tenants {
+            let quota = if self.tenant_quota > 0 {
+                format!(" quota_peak={}/{}", t.peak_live, self.tenant_quota)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "tenant {name}: streams={} events={} races={} respawns={} degraded={}\n",
-                t.streams, t.events, t.races, t.respawns, t.degraded_stores
+                "tenant {name}: streams={} events={} races={} respawns={} degraded={} \
+                 brownout={} shed={} quarantined={} timeout={}{quota}\n",
+                t.streams,
+                t.events,
+                t.races,
+                t.respawns,
+                t.degraded_stores,
+                t.brownout,
+                t.shed,
+                t.tiers[Tier::Quarantined.idx()],
+                t.tiers[Tier::Timeout.idx()],
             ));
         }
         out
@@ -228,11 +298,17 @@ pub fn check_stats_json(json: &str) -> Result<(), String> {
         "shards",
         "workers",
         "queue_bound",
+        "tenant_quota",
+        "memory_budget",
+        "stream_deadline",
+        "quarantine_after",
         "streams",
         "events",
         "races",
         "respawns",
         "degraded_stores",
+        "brownout",
+        "shed",
     ] {
         let tag = format!("\"{key}\":");
         let Some(at) = line.find(&tag) else {
@@ -283,6 +359,94 @@ pub fn check_stats_json(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Human digest of a published `stats.json` body — the
+/// `rma-served stats --human` view. Scans the exact format
+/// [`ServedStats::to_json`] emits (schema-checked first), focusing on
+/// the overload story: shed/brownout/quarantine tallies overall and per
+/// tenant, with each tenant's quota pressure when a quota is set.
+pub fn render_stats_json(json: &str) -> Result<String, String> {
+    check_stats_json(json)?;
+    fn num(scope: &str, key: &str) -> u64 {
+        let tag = format!("\"{key}\":");
+        scope
+            .find(&tag)
+            .map(|at| {
+                scope[at + tag.len()..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0)
+    }
+    fn word(scope: &str, key: &str) -> String {
+        let tag = format!("\"{key}\":\"");
+        scope
+            .find(&tag)
+            .map(|at| scope[at + tag.len()..].chars().take_while(|c| *c != '"').collect())
+            .unwrap_or_default()
+    }
+    let line = json.trim();
+    // Totals come before the "tenants" array, so first-occurrence
+    // scans over this prefix read the service-wide counters.
+    let head = &line[..line.find("\"tenants\":[").unwrap_or(line.len())];
+    let quota = num(head, "tenant_quota");
+    let mut out = format!(
+        "rma-served: {} stream(s), {} event(s), {} race(s) | detector={} engine={}\n",
+        num(head, "streams"),
+        num(head, "events"),
+        num(head, "races"),
+        word(head, "detector"),
+        word(head, "engine"),
+    );
+    out.push_str(&format!(
+        "overload: shed {} | brownouts {} | quarantined {} | timeouts {}",
+        num(head, "shed"),
+        num(head, "brownout"),
+        num(head, "quarantined"),
+        num(head, "timeout"),
+    ));
+    if quota > 0 {
+        out.push_str(&format!(" | tenant quota {quota}"));
+    }
+    let budget = num(head, "memory_budget");
+    if budget > 0 {
+        out.push_str(&format!(" | memory budget {budget} nodes"));
+    }
+    let deadline = num(head, "stream_deadline");
+    if deadline > 0 {
+        out.push_str(&format!(" | stream deadline {deadline}ms"));
+    }
+    let after = num(head, "quarantine_after");
+    if after > 0 {
+        out.push_str(&format!(" | quarantine after {after} deaths"));
+    }
+    out.push('\n');
+    for chunk in line.split("{\"tenant\":\"").skip(1) {
+        let name: String = chunk.chars().take_while(|c| *c != '"').collect();
+        let scope = &chunk[..chunk.find('}').map(|i| i + 1).unwrap_or(chunk.len())];
+        // `scope` runs through the tenant's nested tiers object (its
+        // first `}`), so tier names resolve per tenant here.
+        out.push_str(&format!(
+            "tenant {name}: streams={} races={} degraded={} brownout={} shed={} \
+             quarantined={} timeout={}",
+            num(scope, "streams"),
+            num(scope, "races"),
+            num(scope, "degraded_stores"),
+            num(scope, "brownout"),
+            num(scope, "shed"),
+            num(scope, "quarantined"),
+            num(scope, "timeout"),
+        ));
+        if quota > 0 {
+            out.push_str(&format!(" quota={quota}"));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,7 +459,7 @@ mod tests {
                 streams: 2,
                 events: 100,
                 races: 1,
-                tiers: [1, 1, 0, 0, 0],
+                tiers: [1, 1, 0, 0, 0, 0, 0],
                 ..Default::default()
             },
         );
@@ -305,6 +469,10 @@ mod tests {
             shards: 1,
             workers: 2,
             queue_bound: 64,
+            tenant_quota: 0,
+            memory_budget: 0,
+            stream_deadline: 0,
+            quarantine_after: 0,
             tenants,
             wall: Duration::from_millis(1234),
             events_total: 100,
@@ -351,6 +519,35 @@ mod tests {
         check_stats_json(&json).unwrap();
         let broken = json.replace("\"tmp_swept\":", "\"tmp_cleared\":");
         assert!(check_stats_json(&broken).is_err(), "missing recovery counter must fail");
+    }
+
+    #[test]
+    fn overload_counters_are_in_the_json_and_checked() {
+        let mut s = sample();
+        s.tenant_quota = 2;
+        s.memory_budget = 512;
+        s.stream_deadline = 250;
+        s.quarantine_after = 3;
+        let t = s.tenants.get_mut("acme").unwrap();
+        t.shed = 4;
+        t.brownout = 1;
+        t.tiers[Tier::Timeout.idx()] = 2;
+        t.tiers[Tier::Quarantined.idx()] = 1;
+        let json = s.to_json();
+        check_stats_json(&json).unwrap();
+        assert!(json.contains("\"tenant_quota\":2"));
+        assert!(json.contains("\"memory_budget\":512"));
+        assert!(json.contains("\"shed\":4"));
+        assert!(json.contains("\"brownout\":1"));
+        assert!(json.contains("\"timeout\":2"));
+        assert!(json.contains("\"quarantined\":1"));
+        // Dropping a new tier key must fail the schema check.
+        let broken = json.replace("\"quarantined\":", "\"parked\":");
+        assert!(check_stats_json(&broken).is_err());
+        // Human rendering shows the overload tallies and quota usage.
+        let human = s.render();
+        assert!(human.contains("overload: shed 4 | brownouts 1 | quarantined 1 | timeouts 2"));
+        assert!(human.contains("quota_peak="));
     }
 
     #[test]

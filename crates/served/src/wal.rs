@@ -133,6 +133,15 @@ pub enum WalRecord {
         /// FNV-1a of the verdict body.
         verdict_fnv: u64,
     },
+    /// The stream was declared poison after `deaths` worker deaths:
+    /// its bytes move to `spool/quarantine/` and recovery must never
+    /// re-analyze them (re-analysis is exactly what re-crashes on a
+    /// poison stream). The quarantined verdict is a pure function of
+    /// `deaths`, so recovery republishes it from this record alone.
+    Quarantined {
+        /// Worker deaths accumulated when the stream was parked.
+        deaths: u64,
+    },
 }
 
 impl WalRecord {
@@ -142,6 +151,7 @@ impl WalRecord {
             WalRecord::Watermark { .. } => 2,
             WalRecord::Epoch { .. } => 3,
             WalRecord::Published { .. } => 4,
+            WalRecord::Quarantined { .. } => 5,
         }
     }
 
@@ -162,6 +172,7 @@ impl WalRecord {
                 varint::write_u64(&mut payload, verdict_len);
                 varint::write_u64(&mut payload, verdict_fnv);
             }
+            WalRecord::Quarantined { deaths } => varint::write_u64(&mut payload, deaths),
         }
         varint::write_u64(out, payload.len() as u64);
         out.extend_from_slice(&payload);
@@ -178,6 +189,7 @@ impl WalRecord {
             2 => WalRecord::Watermark { offset: u(&mut pos)? },
             3 => WalRecord::Epoch { epochs: u(&mut pos)?, offset: u(&mut pos)? },
             4 => WalRecord::Published { verdict_len: u(&mut pos)?, verdict_fnv: u(&mut pos)? },
+            5 => WalRecord::Quarantined { deaths: u(&mut pos)? },
             _ => return None,
         };
         (pos == payload.len()).then_some(rec)
@@ -197,6 +209,21 @@ impl WalWriter {
     /// record — write it before moving the stream bytes anywhere.
     pub fn create(fs: Fs, path: PathBuf, durability: Durability) -> io::Result<WalWriter> {
         fs.write(&path, WAL_MAGIC)?;
+        Ok(WalWriter { fs, path, durability })
+    }
+
+    /// Re-opens an existing WAL for appending — recovery's
+    /// restart-attempt journaling. A torn tail would make anything
+    /// appended after it unreachable to the scanner, so the intact
+    /// prefix is rewritten first in that case.
+    pub fn reopen(fs: Fs, path: PathBuf, durability: Durability, scan: &WalScan) -> io::Result<WalWriter> {
+        if scan.torn {
+            let mut buf = WAL_MAGIC.to_vec();
+            for r in &scan.records {
+                r.encode(&mut buf);
+            }
+            fs.write(&path, &buf)?;
+        }
         Ok(WalWriter { fs, path, durability })
     }
 
@@ -240,6 +267,25 @@ impl WalScan {
             WalRecord::Published { verdict_len, verdict_fnv } => Some((verdict_len, verdict_fnv)),
             _ => None,
         })
+    }
+
+    /// The `Quarantined` record's death count, if the stream was
+    /// declared poison.
+    pub fn quarantined(&self) -> Option<u64> {
+        self.records.iter().rev().find_map(|r| match *r {
+            WalRecord::Quarantined { deaths } => Some(deaths),
+            _ => None,
+        })
+    }
+
+    /// How many `Admit` records the log carries — one per run that
+    /// started (or restarted into) this stream; restart-crash counting
+    /// for quarantine keys on it.
+    pub fn admits(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| matches!(r, WalRecord::Admit { .. }))
+            .count() as u64
     }
 
     /// The highest byte watermark any record carries.
@@ -313,6 +359,7 @@ mod tests {
             WalRecord::Epoch { epochs: 3, offset: 4096 },
             WalRecord::Watermark { offset: 612 },
             WalRecord::Published { verdict_len: 160, verdict_fnv: 42 },
+            WalRecord::Quarantined { deaths: 3 },
         ]
     }
 
@@ -332,6 +379,20 @@ mod tests {
         assert_eq!(scan.records, recs);
         assert_eq!(scan.published(), Some((160, 42)));
         assert_eq!(scan.watermark(), 4096);
+        assert_eq!(scan.quarantined(), Some(3));
+        assert_eq!(scan.admits(), 1);
+    }
+
+    #[test]
+    fn quarantine_helpers_on_a_clean_stream() {
+        let recs = vec![
+            WalRecord::Admit { bytes_len: 10, bytes_fnv: 7 },
+            WalRecord::Admit { bytes_len: 10, bytes_fnv: 7 },
+            WalRecord::Watermark { offset: 10 },
+        ];
+        let scan = decode_wal(&encode_all(&recs));
+        assert_eq!(scan.quarantined(), None);
+        assert_eq!(scan.admits(), 2, "one admit per (re)start attempt");
     }
 
     #[test]

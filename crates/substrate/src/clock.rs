@@ -1,0 +1,246 @@
+//! Injectable monotonic clock — the time analogue of the [`crate::fs`]
+//! fault shim.
+//!
+//! Deadline logic is only as trustworthy as the clocks it was tested
+//! against, and wall-clock tests are the classic source of flaky,
+//! timing-dependent CI. This module puts the small "what time is it /
+//! sleep until" surface the serving layer needs behind a [`Clock`]
+//! handle with two modes:
+//!
+//! * [`Clock::real`] — milliseconds since handle creation, backed by
+//!   [`std::time::Instant`]; waits park on a condvar with a timeout.
+//! * [`Clock::manual`] — a virtual millisecond counter that only moves
+//!   when a test calls [`Clock::advance`]; waits park on the same
+//!   condvar and wake exactly when virtual time reaches the deadline.
+//!
+//! The same deadline code runs unmodified against either mode — tests
+//! drive `advance` to hit timeout edges deterministically, production
+//! uses the real mode. Clones share state (like [`crate::fs::Fs`]), so
+//! a service and its monitor thread can hold the same virtual time.
+//!
+//! Cancellation is cooperative: [`Clock::wait_until`] re-checks a
+//! caller-supplied predicate on every wake, and [`Clock::kick`] wakes
+//! all waiters so a shutdown flag flipped elsewhere gets observed.
+
+use crate::sync::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+enum Mode {
+    /// Milliseconds since `epoch`, i.e. since the handle was created.
+    Real { epoch: Instant },
+    /// Virtual milliseconds, stored in `ClockInner::now_ms` and moved
+    /// only by `advance`.
+    Manual,
+}
+
+struct ClockInner {
+    mode: Mode,
+    /// Virtual now (manual mode); doubles as the condvar's mutex in
+    /// real mode, where its value is unused.
+    now_ms: Mutex<u64>,
+    cv: Condvar,
+}
+
+/// Shared clock handle. Clones observe the same time; see the module
+/// docs for the real/manual split.
+#[derive(Clone)]
+pub struct Clock {
+    inner: Arc<ClockInner>,
+}
+
+impl std::fmt::Debug for Clock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.mode {
+            Mode::Real { .. } => write!(f, "Clock::real(now={}ms)", self.now_ms()),
+            Mode::Manual => write!(f, "Clock::manual(now={}ms)", self.now_ms()),
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Clock {
+        Clock::real()
+    }
+}
+
+impl Clock {
+    /// Wall clock: milliseconds since this call.
+    pub fn real() -> Clock {
+        Clock {
+            inner: Arc::new(ClockInner {
+                mode: Mode::Real { epoch: Instant::now() },
+                now_ms: Mutex::new(0),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Virtual clock starting at `start_ms`; time moves only via
+    /// [`Clock::advance`].
+    pub fn manual(start_ms: u64) -> Clock {
+        Clock {
+            inner: Arc::new(ClockInner {
+                mode: Mode::Manual,
+                now_ms: Mutex::new(start_ms),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Is this the test-driven manual mode?
+    pub fn is_manual(&self) -> bool {
+        matches!(self.inner.mode, Mode::Manual)
+    }
+
+    /// Current time in milliseconds (since creation, or since
+    /// `start_ms` for manual clocks).
+    pub fn now_ms(&self) -> u64 {
+        match self.inner.mode {
+            Mode::Real { epoch } => epoch.elapsed().as_millis() as u64,
+            Mode::Manual => *self.inner.now_ms.lock(),
+        }
+    }
+
+    /// Moves a manual clock forward by `ms` and wakes every waiter so
+    /// deadline checks re-run against the new time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a real clock — test code driving time through a handle
+    /// that production created real is a bug worth failing loudly on.
+    pub fn advance(&self, ms: u64) {
+        match self.inner.mode {
+            Mode::Real { .. } => panic!("Clock::advance on a real clock"),
+            Mode::Manual => {
+                let mut now = self.inner.now_ms.lock();
+                *now += ms;
+                drop(now);
+                self.inner.cv.notify_all();
+            }
+        }
+    }
+
+    /// Wakes every [`Clock::wait_until`] waiter without moving time, so
+    /// they re-evaluate their cancellation predicate. Call after
+    /// flipping a shutdown flag.
+    pub fn kick(&self) {
+        // Lock-then-notify so a waiter between its predicate check and
+        // its park cannot miss the wakeup.
+        drop(self.inner.now_ms.lock());
+        self.inner.cv.notify_all();
+    }
+
+    /// Parks until `now_ms() >= deadline_ms` or `cancelled()` turns
+    /// true. Returns `true` when the deadline was reached, `false` when
+    /// cancelled first (deadline-and-cancelled ties report the
+    /// deadline).
+    ///
+    /// Cancellation is re-checked on every wake; whoever flips the flag
+    /// must [`Clock::kick`] (or [`Clock::advance`]) afterwards, or the
+    /// waiter sleeps through it until the deadline.
+    pub fn wait_until(&self, deadline_ms: u64, cancelled: &dyn Fn() -> bool) -> bool {
+        let mut guard = self.inner.now_ms.lock();
+        loop {
+            let now = match self.inner.mode {
+                Mode::Real { epoch } => epoch.elapsed().as_millis() as u64,
+                Mode::Manual => *guard,
+            };
+            if now >= deadline_ms {
+                return true;
+            }
+            if cancelled() {
+                return false;
+            }
+            match self.inner.mode {
+                Mode::Real { .. } => {
+                    let remaining = Duration::from_millis(deadline_ms - now);
+                    let _ = self.inner.cv.wait_for(&mut guard, remaining);
+                }
+                Mode::Manual => self.inner.cv.wait(&mut guard),
+            }
+        }
+    }
+
+    /// Convenience: [`Clock::wait_until`] `ms` from now.
+    pub fn sleep_ms(&self, ms: u64, cancelled: &dyn Fn() -> bool) -> bool {
+        self.wait_until(self.now_ms().saturating_add(ms), cancelled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::thread;
+
+    #[test]
+    fn manual_time_only_moves_on_advance() {
+        let c = Clock::manual(100);
+        assert_eq!(c.now_ms(), 100);
+        thread::sleep(Duration::from_millis(5));
+        assert_eq!(c.now_ms(), 100, "manual time ignores wall time");
+        c.advance(50);
+        assert_eq!(c.now_ms(), 150);
+        assert!(c.is_manual());
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = Clock::manual(0);
+        let b = a.clone();
+        a.advance(7);
+        assert_eq!(b.now_ms(), 7);
+    }
+
+    #[test]
+    fn wait_until_past_deadline_returns_immediately() {
+        let c = Clock::manual(10);
+        assert!(c.wait_until(10, &|| false));
+        assert!(c.wait_until(3, &|| false));
+    }
+
+    #[test]
+    fn advance_releases_waiter_at_deadline() {
+        let c = Clock::manual(0);
+        let w = c.clone();
+        let h = thread::spawn(move || w.wait_until(100, &|| false));
+        c.advance(40);
+        assert!(!h.is_finished() || c.now_ms() >= 100);
+        c.advance(60);
+        assert!(h.join().unwrap(), "deadline reached");
+    }
+
+    #[test]
+    fn kick_delivers_cancellation() {
+        let c = Clock::manual(0);
+        let stop = Arc::new(AtomicBool::new(false));
+        let (w, s) = (c.clone(), Arc::clone(&stop));
+        let h = thread::spawn(move || w.wait_until(1_000, &|| s.load(Ordering::SeqCst)));
+        // Give the waiter a moment to park, then cancel.
+        thread::sleep(Duration::from_millis(10));
+        stop.store(true, Ordering::SeqCst);
+        c.kick();
+        assert!(!h.join().unwrap(), "cancelled before the deadline");
+    }
+
+    #[test]
+    fn deadline_wins_over_simultaneous_cancel() {
+        let c = Clock::manual(5);
+        assert!(c.wait_until(5, &|| true), "deadline-and-cancelled ties report the deadline");
+    }
+
+    #[test]
+    fn real_clock_sleeps_and_reports_deadline() {
+        let c = Clock::real();
+        let before = c.now_ms();
+        assert!(c.sleep_ms(15, &|| false));
+        assert!(c.now_ms() >= before + 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "Clock::advance on a real clock")]
+    fn advance_on_real_clock_panics() {
+        Clock::real().advance(1);
+    }
+}

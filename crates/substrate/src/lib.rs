@@ -25,12 +25,16 @@
 //! * [`fs`] — a fault-injectable filesystem shim (torn/short writes,
 //!   `ENOSPC`, failed renames, keyed to a seed like the simulator's
 //!   fault plans) for crash-restart durability testing.
+//! * [`clock`] — an injectable monotonic clock (real or test-driven
+//!   virtual milliseconds) so deadline and timeout logic is
+//!   deterministic under test.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod bench;
 pub mod channel;
+pub mod clock;
 pub mod fs;
 pub mod prop;
 pub mod rng;
