@@ -34,6 +34,64 @@ if [ "$LIVE_VERDICT" != "$REPLAY_VERDICT" ]; then
 fi
 echo "    live == replay: $LIVE_VERDICT"
 
+echo "==> minimize/gentest smoke: shrink a racy corpus trace, generate its test, run it"
+# The race -> minimized repro -> regression test pipeline, end to end,
+# twice: both the minimized trace and the generated test source must be
+# byte-identical across runs (no timestamps, no host paths, stable
+# string-table order). The minimized trace must be strictly smaller
+# with the identical canonical verdict (asserted via `diff
+# --verdict-only`, which exits non-zero on verdict drift), and the
+# generated test must compile *standalone* against the built rlib and
+# pass under `timeout`.
+MIN_IN=tests/corpus/lo2_put_put_inwindow_target_race.rmatrc
+for RUN in a b; do
+    timeout 60 "$RMA_TRACE" minimize "$MIN_IN" "$SMOKE_DIR/min-$RUN.rmatrc" > /dev/null
+    timeout 60 "$RMA_TRACE" gentest "$SMOKE_DIR/min-$RUN.rmatrc" "$SMOKE_DIR/gen-$RUN.rs" \
+        --name ci_minimize_smoke --truth race \
+        --provenance "ci.sh minimize smoke over the put/put corpus race" > /dev/null
+done
+if ! cmp -s "$SMOKE_DIR/min-a.rmatrc" "$SMOKE_DIR/min-b.rmatrc"; then
+    echo "ERROR: two minimize runs produced different trace bytes" >&2
+    exit 1
+fi
+if ! cmp -s "$SMOKE_DIR/gen-a.rs" "$SMOKE_DIR/gen-b.rs"; then
+    echo "ERROR: two gentest runs produced different test source" >&2
+    exit 1
+fi
+IN_EVENTS=$("$RMA_TRACE" stat "$MIN_IN" | sed -n 's/.*totals: \([0-9]*\) events.*/\1/p')
+MIN_EVENTS=$("$RMA_TRACE" stat "$SMOKE_DIR/min-a.rmatrc" \
+    | sed -n 's/.*totals: \([0-9]*\) events.*/\1/p')
+if [ "$MIN_EVENTS" -ge "$IN_EVENTS" ]; then
+    echo "ERROR: minimize did not shrink ($IN_EVENTS -> $MIN_EVENTS events)" >&2
+    exit 1
+fi
+timeout 60 "$RMA_TRACE" diff --verdict-only "$MIN_IN" "$SMOKE_DIR/min-a.rmatrc" > /dev/null
+RMA_TRACE_RLIB=$(ls -t target/release/deps/librma_trace-*.rlib | head -n 1)
+timeout 120 rustc --edition 2021 --test "$SMOKE_DIR/gen-a.rs" \
+    --extern rma_trace="$RMA_TRACE_RLIB" -L dependency=target/release/deps \
+    -o "$SMOKE_DIR/gen-smoke-test"
+timeout 60 "$SMOKE_DIR/gen-smoke-test" > /dev/null
+echo "    $IN_EVENTS -> $MIN_EVENTS events, verdict preserved; generated test passes standalone"
+
+echo "==> chaos gentest hook: raced finds turn into corpus artifacts"
+# A tiny sweep with --gentest-dir must drop at least one minimized
+# trace + generated test pair (seeds 0..8 contain raced scenarios), and
+# the hook must not perturb the byte-stable --json stdout.
+rm -rf "$SMOKE_DIR/chaos-finds"
+timeout 300 ./target/release/rma-chaos --seeds 8 --watchdog-ms 2000 --json \
+    --gentest-dir "$SMOKE_DIR/chaos-finds" > "$SMOKE_DIR/chaos-gentest.json" 2> /dev/null
+if ! ls "$SMOKE_DIR/chaos-finds"/gen_*.rs > /dev/null 2>&1; then
+    echo "ERROR: chaos --gentest-dir produced no generated tests" >&2
+    exit 1
+fi
+timeout 300 ./target/release/rma-chaos --seeds 8 --watchdog-ms 2000 --json \
+    > "$SMOKE_DIR/chaos-plain.json" 2> /dev/null
+if ! diff "$SMOKE_DIR/chaos-gentest.json" "$SMOKE_DIR/chaos-plain.json"; then
+    echo "ERROR: --gentest-dir changed the sweep's --json stdout" >&2
+    exit 1
+fi
+echo "    $(ls "$SMOKE_DIR/chaos-finds"/gen_*.rs | wc -l) find(s) converted; json unchanged"
+
 echo "==> chaos sweep: 16 seeded fault scenarios, twice, byte-identical"
 # `timeout` guards the guarantee under test: a wedged sweep is a bug,
 # not something to wait out. (Busybox/coreutils both ship timeout.)

@@ -121,6 +121,23 @@ impl AccumPartner {
     }
 }
 
+/// Looks an extension case up by its [`AccumPartner::name`] — the
+/// accumulate-suite analogue of [`crate::find_case`].
+pub fn find_accum_case(name: &str) -> Option<AccumPartner> {
+    AccumPartner::ALL.into_iter().find(|p| p.name() == name)
+}
+
+/// Runs an extension case's SPMD body under an arbitrary monitor (for
+/// trace recording or teeing), mirroring
+/// [`crate::run::run_case_with_monitor`]. Returns the world outcome so
+/// callers can check cleanliness themselves.
+pub fn run_accum_case_with_monitor(
+    partner: AccumPartner,
+    monitor: Arc<dyn Monitor>,
+) -> rma_sim::RunOutcome<()> {
+    World::run(WorldCfg::with_ranks(SUITE_RANKS), monitor, move |ctx| partner.body(ctx))
+}
+
 /// Runs an extension case under one tool; `true` when a race was
 /// reported.
 pub fn run_accum_case(partner: AccumPartner, tool: Tool) -> bool {

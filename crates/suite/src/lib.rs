@@ -18,7 +18,9 @@ pub mod chaos;
 pub mod generate;
 pub mod run;
 
-pub use accum_ext::{run_accum_case, AccumPartner};
+pub use accum_ext::{
+    find_accum_case, run_accum_case, run_accum_case_with_monitor, AccumPartner,
+};
 pub use case::{Action, CaseSpec, Op, Role, Site, Variant, ORIGIN1, ORIGIN2, SUITE_RANKS, TARGET};
 pub use generate::{find_case, generate_suite};
 pub use run::{

@@ -2,13 +2,15 @@
 //! traces.
 //!
 //! ```text
-//! rma-trace record  (--case NAME | --app bfs|cfd|minivite) --out FILE [--race]
-//! rma-trace replay  FILE [--store naive|legacy|fragmerge|must] [--tolerate-truncation]
-//! rma-trace salvage FILE [--out FILE]
-//! rma-trace stat    FILE
-//! rma-trace diff    FILE1 FILE2
-//! rma-trace bench   FILE...
-//! rma-trace pump    (--case NAME | FILE) --spool DIR [--tenant T] [--name N] [--wait]
+//! rma-trace record   (--case NAME | --app bfs|cfd|minivite) --out FILE [--race]
+//! rma-trace replay   FILE [--store naive|legacy|fragmerge|must] [--tolerate-truncation]
+//! rma-trace minimize IN OUT [--oracle naive|legacy|fragmerge|must]
+//! rma-trace gentest  IN OUT.rs --name ID [--provenance TEXT] [--truth race|safe]
+//! rma-trace salvage  FILE [--out FILE]
+//! rma-trace stat     FILE
+//! rma-trace diff     FILE1 FILE2 [--verdict-only]
+//! rma-trace bench    FILE...
+//! rma-trace pump     (--case NAME | FILE) --spool DIR [--tenant T] [--name N] [--wait]
 //! ```
 //!
 //! `record` runs the program live with the frag-merge analyzer tee'd
@@ -18,6 +20,15 @@
 //! `salvage` recovers the longest epoch-aligned prefix of a damaged
 //! file; `replay --tolerate-truncation` falls back to the same recovery
 //! when a full decode fails, replaying whatever prefix survives.
+//!
+//! `minimize` delta-debugs a trace down to the smallest event
+//! subsequence whose replay verdict (canonical race list + completeness)
+//! is identical under the chosen oracle detector, and re-encodes the
+//! survivor as a standalone `.rmatrc`. `gentest` turns a (preferably
+//! minimized) trace into a self-contained Rust regression test that
+//! embeds the bytes and pins every detector's verdict — together they
+//! close the chaos-find → permanent-test loop (`rma-chaos
+//! --gentest-dir` drives both).
 //!
 //! `pump` is the client side of the `rma-served` daemon: it records a
 //! suite case (or takes an existing trace file) and submits it into the
@@ -30,26 +41,36 @@ use rma_apps::{run_bfs, run_cfd, run_minivite, BfsCfg, CfdCfg, Method, MethodRun
 use rma_monitor::{Algorithm, AnalyzerCfg, Delivery, OnRace, RmaAnalyzer};
 use rma_sim::{Monitor, Tee};
 use rma_substrate::bench::BenchGroup;
-use rma_suite::{find_case, generate_suite, run_case_with_monitor};
-use rma_trace::{replay, salvage, verdict_line, Detector, Trace, TraceEvent, TraceWriter};
+use rma_suite::{
+    find_accum_case, find_case, generate_suite, run_accum_case_with_monitor,
+    run_case_with_monitor,
+};
+use rma_trace::{
+    generate_test, minimize, replay, salvage, verdict_line, Detector, Trace, TraceEvent,
+    TraceWriter,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
 const USAGE: &str = "usage:
-  rma-trace record  (--case NAME | --app bfs|cfd|minivite) --out FILE [--race]
-  rma-trace replay  FILE [--store naive|legacy|fragmerge|must] [--tolerate-truncation]
-  rma-trace salvage FILE [--out FILE]
-  rma-trace stat    FILE
-  rma-trace diff    FILE1 FILE2
-  rma-trace bench   FILE...
-  rma-trace pump    (--case NAME | FILE) --spool DIR [--tenant T] [--name N] [--wait]";
+  rma-trace record   (--case NAME | --app bfs|cfd|minivite) --out FILE [--race]
+  rma-trace replay   FILE [--store naive|legacy|fragmerge|must] [--tolerate-truncation]
+  rma-trace minimize IN OUT [--oracle naive|legacy|fragmerge|must]
+  rma-trace gentest  IN OUT.rs --name ID [--provenance TEXT] [--truth race|safe]
+  rma-trace salvage  FILE [--out FILE]
+  rma-trace stat     FILE
+  rma-trace diff     FILE1 FILE2 [--verdict-only]
+  rma-trace bench    FILE...
+  rma-trace pump     (--case NAME | FILE) --spool DIR [--tenant T] [--name N] [--wait]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("minimize") => cmd_minimize(&args[1..]),
+        Some("gentest") => cmd_gentest(&args[1..]),
         Some("salvage") => cmd_salvage(&args[1..]),
         Some("stat") => cmd_stat(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
@@ -116,13 +137,19 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     }));
     let (writer, clean) = match (case.as_deref(), app.as_deref()) {
         (Some(name), None) => {
-            let cases = generate_suite();
-            let spec = find_case(&cases, name)
-                .ok_or_else(|| format!("unknown suite case {name:?} (see rma-suite)"))?;
             let writer = Arc::new(TraceWriter::new(name, 0x5EED));
             let tee: Arc<dyn Monitor> =
                 Arc::new(Tee::pair(writer.clone(), analyzer.clone()));
-            let outcome = run_case_with_monitor(&spec, tee);
+            // Accumulate-extension cases live beside the generated
+            // 240-case validation suite; try both namespaces.
+            let outcome = if let Some(partner) = find_accum_case(name) {
+                run_accum_case_with_monitor(partner, tee)
+            } else {
+                let cases = generate_suite();
+                let spec = find_case(&cases, name)
+                    .ok_or_else(|| format!("unknown suite case {name:?} (see rma-suite)"))?;
+                run_case_with_monitor(&spec, tee)
+            };
             (writer, outcome.is_clean())
         }
         (None, Some(app)) => {
@@ -232,6 +259,64 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_minimize(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let oracle = take_opt(&mut args, "--oracle")?.unwrap_or_else(|| "fragmerge".into());
+    let detector = Detector::parse(&oracle)
+        .ok_or_else(|| format!("unknown oracle {oracle:?} (naive|legacy|fragmerge|must)"))?;
+    let [in_path, out_path] = args.as_slice() else {
+        return Err(format!("minimize takes IN OUT\n{USAGE}"));
+    };
+    let trace = load_trace(in_path)?;
+    let t0 = Instant::now();
+    let rep = minimize(&trace, detector);
+    let secs = t0.elapsed().as_secs_f64();
+    let bytes = rep.trace.encode();
+    std::fs::write(out_path, &bytes).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "minimized {} -> {} events ({} bytes) under {} in {:.3} ms, {} oracle replays",
+        rep.original_events,
+        rep.kept_events,
+        bytes.len(),
+        detector.name(),
+        secs * 1e3,
+        rep.oracle_calls
+    );
+    if !rep.complete {
+        println!("warning: input replays incomplete; minimized to the same incompleteness");
+    }
+    println!("{}", verdict_line(&rep.verdict));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_gentest(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let name =
+        take_opt(&mut args, "--name")?.ok_or_else(|| format!("--name required\n{USAGE}"))?;
+    let provenance = take_opt(&mut args, "--provenance")?
+        .unwrap_or_else(|| format!("rma-trace gentest --name {name}"));
+    let truth = match take_opt(&mut args, "--truth")?.as_deref() {
+        None => None,
+        Some("race") => Some(true),
+        Some("safe") => Some(false),
+        Some(other) => return Err(format!("--truth takes race|safe, got {other:?}")),
+    };
+    let [in_path, out_path] = args.as_slice() else {
+        return Err(format!("gentest takes IN OUT.rs\n{USAGE}"));
+    };
+    let bytes = std::fs::read(in_path).map_err(|e| format!("{in_path}: {e}"))?;
+    let source = generate_test(&bytes, &name, &provenance, truth)
+        .map_err(|e| format!("{in_path}: {e}"))?;
+    std::fs::write(out_path, &source).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "generated {} ({} lines) pinning {} trace bytes",
+        out_path,
+        source.lines().count(),
+        bytes.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_salvage(args: &[String]) -> Result<ExitCode, String> {
     let mut args = args.to_vec();
     let out = take_opt(&mut args, "--out")?;
@@ -303,35 +388,41 @@ fn cmd_stat(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
-    let [a_path, b_path] = args else {
+    let mut args = args.to_vec();
+    // Compare canonical verdicts only — the contract a minimized trace
+    // keeps; its event streams differ from the original by design.
+    let verdict_only = take_flag(&mut args, "--verdict-only");
+    let [a_path, b_path] = args.as_slice() else {
         return Err(format!("diff takes two FILEs\n{USAGE}"));
     };
     let a = load_trace(a_path)?;
     let b = load_trace(b_path)?;
     let mut differs = false;
-    if a.header != b.header {
-        println!("headers differ: {:?} vs {:?}", a.header, b.header);
-        differs = true;
-    }
-    let nranks = a.streams.len().max(b.streams.len());
-    for r in 0..nranks {
-        let (sa, sb) = (a.streams.get(r), b.streams.get(r));
-        match (sa, sb) {
-            (Some(sa), Some(sb)) => {
-                if let Some(i) = (0..sa.len().max(sb.len()))
-                    .find(|&i| sa.get(i) != sb.get(i))
-                {
-                    println!(
-                        "rank {r}: first divergence at event {i}: {:?} vs {:?}",
-                        sa.get(i),
-                        sb.get(i)
-                    );
+    if !verdict_only {
+        if a.header != b.header {
+            println!("headers differ: {:?} vs {:?}", a.header, b.header);
+            differs = true;
+        }
+        let nranks = a.streams.len().max(b.streams.len());
+        for r in 0..nranks {
+            let (sa, sb) = (a.streams.get(r), b.streams.get(r));
+            match (sa, sb) {
+                (Some(sa), Some(sb)) => {
+                    if let Some(i) = (0..sa.len().max(sb.len()))
+                        .find(|&i| sa.get(i) != sb.get(i))
+                    {
+                        println!(
+                            "rank {r}: first divergence at event {i}: {:?} vs {:?}",
+                            sa.get(i),
+                            sb.get(i)
+                        );
+                        differs = true;
+                    }
+                }
+                _ => {
+                    println!("rank {r}: present in only one trace");
                     differs = true;
                 }
-            }
-            _ => {
-                println!("rank {r}: present in only one trace");
-                differs = true;
             }
         }
     }
@@ -343,6 +434,13 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     }
     if differs {
         Ok(ExitCode::FAILURE)
+    } else if verdict_only {
+        println!(
+            "verdicts identical ({} vs {} events) — {va}",
+            a.event_count(),
+            b.event_count()
+        );
+        Ok(ExitCode::SUCCESS)
     } else {
         println!("traces identical ({} events) — {va}", a.event_count());
         Ok(ExitCode::SUCCESS)

@@ -26,7 +26,9 @@
 #![deny(unsafe_code)]
 
 pub mod format;
+pub mod gentest;
 pub mod journal;
+pub mod minimize;
 pub mod replay;
 pub mod salvage;
 pub mod stream;
@@ -35,6 +37,8 @@ pub mod varint;
 pub mod writer;
 
 pub use format::{intern_static, DeltaState, StringTable, TraceEvent};
+pub use gentest::{generate_test, sanitize_test_name};
+pub use minimize::{is_one_minimal, minimize, MinimizeReport};
 pub use replay::{
     canonical_verdict, replay, replay_trace, verdict_line, Detector, MustTarget, ReplayOutcome,
     ReplayTarget, StoreTarget,

@@ -1,0 +1,454 @@
+//! Delta-debugging trace minimization: shrink a recorded trace to the
+//! smallest event subsequence that still replays to the *identical*
+//! canonical verdict.
+//!
+//! ## Oracle
+//!
+//! The replay engine is the oracle. A candidate subsequence *passes* iff
+//! replaying it through the chosen [`Detector`] yields
+//!
+//! * the same completeness (`ReplayOutcome::complete`), and
+//! * the byte-identical canonical verdict ([`canonical verdict`]: the
+//!   sorted, deduped, half-ordered race list — not just the racy/safe
+//!   bit).
+//!
+//! This is *verdict*-preserving, not merely *race*-preserving: a
+//! candidate that still races but at a different address, source line or
+//! rank pair fails the oracle. A developer reading the minimized repro
+//! sees exactly the conflict of the original report, and a safe trace
+//! minimizes all the way down (the empty subsequence replays clean) —
+//! which is itself the honest minimal repro of "nothing conflicts here".
+//!
+//! ## Search
+//!
+//! Candidates are subsequences: per-rank program order is never
+//! permuted, events are only dropped (the replay scheduler re-derives a
+//! legal cross-rank interleaving from whatever synchronization records
+//! survive). The search runs three deterministic stages:
+//!
+//! 0. **empty fast path** — the empty subsequence is tried first; safe
+//!    traces collapse immediately.
+//! 1. **ddmin over epochs** — every rank's stream is cut at its
+//!    epoch-closing records (`UnlockAll`, `Fence`, plus `Barrier`) and
+//!    the j-th segment of *all* ranks forms one cross-rank chunk, so
+//!    dropping a chunk removes a whole aligned epoch and keeps the
+//!    collective rendezvous matched (the replay scheduler declares a
+//!    trace incomplete when one rank parks on a collective the others
+//!    never reach). The classic complement-removal ddmin loop drops
+//!    chunks at doubling granularity; most of a long trace disappears
+//!    here.
+//! 2. **ddmin over events** — the same loop, one surviving event per
+//!    chunk, which removes contiguous runs cheaply.
+//! 3. **greedy fixpoint** — alternates two passes until neither removes
+//!    anything: every remaining event tried for single removal, then
+//!    every surviving collective rendezvous (the j-th kept collective of
+//!    each rank, removed as one unit — singly unremovable because an
+//!    unmatched collective breaks completeness). The single-event pass
+//!    that removes nothing *is* the proof of 1-minimality: removing any
+//!    single remaining event changes the verdict.
+//!
+//! Every stage visits candidates in a fixed order derived only from the
+//! input trace, so minimization is bit-deterministic: the same input
+//! bytes and oracle always produce the same output bytes.
+//!
+//! ## Re-encoding
+//!
+//! The survivor is re-encoded through the ordinary container writer
+//! ([`Trace::encode`]), which rebuilds the delta-predictor chains, the
+//! string table (stream-order interning — minimization may drop a
+//! string's first use, so indices are re-derived from scratch), the
+//! epoch seek index and the checksummed trailer. The output is a valid
+//! standalone `.rmatrc`, byte-stable under decode → encode.
+
+use crate::format::TraceEvent;
+use crate::replay::{replay, Detector};
+use crate::trace::Trace;
+use rma_core::RaceReport;
+
+/// Outcome of a minimization run.
+#[derive(Debug)]
+pub struct MinimizeReport {
+    /// The minimized trace (same header, subsequence of the events).
+    pub trace: Trace,
+    /// Events in the input trace.
+    pub original_events: usize,
+    /// Events kept in the minimized trace.
+    pub kept_events: usize,
+    /// Replay-oracle invocations the search spent.
+    pub oracle_calls: usize,
+    /// The preserved canonical verdict (identical for input and output).
+    pub verdict: Vec<RaceReport>,
+    /// Completeness of the input replay, preserved in the output.
+    pub complete: bool,
+}
+
+/// The pass/fail contract both the minimizer and its tests share: same
+/// completeness, byte-identical canonical verdict.
+fn oracle_passes(candidate: &Trace, detector: Detector, complete: bool, verdict: &[RaceReport]) -> bool {
+    let out = replay(candidate, detector);
+    out.complete == complete && out.races == verdict
+}
+
+/// Global event ids are rank-major stream positions: rank 0's events
+/// first, then rank 1's, in program order. A candidate is a keep-mask
+/// over these ids.
+struct Search<'a> {
+    base: &'a Trace,
+    detector: Detector,
+    complete: bool,
+    verdict: Vec<RaceReport>,
+    /// `offsets[r]` = global id of rank `r`'s first event.
+    offsets: Vec<usize>,
+    calls: usize,
+}
+
+impl<'a> Search<'a> {
+    fn new(base: &'a Trace, detector: Detector) -> Self {
+        let out = replay(base, detector);
+        let mut offsets = Vec::with_capacity(base.streams.len());
+        let mut acc = 0usize;
+        for s in &base.streams {
+            offsets.push(acc);
+            acc += s.len();
+        }
+        Search { base, detector, complete: out.complete, verdict: out.races, offsets, calls: 1 }
+    }
+
+    fn build(&self, keep: &[bool]) -> Trace {
+        let streams = self
+            .base
+            .streams
+            .iter()
+            .enumerate()
+            .map(|(r, s)| {
+                s.iter()
+                    .enumerate()
+                    .filter(|(i, _)| keep[self.offsets[r] + i])
+                    .map(|(_, ev)| *ev)
+                    .collect()
+            })
+            .collect();
+        Trace { header: self.base.header.clone(), streams }
+    }
+
+    fn passes(&mut self, keep: &[bool]) -> bool {
+        self.calls += 1;
+        let cand = self.build(keep);
+        oracle_passes(&cand, self.detector, self.complete, &self.verdict)
+    }
+}
+
+/// Splits `chunks` into `n` contiguous groups, as evenly as possible.
+fn partition(len: usize, n: usize) -> Vec<(usize, usize)> {
+    let n = n.clamp(1, len.max(1));
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0usize;
+    for g in 0..n {
+        let end = len * (g + 1) / n;
+        if end > start {
+            out.push((start, end));
+            start = end;
+        }
+    }
+    out
+}
+
+/// Complement-removal ddmin over `chunks` (each chunk a set of global
+/// event ids currently kept). Mutates `keep`; chunks whose removal keeps
+/// the oracle passing are dropped permanently. Deterministic: groups are
+/// visited left to right, granularity doubles only when no group can be
+/// removed.
+fn ddmin(search: &mut Search<'_>, keep: &mut [bool], mut chunks: Vec<Vec<usize>>) {
+    let mut n = 2usize;
+    while chunks.len() >= 2 {
+        let groups = partition(chunks.len(), n);
+        let mut removed_range = None;
+        for &(lo, hi) in &groups {
+            for chunk in &chunks[lo..hi] {
+                for &id in chunk {
+                    keep[id] = false;
+                }
+            }
+            if search.passes(keep) {
+                removed_range = Some((lo, hi));
+                break;
+            }
+            for chunk in &chunks[lo..hi] {
+                for &id in chunk {
+                    keep[id] = true;
+                }
+            }
+        }
+        match removed_range {
+            Some((lo, hi)) => {
+                chunks.drain(lo..hi);
+                n = n.saturating_sub(1).max(2);
+            }
+            None => {
+                if n >= chunks.len() {
+                    break;
+                }
+                n = (n * 2).min(chunks.len());
+            }
+        }
+    }
+}
+
+fn closes_epoch(ev: &TraceEvent) -> bool {
+    matches!(
+        ev,
+        TraceEvent::UnlockAll { .. } | TraceEvent::Fence { .. } | TraceEvent::Barrier
+    )
+}
+
+/// One chunk per *cross-rank* epoch: every rank's stream is cut after
+/// each epoch-delimiting record (`UnlockAll`, `Fence`, `Barrier`) and
+/// the j-th segment of all ranks is merged into chunk j. Dropping a
+/// chunk removes an aligned epoch everywhere at once, so the surviving
+/// collective rendezvous still match up under the replay scheduler.
+fn epoch_chunks(trace: &Trace, offsets: &[usize]) -> Vec<Vec<usize>> {
+    let mut per_rank: Vec<Vec<Vec<usize>>> = Vec::with_capacity(trace.streams.len());
+    for (r, stream) in trace.streams.iter().enumerate() {
+        let mut segs = Vec::new();
+        let mut cur: Vec<usize> = Vec::new();
+        for (i, ev) in stream.iter().enumerate() {
+            cur.push(offsets[r] + i);
+            if closes_epoch(ev) {
+                segs.push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            segs.push(cur);
+        }
+        per_rank.push(segs);
+    }
+    let depth = per_rank.iter().map(|s| s.len()).max().unwrap_or(0);
+    (0..depth)
+        .map(|j| {
+            per_rank
+                .iter()
+                .filter_map(|segs| segs.get(j))
+                .flatten()
+                .copied()
+                .collect()
+        })
+        .collect()
+}
+
+/// The surviving collective rendezvous, as removable units: the j-th
+/// kept collective record of every rank, grouped across ranks. (Up to
+/// the shortest rank — a mismatch would fail the oracle anyway.)
+fn collective_groups(trace: &Trace, offsets: &[usize], keep: &[bool]) -> Vec<Vec<usize>> {
+    let per_rank: Vec<Vec<usize>> = trace
+        .streams
+        .iter()
+        .enumerate()
+        .map(|(r, s)| {
+            s.iter()
+                .enumerate()
+                .filter(|&(i, ev)| keep[offsets[r] + i] && closes_epoch(ev))
+                .map(|(i, _)| offsets[r] + i)
+                .collect()
+        })
+        .collect();
+    let depth = per_rank.iter().map(|l| l.len()).min().unwrap_or(0);
+    (0..depth).map(|j| per_rank.iter().map(|l| l[j]).collect()).collect()
+}
+
+/// Minimizes `trace` under `detector` (see the module docs for the
+/// oracle and the guarantee). The result replays to the identical
+/// canonical verdict and is 1-minimal: removing any single remaining
+/// event changes the verdict or the completeness.
+pub fn minimize(trace: &Trace, detector: Detector) -> MinimizeReport {
+    let mut search = Search::new(trace, detector);
+    let total = trace.event_count();
+    let mut keep = vec![true; total];
+
+    // Stage 0: the empty subsequence (safe traces collapse here).
+    let empty = vec![false; total];
+    if search.passes(&empty) {
+        keep = empty;
+    } else {
+        // Stage 1: whole cross-rank epochs.
+        let chunks = epoch_chunks(trace, &search.offsets);
+        ddmin(&mut search, &mut keep, chunks);
+
+        // Stage 2: surviving events, one per chunk (drops contiguous
+        // runs).
+        let survivors: Vec<Vec<usize>> =
+            keep.iter().enumerate().filter(|&(_, &k)| k).map(|(i, _)| vec![i]).collect();
+        ddmin(&mut search, &mut keep, survivors);
+
+        // Stage 3: greedy fixpoint. Single events certify 1-minimality;
+        // collective rendezvous groups get removed as units (an
+        // unmatched collective makes replay incomplete, so no single
+        // removal can take them out).
+        loop {
+            let mut removed = false;
+            for i in 0..total {
+                if !keep[i] {
+                    continue;
+                }
+                keep[i] = false;
+                if search.passes(&keep) {
+                    removed = true;
+                } else {
+                    keep[i] = true;
+                }
+            }
+            for group in collective_groups(trace, &search.offsets, &keep) {
+                if group.iter().any(|&id| !keep[id]) {
+                    continue;
+                }
+                for &id in &group {
+                    keep[id] = false;
+                }
+                if search.passes(&keep) {
+                    removed = true;
+                } else {
+                    for &id in &group {
+                        keep[id] = true;
+                    }
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+    }
+
+    let minimized = search.build(&keep);
+    let kept_events = minimized.event_count();
+    MinimizeReport {
+        trace: minimized,
+        original_events: total,
+        kept_events,
+        oracle_calls: search.calls,
+        verdict: search.verdict,
+        complete: search.complete,
+    }
+}
+
+/// Checks 1-minimality of `trace` under `detector`: `true` iff removing
+/// any single event changes the canonical verdict or the completeness.
+/// (The empty trace is vacuously 1-minimal.)
+pub fn is_one_minimal(trace: &Trace, detector: Detector) -> bool {
+    let base = replay(trace, detector);
+    for r in 0..trace.streams.len() {
+        for i in 0..trace.streams[r].len() {
+            let mut cand = trace.clone();
+            cand.streams[r].remove(i);
+            if oracle_passes(&cand, detector, base.complete, &base.races) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+    use rma_core::RankId;
+    use rma_sim::{World, WorldCfg};
+    use std::sync::Arc;
+
+    fn record_racy_put_put() -> Trace {
+        let writer = Arc::new(TraceWriter::new("racy", 1));
+        let out = World::run(WorldCfg::with_ranks(3), writer.clone(), |ctx| {
+            let win = ctx.win_allocate(64);
+            let buf = ctx.alloc(8);
+            ctx.win_lock_all(win);
+            if ctx.rank() != RankId(2) {
+                ctx.put(&buf, 0, 8, RankId(2), 0, win);
+            }
+            ctx.win_unlock_all(win);
+            ctx.barrier();
+        });
+        assert!(out.is_clean());
+        writer.trace()
+    }
+
+    #[test]
+    fn racy_trace_minimizes_verdict_preserving_and_one_minimal() {
+        let trace = record_racy_put_put();
+        for det in Detector::ALL {
+            let rep = minimize(&trace, det);
+            assert!(rep.kept_events < rep.original_events, "{det:?}: no shrink");
+            let out = replay(&rep.trace, det);
+            assert_eq!(out.complete, rep.complete, "{det:?}: completeness drifted");
+            assert_eq!(out.races, rep.verdict, "{det:?}: verdict drifted");
+            assert!(!rep.verdict.is_empty(), "{det:?}: race lost");
+            assert!(is_one_minimal(&rep.trace, det), "{det:?}: not 1-minimal");
+        }
+    }
+
+    #[test]
+    fn fragmerge_minimal_put_put_is_two_rma_events() {
+        // The frag+merge store needs no window bookkeeping to pair the
+        // two conflicting target halves: the true minimum is exactly the
+        // two Put records.
+        let trace = record_racy_put_put();
+        let rep = minimize(&trace, Detector::FragMerge);
+        assert_eq!(rep.kept_events, 2, "{:?}", rep.trace.streams);
+        for stream in &rep.trace.streams {
+            assert!(stream.iter().all(|e| matches!(e, TraceEvent::Rma { .. })));
+        }
+    }
+
+    #[test]
+    fn safe_trace_minimizes_to_empty() {
+        let writer = Arc::new(TraceWriter::new("safe", 2));
+        let out = World::run(WorldCfg::with_ranks(2), writer.clone(), |ctx| {
+            let win = ctx.win_allocate(64);
+            ctx.win_lock_all(win);
+            ctx.win_unlock_all(win);
+            ctx.barrier();
+        });
+        assert!(out.is_clean());
+        let rep = minimize(&writer.trace(), Detector::FragMerge);
+        assert_eq!(rep.kept_events, 0);
+        assert!(rep.verdict.is_empty());
+        assert!(rep.complete);
+        // nranks and the header survive even a total shrink.
+        assert_eq!(rep.trace.header, writer.trace().header);
+        assert_eq!(rep.trace.streams.len(), 2);
+    }
+
+    #[test]
+    fn minimization_is_idempotent_and_byte_deterministic() {
+        let trace = record_racy_put_put();
+        let a = minimize(&trace, Detector::FragMerge);
+        let b = minimize(&trace, Detector::FragMerge);
+        assert_eq!(a.trace.encode(), b.trace.encode(), "two runs differ");
+        let again = minimize(&a.trace, Detector::FragMerge);
+        assert_eq!(again.kept_events, a.kept_events, "not idempotent");
+        assert_eq!(again.trace.encode(), a.trace.encode());
+    }
+
+    #[test]
+    fn minimized_trace_reencodes_byte_stably() {
+        let trace = record_racy_put_put();
+        let rep = minimize(&trace, Detector::Legacy);
+        let bytes = rep.trace.encode();
+        let back = Trace::decode(&bytes).expect("minimized trace decodes");
+        assert_eq!(back.encode(), bytes, "decode -> encode not byte-stable");
+    }
+
+    #[test]
+    fn partition_covers_exactly() {
+        for len in 0..20usize {
+            for n in 1..8usize {
+                let groups = partition(len, n);
+                let mut covered = 0usize;
+                for &(lo, hi) in &groups {
+                    assert!(lo < hi);
+                    assert_eq!(lo, covered);
+                    covered = hi;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+}

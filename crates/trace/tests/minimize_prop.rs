@@ -1,0 +1,114 @@
+//! Property tests for the delta-debugging minimizer (ISSUE 10
+//! satellite): for seeded random validation-suite cases, the minimized
+//! trace
+//!
+//! (a) replays to the *identical* canonical verdict (race list and
+//!     completeness) under the oracle detector,
+//! (b) is 1-minimal — removing any single remaining event changes that
+//!     verdict, and
+//! (c) round-trips through encode → decode byte-stably,
+//!
+//! and the whole pipeline is byte-deterministic: minimizing the same
+//! recording twice — and generating a test from it twice — produces
+//! identical bytes (the run-twice satellite, pinned here at the API
+//! level and again in `ci.sh` at the CLI level).
+
+use rma_substrate::prop::{shrink_nothing, Gen, Prop};
+use rma_suite::{
+    generate_suite, run_accum_case_with_monitor, run_case_with_monitor, AccumPartner,
+};
+use rma_trace::{
+    generate_test, is_one_minimal, minimize, replay, Detector, Trace, TraceWriter,
+};
+use std::sync::Arc;
+
+/// Records a random suite case (validation matrix or accumulate
+/// extension) under a fresh writer. Case choice, oracle and the
+/// recording itself all derive from the property seed, so failures
+/// reproduce exactly.
+fn record_random_case(g: &mut Gen) -> (String, Detector, Trace) {
+    let writer = Arc::new(TraceWriter::new("prop", 0x5EED));
+    let name = if g.range(0u32..8) == 0 {
+        let partner = AccumPartner::ALL[g.range(0usize..AccumPartner::ALL.len())];
+        run_accum_case_with_monitor(partner, writer.clone());
+        partner.name().to_string()
+    } else {
+        let cases = generate_suite();
+        let spec = &cases[g.range(0usize..cases.len())];
+        run_case_with_monitor(spec, writer.clone());
+        spec.name()
+    };
+    let oracle = Detector::ALL[g.range(0usize..Detector::ALL.len())];
+    (name, oracle, writer.trace())
+}
+
+#[test]
+fn minimized_random_cases_preserve_verdict_and_are_one_minimal() {
+    Prop::new("minimized_random_cases_preserve_verdict_and_are_one_minimal").cases(48).run(
+        record_random_case,
+        shrink_nothing,
+        |(name, oracle, trace)| {
+            let base = replay(trace, *oracle);
+            let rep = minimize(trace, *oracle);
+
+            // (a) identical canonical verdict and completeness.
+            let out = replay(&rep.trace, *oracle);
+            assert_eq!(out.races, base.races, "{name}/{oracle:?}: verdict drifted");
+            assert_eq!(out.complete, base.complete, "{name}/{oracle:?}: completeness");
+            assert_eq!(rep.verdict, base.races, "{name}/{oracle:?}: report verdict");
+
+            // (b) 1-minimality.
+            assert!(
+                is_one_minimal(&rep.trace, *oracle),
+                "{name}/{oracle:?}: not 1-minimal ({} events kept)",
+                rep.kept_events
+            );
+
+            // (c) byte-stable encode → decode round-trip.
+            let bytes = rep.trace.encode();
+            let back = Trace::decode(&bytes)
+                .unwrap_or_else(|e| panic!("{name}/{oracle:?}: re-decode failed: {e}"));
+            assert_eq!(back, rep.trace, "{name}/{oracle:?}: decode(encode) != trace");
+            assert_eq!(back.encode(), bytes, "{name}/{oracle:?}: second encode differs");
+        },
+    );
+}
+
+#[test]
+fn minimize_and_gentest_are_byte_deterministic_across_runs() {
+    Prop::new("minimize_and_gentest_are_byte_deterministic_across_runs").cases(16).run(
+        record_random_case,
+        shrink_nothing,
+        |(name, oracle, trace)| {
+            let a = minimize(trace, *oracle).trace.encode();
+            let b = minimize(trace, *oracle).trace.encode();
+            assert_eq!(a, b, "{name}/{oracle:?}: two minimize runs differ");
+
+            let ga = generate_test(&a, name, "prop run", None)
+                .unwrap_or_else(|e| panic!("{name}/{oracle:?}: gentest failed: {e}"));
+            let gb = generate_test(&a, name, "prop run", None).expect("second gentest");
+            assert_eq!(ga, gb, "{name}/{oracle:?}: two gentest runs differ");
+            assert!(
+                !ga.contains(env!("CARGO_MANIFEST_DIR")),
+                "{name}/{oracle:?}: generated test leaks a host path"
+            );
+        },
+    );
+}
+
+/// Re-recording the same case twice yields identical trace bytes — the
+/// foundation the two tests above (and the corpus) stand on: recording
+/// has no timestamps, no host paths, and a stream-order string table.
+#[test]
+fn recording_itself_is_byte_deterministic() {
+    let cases = generate_suite();
+    for spec in cases.iter().take(6) {
+        let mut encs = Vec::new();
+        for _ in 0..2 {
+            let writer = Arc::new(TraceWriter::new(spec.name(), 0x5EED));
+            run_case_with_monitor(spec, writer.clone());
+            encs.push(writer.trace().encode());
+        }
+        assert_eq!(encs[0], encs[1], "{}: two recordings differ", spec.name());
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! rma-chaos [--seeds N] [--start S] [--watchdog-ms M] [--verbose] [--json]
+//!           [--gentest-dir DIR]
 //! ```
 //!
 //! Runs `N` scenarios (seeds `S..S+N`); each seed deterministically
@@ -16,15 +17,27 @@
 //! durations and respawn counts are deterministic, so two sweeps over
 //! the same seed range diff byte-for-byte — CI runs the sweep twice and
 //! compares.
+//!
+//! `--gentest-dir DIR` closes the find → regression-test loop: every
+//! scenario whose verdict is `raced` gets its case re-recorded
+//! fault-free, delta-debugged to the minimal verdict-preserving trace
+//! (`rma_trace::minimize`) and emitted as a `.rmatrc` plus a generated
+//! Rust test (`rma_trace::gentest`) in `DIR`, deduplicated by case
+//! name. Progress notes go to stderr, so `--json` stdout stays
+//! byte-stable. This binary lives in the facade crate because it needs
+//! both `rma-suite` (the sweep) and `rma-trace` (the minimizer), and
+//! `rma-trace` already depends on `rma-suite`.
 
-use rma_suite::chaos::run_chaos_scenario;
-use rma_suite::generate_suite;
-use std::collections::BTreeMap;
+use rma_suite::chaos::{run_chaos_scenario, ChaosVerdict};
+use rma_suite::{find_case, generate_suite, run_case_with_monitor};
+use rma_trace::{generate_test, minimize, sanitize_test_name, Detector, TraceWriter};
+use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
-const USAGE: &str =
-    "usage: rma-chaos [--seeds N] [--start S] [--watchdog-ms M] [--verbose] [--json]";
+const USAGE: &str = "usage: rma-chaos [--seeds N] [--start S] [--watchdog-ms M] \
+     [--verbose] [--json] [--gentest-dir DIR]";
 
 fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     if let Some(i) = args.iter().position(|a| a == flag) {
@@ -35,17 +48,26 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
+fn take_str(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
     if let Some(i) = args.iter().position(|a| a == flag) {
         if i + 1 >= args.len() {
             return Err(format!("{flag} needs a value\n{USAGE}"));
         }
         let v = args.remove(i + 1);
         args.remove(i);
-        let n = v.parse().map_err(|_| format!("{flag}: bad number {v:?}\n{USAGE}"))?;
-        Ok(Some(n))
+        Ok(Some(v))
     } else {
         Ok(None)
+    }
+}
+
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
+    match take_str(args, flag)? {
+        Some(v) => {
+            let n = v.parse().map_err(|_| format!("{flag}: bad number {v:?}\n{USAGE}"))?;
+            Ok(Some(n))
+        }
+        None => Ok(None),
     }
 }
 
@@ -59,6 +81,34 @@ fn main() -> ExitCode {
     }
 }
 
+/// Records `case` fault-free, minimizes it under the frag+merge oracle
+/// and drops `<case>.rmatrc` + `gen_<case>.rs` into `dir`. The ground
+/// truth pinned into the generated test comes from the suite case name.
+fn gentest_find(dir: &std::path::Path, seed: u64, case: &str) -> Result<(), String> {
+    let cases = generate_suite();
+    let spec = find_case(&cases, case).ok_or_else(|| format!("unknown case {case:?}"))?;
+    let writer = Arc::new(TraceWriter::new(case, 0x5EED));
+    run_case_with_monitor(&spec, writer.clone());
+    let rep = minimize(&writer.trace(), Detector::FragMerge);
+    let bytes = rep.trace.encode();
+    let truth = Some(case.ends_with("_race"));
+    let provenance = format!("chaos sweep seed {seed}, suite case {case} (fault-free rerun)");
+    let source = generate_test(&bytes, case, &provenance, truth)?;
+    let stem = sanitize_test_name(case);
+    let trc = dir.join(format!("{stem}.rmatrc"));
+    let gen = dir.join(format!("gen_{stem}.rs"));
+    std::fs::write(&trc, &bytes).map_err(|e| format!("{}: {e}", trc.display()))?;
+    std::fs::write(&gen, &source).map_err(|e| format!("{}: {e}", gen.display()))?;
+    eprintln!(
+        "gentest: seed {seed} {case} -> {} ({} of {} events kept) + {}",
+        trc.display(),
+        rep.kept_events,
+        rep.original_events,
+        gen.display()
+    );
+    Ok(())
+}
+
 fn run() -> Result<ExitCode, String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let seeds = take_opt(&mut args, "--seeds")?.unwrap_or(64);
@@ -66,14 +116,24 @@ fn run() -> Result<ExitCode, String> {
     let watchdog_ms = take_opt(&mut args, "--watchdog-ms")?.unwrap_or(2_000);
     let verbose = take_flag(&mut args, "--verbose");
     let json = take_flag(&mut args, "--json");
+    let gentest_dir = take_str(&mut args, "--gentest-dir")?;
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
     }
+    let gentest_dir = match gentest_dir {
+        Some(d) => {
+            let d = std::path::PathBuf::from(d);
+            std::fs::create_dir_all(&d).map_err(|e| format!("{}: {e}", d.display()))?;
+            Some(d)
+        }
+        None => None,
+    };
 
     let cases = generate_suite();
     let t0 = Instant::now();
     let mut tally: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut inequivalent = 0usize;
+    let mut generated: BTreeSet<String> = BTreeSet::new();
     for seed in start..start + seeds {
         match run_chaos_scenario(seed, &cases, watchdog_ms) {
             Ok(res) => {
@@ -99,6 +159,12 @@ fn run() -> Result<ExitCode, String> {
                          different verdict than the fault-free baseline",
                         res.case
                     );
+                }
+                if let Some(dir) = &gentest_dir {
+                    if res.verdict == ChaosVerdict::Raced && generated.insert(res.case.clone())
+                    {
+                        gentest_find(dir, seed, &res.case)?;
+                    }
                 }
                 *tally.entry(res.verdict.name()).or_default() += 1;
             }

@@ -1,0 +1,60 @@
+//! Auto-generated regression test `ll_get_load_inwindow_origin_race` — do not edit by hand.
+//!
+//! Provenance: tests/corpus/min_ll_get_load_inwindow_origin_race.rmatrc (suite case, minimized 20 -> 3 events; pins the MUST local-load FN)
+//! Regenerate: rma-trace gentest <trace.rmatrc> <this-file> --name ll_get_load_inwindow_origin_race
+//!
+//! Embeds 122 canonical container bytes (3 events, 3 rank streams) and
+//! pins the verdict every detector produced when the trace was captured.
+
+use rma_trace::{replay, verdict_line, Detector, Trace};
+
+const TRACE_BYTES: &[u8] = &[
+    0x52, 0x4d, 0x41, 0x54, 0x52, 0x43, 0x30, 0x31, 0x01, 0x03, 0xed, 0xbd, 0x01, 0x20, 0x6c, 0x6c,
+    0x5f, 0x67, 0x65, 0x74, 0x5f, 0x6c, 0x6f, 0x61, 0x64, 0x5f, 0x69, 0x6e, 0x77, 0x69, 0x6e, 0x64,
+    0x6f, 0x77, 0x5f, 0x6f, 0x72, 0x69, 0x67, 0x69, 0x6e, 0x5f, 0x72, 0x61, 0x63, 0x65, 0x05, 0x00,
+    0x02, 0x01, 0x01, 0x01, 0x00, 0x80, 0x40, 0x07, 0x60, 0x07, 0x00, 0x9a, 0x01, 0x01, 0x06, 0x5f,
+    0x07, 0x00, 0x17, 0x01, 0x17, 0x63, 0x72, 0x61, 0x74, 0x65, 0x73, 0x2f, 0x73, 0x75, 0x69, 0x74,
+    0x65, 0x2f, 0x73, 0x72, 0x63, 0x2f, 0x72, 0x75, 0x6e, 0x2e, 0x72, 0x73, 0x2e, 0x15, 0x03, 0x43,
+    0x00, 0x00, 0x43, 0x00, 0x00, 0x00, 0x23, 0x00, 0x00, 0x00, 0x06, 0x64, 0xf9, 0x77, 0x64, 0xf3,
+    0x25, 0xa1, 0x52, 0x4d, 0x41, 0x54, 0x5f, 0x45, 0x4e, 0x44,
+];
+
+/// Ground truth pinned at generation time: the trace is racy.
+const TRUTH_RACY: bool = true;
+
+#[test]
+fn ll_get_load_inwindow_origin_race_replays_to_pinned_verdicts() {
+    let trace = Trace::decode(TRACE_BYTES).expect("embedded trace decodes");
+    assert_eq!(trace.event_count(), 3, "event count drifted");
+    // (detector, complete, flagged, confusion entry vs ground truth)
+    let pinned = [
+        (Detector::Naive, true, true, "TP"),
+        (Detector::Legacy, true, true, "TP"),
+        (Detector::FragMerge, true, true, "TP"),
+        (Detector::Must, true, false, "FN"),
+    ];
+    for (det, complete, flagged, entry) in pinned {
+        let out = replay(&trace, det);
+        assert_eq!(out.complete, complete, "{det:?}: completeness drifted");
+        assert_eq!(!out.races.is_empty(), flagged, "{det:?}: classification drifted");
+        let got = match (TRUTH_RACY, !out.races.is_empty()) {
+            (true, true) => "TP",
+            (true, false) => "FN",
+            (false, true) => "FP",
+            (false, false) => "TN",
+        };
+        assert_eq!(got, entry, "{det:?}: confusion-matrix entry drifted");
+    }
+    let out = replay(&trace, Detector::FragMerge);
+    assert_eq!(
+        verdict_line(&out.races),
+        "verdict: 1 race(s) {LOCAL_READ [4096,4103] P0 crates/suite/src/run.rs:65 | RMA_WRITE [4096,4103] P0 crates/suite/src/run.rs:77}",
+        "frag+merge canonical verdict drifted"
+    );
+}
+
+#[test]
+fn ll_get_load_inwindow_origin_race_reencodes_byte_stably() {
+    let trace = Trace::decode(TRACE_BYTES).expect("embedded trace decodes");
+    assert_eq!(trace.encode(), TRACE_BYTES, "canonical re-encode drifted");
+}

@@ -1,0 +1,61 @@
+//! Auto-generated regression test `lo2_accum_put_inwindow_target_race` — do not edit by hand.
+//!
+//! Provenance: tests/corpus/min_lo2_accum_put_inwindow_target_race.rmatrc (accum extension case, minimized 20 -> 2 events)
+//! Regenerate: rma-trace gentest <trace.rmatrc> <this-file> --name lo2_accum_put_inwindow_target_race
+//!
+//! Embeds 137 canonical container bytes (2 events, 3 rank streams) and
+//! pins the verdict every detector produced when the trace was captured.
+
+use rma_trace::{replay, verdict_line, Detector, Trace};
+
+const TRACE_BYTES: &[u8] = &[
+    0x52, 0x4d, 0x41, 0x54, 0x52, 0x43, 0x30, 0x31, 0x02, 0x03, 0xed, 0xbd, 0x01, 0x22, 0x6c, 0x6f,
+    0x32, 0x5f, 0x61, 0x63, 0x63, 0x75, 0x6d, 0x5f, 0x70, 0x75, 0x74, 0x5f, 0x69, 0x6e, 0x77, 0x69,
+    0x6e, 0x64, 0x6f, 0x77, 0x5f, 0x74, 0x61, 0x72, 0x67, 0x65, 0x74, 0x5f, 0x72, 0x61, 0x63, 0x65,
+    0x01, 0x1d, 0x63, 0x72, 0x61, 0x74, 0x65, 0x73, 0x2f, 0x73, 0x75, 0x69, 0x74, 0x65, 0x2f, 0x73,
+    0x72, 0x63, 0x2f, 0x61, 0x63, 0x63, 0x75, 0x6d, 0x5f, 0x65, 0x78, 0x74, 0x2e, 0x72, 0x73, 0x02,
+    0x02, 0x00, 0x01, 0x00, 0x80, 0x42, 0x07, 0xff, 0x01, 0x07, 0x00, 0xb8, 0x01, 0x02, 0x00, 0x00,
+    0x01, 0x00, 0x80, 0x44, 0x07, 0xff, 0x03, 0x07, 0x00, 0xcc, 0x01, 0x4f, 0x0e, 0x01, 0x5d, 0x00,
+    0x00, 0x5d, 0x0e, 0x01, 0x00, 0x0a, 0x00, 0x00, 0x00, 0x50, 0x3b, 0x57, 0x25, 0x2b, 0x49, 0xc5,
+    0x46, 0x52, 0x4d, 0x41, 0x54, 0x5f, 0x45, 0x4e, 0x44,
+];
+
+/// Ground truth pinned at generation time: the trace is racy.
+const TRUTH_RACY: bool = true;
+
+#[test]
+fn lo2_accum_put_inwindow_target_race_replays_to_pinned_verdicts() {
+    let trace = Trace::decode(TRACE_BYTES).expect("embedded trace decodes");
+    assert_eq!(trace.event_count(), 2, "event count drifted");
+    // (detector, complete, flagged, confusion entry vs ground truth)
+    let pinned = [
+        (Detector::Naive, true, true, "TP"),
+        (Detector::Legacy, true, true, "TP"),
+        (Detector::FragMerge, true, true, "TP"),
+        (Detector::Must, true, true, "TP"),
+    ];
+    for (det, complete, flagged, entry) in pinned {
+        let out = replay(&trace, det);
+        assert_eq!(out.complete, complete, "{det:?}: completeness drifted");
+        assert_eq!(!out.races.is_empty(), flagged, "{det:?}: classification drifted");
+        let got = match (TRUTH_RACY, !out.races.is_empty()) {
+            (true, true) => "TP",
+            (true, false) => "FN",
+            (false, true) => "FP",
+            (false, false) => "TN",
+        };
+        assert_eq!(got, entry, "{det:?}: confusion-matrix entry drifted");
+    }
+    let out = replay(&trace, Detector::FragMerge);
+    assert_eq!(
+        verdict_line(&out.races),
+        "verdict: 1 race(s) {RMA_WRITE [4096,4103] P2 crates/suite/src/accum_ext.rs:102 | RMA_ACCUMULATE [4096,4103] P0 crates/suite/src/accum_ext.rs:92}",
+        "frag+merge canonical verdict drifted"
+    );
+}
+
+#[test]
+fn lo2_accum_put_inwindow_target_race_reencodes_byte_stably() {
+    let trace = Trace::decode(TRACE_BYTES).expect("embedded trace decodes");
+    assert_eq!(trace.encode(), TRACE_BYTES, "canonical re-encode drifted");
+}

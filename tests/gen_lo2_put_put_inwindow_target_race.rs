@@ -1,0 +1,61 @@
+//! Auto-generated regression test `lo2_put_put_inwindow_target_race` — do not edit by hand.
+//!
+//! Provenance: tests/corpus/min_lo2_put_put_inwindow_target_race.rmatrc (suite case, minimized 20 -> 2 events)
+//! Regenerate: rma-trace gentest <trace.rmatrc> <this-file> --name lo2_put_put_inwindow_target_race
+//!
+//! Embeds 129 canonical container bytes (2 events, 3 rank streams) and
+//! pins the verdict every detector produced when the trace was captured.
+
+use rma_trace::{replay, verdict_line, Detector, Trace};
+
+const TRACE_BYTES: &[u8] = &[
+    0x52, 0x4d, 0x41, 0x54, 0x52, 0x43, 0x30, 0x31, 0x01, 0x03, 0xed, 0xbd, 0x01, 0x20, 0x6c, 0x6f,
+    0x32, 0x5f, 0x70, 0x75, 0x74, 0x5f, 0x70, 0x75, 0x74, 0x5f, 0x69, 0x6e, 0x77, 0x69, 0x6e, 0x64,
+    0x6f, 0x77, 0x5f, 0x74, 0x61, 0x72, 0x67, 0x65, 0x74, 0x5f, 0x72, 0x61, 0x63, 0x65, 0x02, 0x00,
+    0x00, 0x01, 0x00, 0x80, 0x44, 0x07, 0xff, 0x03, 0x07, 0x00, 0xae, 0x01, 0x02, 0x00, 0x00, 0x01,
+    0x00, 0x80, 0x46, 0x07, 0xff, 0x05, 0x07, 0x00, 0xae, 0x01, 0x01, 0x17, 0x63, 0x72, 0x61, 0x74,
+    0x65, 0x73, 0x2f, 0x73, 0x75, 0x69, 0x74, 0x65, 0x2f, 0x73, 0x72, 0x63, 0x2f, 0x72, 0x75, 0x6e,
+    0x2e, 0x72, 0x73, 0x2e, 0x0e, 0x01, 0x3c, 0x00, 0x00, 0x3c, 0x0e, 0x01, 0x00, 0x23, 0x00, 0x00,
+    0x00, 0xf1, 0x5d, 0xf3, 0x62, 0x8a, 0x11, 0x8a, 0x45, 0x52, 0x4d, 0x41, 0x54, 0x5f, 0x45, 0x4e,
+    0x44,
+];
+
+/// Ground truth pinned at generation time: the trace is racy.
+const TRUTH_RACY: bool = true;
+
+#[test]
+fn lo2_put_put_inwindow_target_race_replays_to_pinned_verdicts() {
+    let trace = Trace::decode(TRACE_BYTES).expect("embedded trace decodes");
+    assert_eq!(trace.event_count(), 2, "event count drifted");
+    // (detector, complete, flagged, confusion entry vs ground truth)
+    let pinned = [
+        (Detector::Naive, true, true, "TP"),
+        (Detector::Legacy, true, true, "TP"),
+        (Detector::FragMerge, true, true, "TP"),
+        (Detector::Must, true, true, "TP"),
+    ];
+    for (det, complete, flagged, entry) in pinned {
+        let out = replay(&trace, det);
+        assert_eq!(out.complete, complete, "{det:?}: completeness drifted");
+        assert_eq!(!out.races.is_empty(), flagged, "{det:?}: classification drifted");
+        let got = match (TRUTH_RACY, !out.races.is_empty()) {
+            (true, true) => "TP",
+            (true, false) => "FN",
+            (false, true) => "FP",
+            (false, false) => "TN",
+        };
+        assert_eq!(got, entry, "{det:?}: confusion-matrix entry drifted");
+    }
+    let out = replay(&trace, Detector::FragMerge);
+    assert_eq!(
+        verdict_line(&out.races),
+        "verdict: 1 race(s) {RMA_WRITE [4096,4103] P0 crates/suite/src/run.rs:87 | RMA_WRITE [4096,4103] P2 crates/suite/src/run.rs:87}",
+        "frag+merge canonical verdict drifted"
+    );
+}
+
+#[test]
+fn lo2_put_put_inwindow_target_race_reencodes_byte_stably() {
+    let trace = Trace::decode(TRACE_BYTES).expect("embedded trace decodes");
+    assert_eq!(trace.encode(), TRACE_BYTES, "canonical re-encode drifted");
+}
